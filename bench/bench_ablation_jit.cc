@@ -1,0 +1,102 @@
+// Ablation: JIT vs interpretation vs native (Section 5.3's enabling claim).
+//
+// The paper's Figure 6 result — Java arithmetic keeping pace with C++ —
+// "essentially [is] the result of a good JIT compiler". This bench isolates
+// that claim on the JagVM substrate: the same integer-add loop (a) native
+// with the opaque-barrier discipline, (b) JagVM JIT-compiled, (c) JagVM
+// interpreted. Expect interpret >> jit ~ native.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "jjc/jjc.h"
+#include "jvm/class_loader.h"
+#include "jvm/vm.h"
+
+namespace jaguar {
+namespace {
+
+constexpr int64_t kIterations = 1 << 16;
+
+const char* kLoopSource = R"(
+class Loop {
+  static int run(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      acc = acc + i;
+      i = i + 1;
+    }
+    return acc;
+  }
+})";
+
+struct VmFixture {
+  explicit VmFixture(bool jit, bool budget_checks = true) {
+    jvm::JvmOptions opts;
+    opts.enable_jit = jit;
+    opts.jit_budget_checks = budget_checks;
+    vm = std::make_unique<jvm::Jvm>(opts);
+    auto cf = jjc::Compile(kLoopSource);
+    JAGUAR_CHECK(cf.ok()) << cf.status();
+    JAGUAR_CHECK(vm->system_loader()->LoadClass(Slice(cf->Serialize())).ok());
+    security = jvm::SecurityManager::AllowAll();
+  }
+
+  int64_t Run(int64_t n) {
+    jvm::ExecContext ctx(vm.get(), vm->system_loader(), &security, {});
+    Result<int64_t> r = ctx.CallStatic("Loop", "run", {n});
+    JAGUAR_CHECK(r.ok()) << r.status();
+    return *r;
+  }
+
+  std::unique_ptr<jvm::Jvm> vm;
+  jvm::SecurityManager security;
+};
+
+void BM_NativeAddLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (int64_t i = 0; i < kIterations; ++i) {
+      acc += i;
+      asm volatile("" : "+r"(acc));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+BENCHMARK(BM_NativeAddLoop);
+
+void BM_JagVmJit(benchmark::State& state) {
+  VmFixture fixture(/*jit=*/true);
+  fixture.Run(kIterations);  // warm the code cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run(kIterations));
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+BENCHMARK(BM_JagVmJit);
+
+void BM_JagVmJitNoBudgetChecks(benchmark::State& state) {
+  VmFixture fixture(/*jit=*/true, /*budget_checks=*/false);
+  fixture.Run(kIterations);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run(kIterations));
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+BENCHMARK(BM_JagVmJitNoBudgetChecks);
+
+void BM_JagVmInterpreter(benchmark::State& state) {
+  VmFixture fixture(/*jit=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run(kIterations));
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+BENCHMARK(BM_JagVmInterpreter);
+
+}  // namespace
+}  // namespace jaguar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Ablation: the cost of resource accounting (Section 6.2).
+//
+// The paper notes that 1998 JVMs could not police CPU or memory per UDF and
+// points at Cornell's J-Kernel work on *instrumenting bytecode* so "the use
+// of resources can be monitored and policed. Such mechanisms will be
+// essential in database systems."
+//
+// JagVM builds that policing in: the JIT charges the instruction budget once
+// per basic block; allocations charge the heap quota. This bench measures
+// what that protection costs, by compiling the same loops with and without
+// the budget instrumentation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "jjc/jjc.h"
+#include "jvm/vm.h"
+
+namespace jaguar {
+namespace {
+
+const char* kSource = R"(
+class W {
+  static int tightLoop(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      acc = acc + i * 3 - (i / 7);
+      i = i + 1;
+    }
+    return acc;
+  }
+  static int allocLoop(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) {
+      byte[] scratch = new byte[64];
+      scratch[i % 64] = i;
+      acc = acc + scratch[i % 64];
+      i = i + 1;
+    }
+    return acc;
+  }
+})";
+
+struct VmFixture {
+  explicit VmFixture(bool budget_checks) {
+    jvm::JvmOptions opts;
+    opts.jit_budget_checks = budget_checks;
+    vm = std::make_unique<jvm::Jvm>(opts);
+    auto cf = jjc::Compile(kSource);
+    JAGUAR_CHECK(cf.ok()) << cf.status();
+    JAGUAR_CHECK(vm->system_loader()->LoadClass(Slice(cf->Serialize())).ok());
+    security = jvm::SecurityManager::AllowAll();
+  }
+  int64_t Run(const char* method, int64_t n, jvm::ResourceLimits limits = {}) {
+    jvm::ExecContext ctx(vm.get(), vm->system_loader(), &security, limits);
+    Result<int64_t> r = ctx.CallStatic("W", method, {n});
+    JAGUAR_CHECK(r.ok()) << r.status();
+    return *r;
+  }
+  std::unique_ptr<jvm::Jvm> vm;
+  jvm::SecurityManager security;
+};
+
+constexpr int64_t kN = 1 << 16;
+
+void BM_TightLoop_AccountingOn(benchmark::State& state) {
+  VmFixture fixture(/*budget_checks=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run("tightLoop", kN));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_TightLoop_AccountingOn);
+
+void BM_TightLoop_AccountingOff(benchmark::State& state) {
+  VmFixture fixture(/*budget_checks=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run("tightLoop", kN));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_TightLoop_AccountingOff);
+
+void BM_TightLoop_WithFiniteBudget(benchmark::State& state) {
+  // A finite budget costs the same as the unlimited sentinel: the charge is
+  // identical, only the trap fires earlier.
+  VmFixture fixture(/*budget_checks=*/true);
+  jvm::ResourceLimits limits;
+  limits.instruction_budget = int64_t{1} << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run("tightLoop", kN, limits));
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_TightLoop_WithFiniteBudget);
+
+void BM_AllocLoop_HeapAccounting(benchmark::State& state) {
+  // Allocation-heavy loop: every `new byte[]` charges the heap quota.
+  VmFixture fixture(/*budget_checks=*/true);
+  jvm::ResourceLimits limits;
+  limits.heap_quota_bytes = 1 << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.Run("allocLoop", 4096, limits));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AllocLoop_HeapAccounting);
+
+}  // namespace
+}  // namespace jaguar
+
+BENCHMARK_MAIN();

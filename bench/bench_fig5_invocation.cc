@@ -1,0 +1,78 @@
+// Figure 5 — Calibration: Function Invocation Costs.
+//
+// 10,000 invocations of a UDF that performs no work, for the three designs
+// (C++, IC++, JNI), varying the bytearray size along the X axis
+// (1, 100, 10000 bytes == relations Rel1, Rel100, Rel10000).
+//
+// Paper shapes:
+//  * 10,000 JNI invocations incur "only a marginal cost".
+//  * For smaller bytearrays, IC++ invocation cost EXCEEDS JNI: crossing the
+//    JNI boundary is cheaper than an IPC context switch.
+//  * For the largest bytearray, JNI is marginally worse than IC++ (cost of
+//    mapping large byte arrays into the VM).
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+int Run() {
+  const int card = 10000;
+  PrintHeader("Figure 5 - Calibration: function invocation costs",
+              "10,000 no-op UDF invocations; X = bytearray size; "
+              "times exclude the base scan cost (Figure 4)");
+  auto env = BenchEnv::Create(PaperRelations(), card);
+
+  struct Point {
+    int64_t size;
+    std::string rel;
+  };
+  std::vector<Point> points = {{1, "Rel1"}, {100, "Rel100"},
+                               {10000, "Rel10000"}};
+  std::vector<std::string> designs = {"C++", "IC++", "JNI"};
+  std::vector<std::string> fns = {"g_cpp", "g_icpp", "g_jni"};
+
+  const int repeats = 5;
+  PrintSeriesHeader("array bytes", designs);
+  // raw[point][design]: full query time; cost[point][design]: minus the
+  // no-op-scan base (the paper's presentation).
+  std::vector<std::vector<double>> raw(points.size());
+  std::vector<std::vector<double>> cost(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    double base =
+        env->TimeGeneric("noop_udf", points[p].rel, card, 0, 0, 0, repeats);
+    for (const std::string& fn : fns) {
+      double t = env->TimeGeneric(fn, points[p].rel, card, 0, 0, 0, repeats);
+      raw[p].push_back(t);
+      cost[p].push_back(std::max(0.0, t - base));
+    }
+    PrintSeriesRow(points[p].size, cost[p]);
+  }
+
+  std::printf("\nShape checks (vs the paper):\n");
+  bool ok = true;
+  ok &= ShapeCheck(cost[0][1] > cost[0][2],
+                   "small arrays: IC++ invocation (process crossing) costs "
+                   "more than JNI (language boundary)");
+  ok &= ShapeCheck(cost[1][1] > cost[1][2],
+                   "100-byte arrays: IC++ still above JNI");
+  // Marshalling scales with array size for JNI. Compare the JNI-vs-C++ gap
+  // within each relation (same scan both sides, so the base cancels exactly)
+  // rather than across noisy base subtractions.
+  double gap_small = raw[0][2] - raw[0][0];
+  double gap_large = raw[2][2] - raw[2][0];
+  ok &= ShapeCheck(gap_large > gap_small,
+                   StringPrintf("JNI marshalling cost grows with bytearray "
+                                "size (gap %.1fms at 1B -> %.1fms at 10KB)",
+                                gap_small * 1e3, gap_large * 1e3));
+  ok &= ShapeCheck(cost[0][2] < 0.5,
+                   "10,000 JNI invocations cost only marginal absolute time");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

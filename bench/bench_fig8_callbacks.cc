@@ -1,0 +1,75 @@
+// Figure 8 — Callbacks.
+//
+// Invocations of a UDF that performs no computation but makes NumCallbacks
+// requests back to the database server; NumCallbacks varies along X.
+//
+// Paper shapes:
+//  * "The isolated C++ design performs poorly because it faces the most
+//    expensive boundary to cross" — each callback is two process crossings.
+//  * "For Java UDFs, the overhead imposed by the Java native interface is
+//    not as significant."
+//  * "Even for the common case where there are a few callbacks, IC++ is
+//    significantly slower than JNI."
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+int Run() {
+  const int card = 10000;
+  const int64_t invocations = FullScale() ? 10000 : 1000;
+  PrintHeader("Figure 8 - Callbacks (NumCallbacks sweep)",
+              StringPrintf("%lld invocations over Rel1; UDFs do no "
+                           "computation, only server callbacks",
+                           static_cast<long long>(invocations)));
+  auto env = BenchEnv::Create({{"Rel1", 1}}, card);
+
+  std::vector<int64_t> xs = {0, 1, 10, 100};
+  std::vector<std::string> designs = {"C++", "IC++", "JNI"};
+  std::vector<std::string> fns = {"g_cpp", "g_icpp", "g_jni"};
+
+  PrintSeriesHeader("Callbacks", designs);
+  std::vector<std::vector<double>> times(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (const std::string& fn : fns) {
+      times[i].push_back(env->TimeGeneric(fn, "Rel1", invocations, 0, 0,
+                                          xs[i], /*repeats=*/2));
+    }
+    PrintSeriesRow(xs[i], times[i]);
+  }
+
+  std::printf("\nRelative to C++ (the paper's lower graph):\n");
+  PrintSeriesHeader("Callbacks", designs);
+  std::vector<std::vector<double>> rel(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t d = 0; d < fns.size(); ++d) {
+      rel[i].push_back(times[i][d] / times[i][0]);
+    }
+    PrintRelativeRow(xs[i], rel[i]);
+  }
+
+  std::printf("\nShape checks (vs the paper):\n");
+  bool ok = true;
+  const size_t last = xs.size() - 1;
+  ok &= ShapeCheck(times[last][1] > 2 * times[last][2],
+                   StringPrintf("IC++ callbacks (process crossings) are far "
+                                "more expensive than JNI callbacks (%.1fx)",
+                                times[last][1] / times[last][2]));
+  ok &= ShapeCheck(times[last][2] > times[last][0],
+                   "JNI callbacks still cost more than direct C++ calls");
+  ok &= ShapeCheck(times[1][1] > times[1][2],
+                   "even for a single callback per invocation, IC++ is "
+                   "slower than JNI");
+  // Callback cost scales with the count for IC++.
+  ok &= ShapeCheck(times[last][1] > 5 * times[1][1],
+                   "IC++ cost grows with the number of callbacks");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

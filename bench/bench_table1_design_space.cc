@@ -1,0 +1,82 @@
+// Table 1 — The design space for server-side UDFs, with measured one-line
+// summaries for each implemented cell plus the qualitative security /
+// portability assessment the paper develops in Sections 3 and 6.
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Table 1 - Design space for server-side UDFs",
+              "Rows: language; columns: process placement (paper, Section 3.2)");
+
+  std::printf(
+      "\n"
+      "                     | Same process              | Different process\n"
+      " --------------------+---------------------------+--------------------------\n"
+      " Native (C++)        | Design 1 (C++ integrated) | Design 2 (C++ isolated)\n"
+      " Non-native (JJava)  | Design 3 (JagVM, \"JNI\")   | Design 4 (JagVM in an\n"
+      "                     |                           |  isolated process, \"IJNI\")\n\n"
+      " The paper only extrapolates Design 4; jaguar implements it.\n");
+
+  const int card = 10000;
+  auto env = BenchEnv::Create({{"Rel100", 100}}, card);
+
+  struct DesignRow {
+    const char* label;
+    const char* fn;
+    const char* security;
+    const char* portability;
+  };
+  const DesignRow rows[] = {
+      {"C++   (Design 1)", "g_cpp",
+       "none: can crash/corrupt the server", "server platform only"},
+      {"BC++  (D1+checks)", "g_bcpp",
+       "bounds only; no isolation", "server platform only"},
+      {"SFI   (D1+masking)", "g_sfi",
+       "memory confined to sandbox", "server platform only"},
+      {"IC++  (Design 2)", "g_icpp",
+       "OS isolation; can still abuse syscalls", "server platform only"},
+      {"JNI   (Design 3)", "g_jni",
+       "verified + security mgr + quotas", "portable bytecode"},
+      {"IJNI  (Design 4)", "g_ijni",
+       "VM sandbox + OS isolation (both)", "portable bytecode"},
+  };
+
+  // Measured per-invocation overhead (10,000 no-op calls minus base) and
+  // data-access cost (10 passes over 100 bytes x 10,000 invocations).
+  double base = env->TimeGeneric("noop_udf", "Rel100", card, 0, 0, 0, 3);
+  std::printf(" %-19s %14s %14s   %-38s %s\n", "design", "invoke-us",
+              "dataaccess-s", "security", "portability");
+  bool measured_ok = true;
+  double invoke_cost[6];
+  for (int i = 0; i < 6; ++i) {
+    double inv =
+        std::max(0.0, env->TimeGeneric(rows[i].fn, "Rel100", card, 0, 0, 0,
+                                       3) - base);
+    double data = env->TimeGeneric(rows[i].fn, "Rel100", card, 0, 10, 0, 2);
+    invoke_cost[i] = inv;
+    std::printf(" %-19s %14.3f %14.6f   %-38s %s\n", rows[i].label,
+                inv / card * 1e6, data, rows[i].security, rows[i].portability);
+  }
+
+  std::printf("\nShape checks (vs the paper):\n");
+  bool ok = measured_ok;
+  ok &= ShapeCheck(invoke_cost[0] <= invoke_cost[3],
+                   "Design 1 has the lowest invocation overhead "
+                   "(\"essentially hard-coding the UDF into the server\")");
+  ok &= ShapeCheck(invoke_cost[4] < invoke_cost[3],
+                   "crossing into the VM is cheaper than crossing processes");
+  ok &= ShapeCheck(invoke_cost[5] >= invoke_cost[4],
+                   "Design 4 pays at least Design 3's boundary (it adds the "
+                   "process crossing on top)");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

@@ -1,0 +1,151 @@
+#include "bench/harness.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace jaguar {
+namespace bench {
+
+std::unique_ptr<BenchEnv> BenchEnv::Create(
+    const std::vector<RelationSpec>& relations, int cardinality,
+    DatabaseOptions base_options) {
+  static int counter = 0;
+  auto env = std::unique_ptr<BenchEnv>(new BenchEnv());
+  env->cardinality_ = cardinality;
+  env->path_ = (std::filesystem::temp_directory_path() /
+                ("jaguar_bench_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++) + ".db"))
+                   .string();
+  std::remove(env->path_.c_str());
+  DatabaseOptions options = base_options;
+  options.buffer_pool_pages = 32768;  // 256 MB: the paper's tables fit in RAM
+  Result<std::unique_ptr<Database>> db = Database::Open(env->path_, options);
+  JAGUAR_CHECK(db.ok()) << db.status();
+  env->db_ = std::move(db).value();
+  env->Load(relations);
+  env->RegisterDesigns();
+  return env;
+}
+
+BenchEnv::~BenchEnv() {
+  db_.reset();
+  std::remove(path_.c_str());
+}
+
+void BenchEnv::Load(const std::vector<RelationSpec>& relations) {
+  for (const RelationSpec& rel : relations) {
+    Result<QueryResult> r = db_->Execute(
+        "CREATE TABLE " + rel.name + " (id INT, ByteArray BYTEARRAY)");
+    JAGUAR_CHECK(r.ok()) << r.status();
+    const int batch = 250;
+    for (int base = 0; base < cardinality_; base += batch) {
+      std::string sql = "INSERT INTO " + rel.name + " VALUES ";
+      int n = std::min(batch, cardinality_ - base);
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) sql += ", ";
+        sql += StringPrintf("(%d, randbytes(%zu, %d))", base + i,
+                            rel.bytearray_size, base + i);
+      }
+      Result<QueryResult> ins = db_->Execute(sql);
+      JAGUAR_CHECK(ins.ok()) << ins.status();
+    }
+  }
+}
+
+void BenchEnv::RegisterDesigns() {
+  const std::vector<TypeId> sig = {TypeId::kBytes, TypeId::kInt, TypeId::kInt,
+                                   TypeId::kInt};
+  auto must_register = [&](UdfInfo info) {
+    Status s = db_->RegisterUdf(std::move(info));
+    JAGUAR_CHECK(s.ok() || s.IsAlreadyExists()) << s;
+  };
+  // g_cpp / g_bcpp resolve straight to the native registry via the
+  // catalog-free fallback, but register them anyway so EXPLAIN-style
+  // inspection of the catalog shows the full design space.
+  must_register({"g_cpp", UdfLanguage::kNative, TypeId::kInt, sig,
+                 "generic_udf", {}});
+  must_register({"g_bcpp", UdfLanguage::kNativeChecked, TypeId::kInt, sig,
+                 "generic_udf_checked", {}});
+  must_register({"g_icpp", UdfLanguage::kNativeIsolated, TypeId::kInt, sig,
+                 "generic_udf", {}});
+  must_register({"g_sfi", UdfLanguage::kNativeSfi, TypeId::kInt, sig,
+                 "generic_udf", {}});
+  Result<jvm::ClassFile> cf = jjc::Compile(GenericUdfJJavaSource());
+  JAGUAR_CHECK(cf.ok()) << cf.status();
+  must_register({"g_jni", UdfLanguage::kJJava, TypeId::kInt, sig,
+                 "GenericUdf.run", cf->Serialize()});
+  must_register({"g_ijni", UdfLanguage::kJJavaIsolated, TypeId::kInt, sig,
+                 "GenericUdf.run", cf->Serialize()});
+}
+
+double BenchEnv::TimeQuery(const std::string& sql) {
+  Stopwatch timer;
+  Result<QueryResult> r = db_->Execute(sql);
+  double elapsed = timer.ElapsedSeconds();
+  JAGUAR_CHECK(r.ok()) << sql << " -> " << r.status();
+  return elapsed;
+}
+
+double BenchEnv::TimeQueryMin(const std::string& sql, int repeats) {
+  double best = 1e100;
+  for (int i = 0; i < repeats; ++i) {
+    best = std::min(best, TimeQuery(sql));
+  }
+  return best;
+}
+
+std::string BenchEnv::GenericQuery(const std::string& fn,
+                                   const std::string& rel,
+                                   int64_t invocations, int64_t indep,
+                                   int64_t dep, int64_t callbacks) const {
+  return StringPrintf(
+      "SELECT %s(R.ByteArray, %lld, %lld, %lld) FROM %s R WHERE R.id < %lld",
+      fn.c_str(), static_cast<long long>(indep), static_cast<long long>(dep),
+      static_cast<long long>(callbacks), rel.c_str(),
+      static_cast<long long>(invocations));
+}
+
+double BenchEnv::TimeGeneric(const std::string& fn, const std::string& rel,
+                             int64_t invocations, int64_t indep, int64_t dep,
+                             int64_t callbacks, int repeats) {
+  return TimeQueryMin(
+      GenericQuery(fn, rel, invocations, indep, dep, callbacks), repeats);
+}
+
+void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSeriesHeader(const std::string& x_label,
+                       const std::vector<std::string>& series) {
+  std::printf("%12s", x_label.c_str());
+  for (const std::string& s : series) std::printf(" %12s", s.c_str());
+  std::printf("\n");
+}
+
+void PrintSeriesRow(int64_t x, const std::vector<double>& seconds) {
+  std::printf("%12lld", static_cast<long long>(x));
+  for (double s : seconds) std::printf(" %12.6f", s);
+  std::printf("\n");
+}
+
+void PrintRelativeRow(int64_t x, const std::vector<double>& ratios) {
+  std::printf("%12lld", static_cast<long long>(x));
+  for (double r : ratios) std::printf(" %11.2fx", r);
+  std::printf("\n");
+}
+
+bool ShapeCheck(bool ok, const std::string& description) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", description.c_str());
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace jaguar

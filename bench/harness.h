@@ -1,0 +1,112 @@
+#ifndef JAGUAR_BENCH_HARNESS_H_
+#define JAGUAR_BENCH_HARNESS_H_
+
+/// \file harness.h
+/// Shared infrastructure for the figure-reproduction benchmarks.
+///
+/// Experimental setup mirroring Section 5.1:
+///  * Relations Rel1 / Rel100 / Rel10000 with a `ByteArray` attribute of
+///    1 / 100 / 10000 bytes per tuple (plus an `id` column used to vary the
+///    number of UDF invocations with a restrictive predicate).
+///  * The generic UDF registered under every design:
+///      - g_cpp   Design 1, native in-process          ("C++")
+///      - g_bcpp  Design 1 + explicit bounds checks    ("BC++", Section 5.4)
+///      - g_icpp  Design 2, isolated process            ("IC++")
+///      - g_jni   Design 3, JagVM in-process            ("JNI")
+///      - g_sfi   Design 1 + SFI masking                ("SFI")
+///  * Queries shaped `SELECT g(R.ByteArray, i, d, c) FROM RelN R WHERE
+///    R.id < k`.
+///
+/// Scale: the paper used 10,000 invocations on a 1996 Sparc20. On a modern
+/// machine the no-op configurations finish in microseconds, so each figure
+/// picks per-point work large enough to measure while keeping the full
+/// harness run in minutes. Set JAGUAR_BENCH_SCALE=full for paper-scale runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "jjc/jjc.h"
+#include "udf/generic_udf.h"
+
+namespace jaguar {
+namespace bench {
+
+/// Relation descriptor: name + ByteArray size per tuple.
+struct RelationSpec {
+  std::string name;
+  size_t bytearray_size;
+};
+
+inline std::vector<RelationSpec> PaperRelations() {
+  return {{"Rel1", 1}, {"Rel100", 100}, {"Rel10000", 10000}};
+}
+
+/// True when JAGUAR_BENCH_SCALE=full (paper-scale sweeps).
+inline bool FullScale() {
+  const char* env = std::getenv("JAGUAR_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "full";
+}
+
+class BenchEnv {
+ public:
+  /// Builds a fresh database with the given relations at `cardinality`
+  /// tuples each, and registers the generic UDF under every design.
+  /// `base_options` customizes the engine (e.g. JIT/accounting ablations).
+  static std::unique_ptr<BenchEnv> Create(
+      const std::vector<RelationSpec>& relations, int cardinality,
+      DatabaseOptions base_options = {});
+
+  ~BenchEnv();
+
+  Database* db() { return db_.get(); }
+  int cardinality() const { return cardinality_; }
+
+  /// Executes `sql`, returning wall-clock seconds (aborts on error).
+  double TimeQuery(const std::string& sql);
+
+  /// Minimum of `repeats` timings (paper reports response time; min damps
+  /// scheduler noise on a shared machine).
+  double TimeQueryMin(const std::string& sql, int repeats);
+
+  /// "SELECT <fn>(R.ByteArray, i, d, c) FROM <rel> R WHERE R.id < <k>".
+  std::string GenericQuery(const std::string& fn, const std::string& rel,
+                           int64_t invocations, int64_t indep, int64_t dep,
+                           int64_t callbacks) const;
+
+  /// Runs one generic-UDF configuration and returns seconds.
+  double TimeGeneric(const std::string& fn, const std::string& rel,
+                     int64_t invocations, int64_t indep, int64_t dep,
+                     int64_t callbacks, int repeats = 1);
+
+ private:
+  BenchEnv() = default;
+  void Load(const std::vector<RelationSpec>& relations);
+  void RegisterDesigns();
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+  int cardinality_ = 0;
+};
+
+/// Printing helpers: paper-style series tables plus PASS/FAIL shape checks.
+void PrintHeader(const std::string& title, const std::string& note);
+void PrintSeriesHeader(const std::string& x_label,
+                       const std::vector<std::string>& series);
+void PrintSeriesRow(int64_t x, const std::vector<double>& seconds);
+void PrintRelativeRow(int64_t x, const std::vector<double>& ratios);
+
+/// Records and prints a shape check ("who wins / by what factor").
+/// Returns `ok` so callers can aggregate.
+bool ShapeCheck(bool ok, const std::string& description);
+
+}  // namespace bench
+}  // namespace jaguar
+
+#endif  // JAGUAR_BENCH_HARNESS_H_

@@ -1,0 +1,111 @@
+// Quickstart: the embedded jaguar engine in ~60 lines.
+//
+//   * open a database
+//   * create a table, insert rows (byte arrays via randbytes)
+//   * run queries with builtins
+//   * register a JJava UDF and call it from SQL
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <filesystem>
+
+#include "engine/database.h"
+#include "jjc/jjc.h"
+
+using namespace jaguar;
+
+namespace {
+
+QueryResult MustExecute(Database* db, const std::string& sql) {
+  Result<QueryResult> r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "SQL failed: %s\n  %s\n", sql.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jaguar_quickstart.db")
+          .string();
+  std::remove(path.c_str());
+
+  auto db = Database::Open(path).value();
+
+  std::printf("-- DDL + DML ---------------------------------------------\n");
+  MustExecute(db.get(),
+              "CREATE TABLE sensors (name STRING, reading DOUBLE, "
+              "trace BYTEARRAY)");
+  MustExecute(db.get(),
+              "INSERT INTO sensors VALUES "
+              "('alpha', 20.5, randbytes(64, 1)), "
+              "('beta', 31.0, randbytes(64, 2)), "
+              "('gamma', 18.25, randbytes(256, 3))");
+
+  std::printf("%s\n",
+              MustExecute(db.get(),
+                          "SELECT name, reading, length(trace) AS bytes "
+                          "FROM sensors WHERE reading > 19")
+                  .ToPrettyString()
+                  .c_str());
+
+  std::printf("-- A JJava UDF -------------------------------------------\n");
+  // Count trace bytes above a threshold — sandboxed, verified, JIT-compiled.
+  const char* source = R"(
+class Spikes {
+  static int count(byte[] trace, int threshold) {
+    int n = 0;
+    for (int i = 0; i < trace.length; i = i + 1) {
+      if (trace[i] > threshold) { n = n + 1; }
+    }
+    return n;
+  }
+})";
+  UdfInfo udf;
+  udf.name = "spikes";
+  udf.language = UdfLanguage::kJJava;
+  udf.return_type = TypeId::kInt;
+  udf.arg_types = {TypeId::kBytes, TypeId::kInt};
+  udf.impl_name = "Spikes.count";
+  udf.payload = jjc::Compile(source).value().Serialize();
+  Status s = db->RegisterUdf(udf);
+  if (!s.ok()) {
+    std::fprintf(stderr, "registration failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n",
+              MustExecute(db.get(),
+                          "SELECT name, spikes(trace, 200) AS hot "
+                          "FROM sensors")
+                  .ToPrettyString()
+                  .c_str());
+
+  std::printf("-- Safety ------------------------------------------------\n");
+  // A buggy UDF cannot hurt the server: out-of-bounds access fails the
+  // query, not the process.
+  const char* buggy = R"(
+class Bad {
+  static int run(byte[] t) { return t[t.length + 10]; }
+})";
+  UdfInfo bad;
+  bad.name = "bad";
+  bad.language = UdfLanguage::kJJava;
+  bad.return_type = TypeId::kInt;
+  bad.arg_types = {TypeId::kBytes};
+  bad.impl_name = "Bad.run";
+  bad.payload = jjc::Compile(buggy).value().Serialize();
+  db->RegisterUdf(bad).ok();
+  Result<QueryResult> r = db->Execute("SELECT bad(trace) FROM sensors");
+  std::printf("buggy UDF query -> %s\n", r.status().ToString().c_str());
+  std::printf("server still fine: %zu rows\n",
+              MustExecute(db.get(), "SELECT * FROM sensors").rows.size());
+
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,183 @@
+// The paper's motivating scenario (Section 1): a stock-market database on
+// the web, where "a valid user is any amateur investor with a web browser, a
+// credit card, and an investment formula InvestVal":
+//
+//     SELECT * FROM Stocks S
+//     WHERE S.type = 'tech' AND InvestVal(S.history) > 5
+//
+// The investment formula arrives as an untrusted JJava UDF, runs sandboxed
+// in the server's JagVM (Design 3), and competes against alternative
+// formulas registered by other "users". A malicious formula that tries to
+// spin forever is stopped by the CPU budget.
+//
+// Build & run:  ./build/examples/stock_screener
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "jjc/jjc.h"
+
+using namespace jaguar;
+
+namespace {
+
+QueryResult MustExecute(Database* db, const std::string& sql) {
+  Result<QueryResult> r = db->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "SQL failed: %s\n  %s\n", sql.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void RegisterFormula(Database* db, const std::string& name,
+                     const std::string& source, const std::string& entry) {
+  UdfInfo udf;
+  udf.name = name;
+  udf.language = UdfLanguage::kJJava;
+  udf.return_type = TypeId::kInt;
+  udf.arg_types = {TypeId::kBytes};
+  udf.impl_name = entry;
+  Result<jvm::ClassFile> cf = jjc::Compile(source);
+  if (!cf.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", cf.status().ToString().c_str());
+    std::exit(1);
+  }
+  udf.payload = cf->Serialize();
+  Status s = db->RegisterUdf(udf);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jaguar_stocks.db").string();
+  std::remove(path.c_str());
+
+  DatabaseOptions options;
+  options.udf_instruction_budget = 10'000'000;  // per-invocation CPU cap
+  auto db = Database::Open(path, options).value();
+
+  // -- Load a synthetic market ------------------------------------------------
+  // Each stock's `history` is 256 daily closing prices packed as bytes
+  // (0..255 around a base line) — the ADT blob of the paper's example.
+  MustExecute(db.get(),
+              "CREATE TABLE Stocks (symbol STRING, type STRING, "
+              "history BYTEARRAY)");
+  struct StockSpec {
+    const char* symbol;
+    const char* type;
+    int seed;
+    double drift;  // upward tendency
+  };
+  const StockSpec market[] = {
+      {"ACME", "tech", 11, +0.30}, {"BYTE", "tech", 12, +0.55},
+      {"CHIP", "tech", 13, -0.25}, {"DATA", "tech", 14, +0.05},
+      {"EAST", "oil", 15, +0.40},  {"FUEL", "oil", 16, -0.10},
+      {"GRID", "utility", 17, 0.0}};
+  for (const StockSpec& stock : market) {
+    Random rng(stock.seed);
+    std::vector<uint8_t> history(256);
+    double price = 100.0;
+    for (size_t day = 0; day < history.size(); ++day) {
+      price += stock.drift + (rng.NextDouble() - 0.5) * 6.0;
+      price = std::max(5.0, std::min(250.0, price));
+      history[day] = static_cast<uint8_t>(price);
+    }
+    // No blob literals in SQL: stage the history as a LOB, then materialize
+    // it into the row via a small helper query... simplest: direct API.
+    Tuple row({Value::String(stock.symbol), Value::String(stock.type),
+               Value::Bytes(history)});
+    const TableInfo* info = db->catalog()->GetTable("Stocks").value();
+    TableHeap heap(db->storage(), info->first_page);
+    heap.Insert(Slice(row.Serialize())).value();
+  }
+
+  // -- An amateur investor's formula ------------------------------------------
+  // InvestVal: percentage of up-days plus momentum over the last 30 days.
+  const char* invest_val = R"(
+class InvestVal {
+  static int score(byte[] h) {
+    int ups = 0;
+    for (int i = 1; i < h.length; i = i + 1) {
+      if (h[i] > h[i - 1]) { ups = ups + 1; }
+    }
+    int upPct = (ups * 10) / h.length;           // 0..10
+    int momentum = h[h.length - 1] - h[h.length - 30];
+    int m = momentum / 8;
+    if (m > 5) { m = 5; }
+    if (m < -5) { m = -5; }
+    return upPct + m;
+  }
+})";
+  RegisterFormula(db.get(), "InvestVal", invest_val, "InvestVal.score");
+
+  std::printf("All stocks, scored by the user's formula:\n%s\n",
+              MustExecute(db.get(),
+                          "SELECT symbol, type, InvestVal(history) AS score "
+                          "FROM Stocks")
+                  .ToPrettyString()
+                  .c_str());
+
+  std::printf("The paper's query - tech stocks the formula likes:\n%s\n",
+              MustExecute(db.get(),
+                          "SELECT * FROM Stocks S WHERE S.type = 'tech' "
+                          "AND InvestVal(S.history) > 5")
+                  .ToPrettyString()
+                  .c_str());
+
+  // -- A rival user's formula (they can't collide or interfere) ---------------
+  const char* contrarian = R"(
+class Contrarian {
+  static int score(byte[] h) {
+    int last = h[h.length - 1];
+    int first = h[0];
+    return (first - last) / 10;   // likes whatever fell
+  }
+})";
+  RegisterFormula(db.get(), "ContraVal", contrarian, "Contrarian.score");
+  std::printf("A second user's formula coexists (own namespace):\n%s\n",
+              MustExecute(db.get(),
+                          "SELECT symbol, InvestVal(history) AS momentum, "
+                          "ContraVal(history) AS contra FROM Stocks "
+                          "WHERE type = 'tech'")
+                  .ToPrettyString()
+                  .c_str());
+
+  // -- Portfolio analytics with aggregates --------------------------------------
+  std::printf("Sector summary (GROUP BY + aggregates):\n%s\n",
+              MustExecute(db.get(),
+                          "SELECT type, COUNT(*) AS stocks, "
+                          "AVG(InvestVal(history)) AS avg_score, "
+                          "MAX(InvestVal(history)) AS best "
+                          "FROM Stocks GROUP BY type")
+                  .ToPrettyString()
+                  .c_str());
+
+  // -- A hostile user ----------------------------------------------------------
+  const char* hostile = R"(
+class Greedy {
+  static int score(byte[] h) {
+    int x = 0;
+    while (0 == 0) { x = x + 1; }   // denial-of-service attempt
+    return x;
+  }
+})";
+  RegisterFormula(db.get(), "GreedyVal", hostile, "Greedy.score");
+  Result<QueryResult> dos =
+      db->Execute("SELECT GreedyVal(history) FROM Stocks");
+  std::printf("Hostile formula stopped by the CPU budget:\n  %s\n",
+              dos.status().ToString().c_str());
+  std::printf("Server unaffected: %zu stocks still served.\n",
+              MustExecute(db.get(), "SELECT symbol FROM Stocks").rows.size());
+
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,140 @@
+// The portability story of Section 6.4, end to end over the network:
+//
+//   1. A client writes a JJava UDF and compiles it locally with jjc.
+//   2. The client tests the *same bytecode* in a client-side JagVM —
+//      "develop, test and debug their UDFs on their local machines".
+//   3. The client migrates the UDF to the server (upload + server-side
+//      verification) and uses it in server-side SQL.
+//   4. A hostile upload is rejected by the server's verifier.
+//
+// This example starts a real jaguar server on a loopback socket and talks to
+// it through the client library (the two-tier architecture of Section 2.1).
+//
+// Build & run:  ./build/examples/udf_migration
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "jvm/bytecode.h"
+#include "jvm/class_file.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace jaguar;
+
+namespace {
+
+QueryResult MustExecute(net::Client* client, const std::string& sql) {
+  Result<QueryResult> r = client->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "SQL failed: %s\n  %s\n", sql.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jaguar_migration.db")
+          .string();
+  std::remove(path.c_str());
+
+  // -- Server side -------------------------------------------------------------
+  auto db = Database::Open(path).value();
+  net::Server server(db.get());
+  if (!server.Start(0).ok()) {
+    std::fprintf(stderr, "server failed to start\n");
+    return 1;
+  }
+  std::printf("jaguar server listening on 127.0.0.1:%u\n\n", server.port());
+
+  // -- Client side -------------------------------------------------------------
+  auto client = net::Client::Connect("127.0.0.1", server.port()).value();
+  client->Ping().ok();
+
+  // 1+2. Write the UDF, compile locally, test locally — no server involved.
+  const char* source = R"(
+class Volatility {
+  static int score(byte[] history) {
+    int swings = 0;
+    for (int i = 1; i < history.length; i = i + 1) {
+      int delta = history[i] - history[i - 1];
+      if (delta < 0) { delta = -delta; }
+      if (delta > 10) { swings = swings + 1; }
+    }
+    return (swings * 100) / history.length;
+  }
+})";
+  Random rng(42);
+  std::vector<uint8_t> sample = rng.Bytes(100);
+  Value local = net::Client::TestUdfLocally(source, "Volatility.score",
+                                            {Value::Bytes(sample)},
+                                            TypeId::kInt)
+                    .value();
+  std::printf("[client] local test on sample history -> %lld\n",
+              static_cast<long long>(local.AsInt()));
+
+  // 3. Migrate: the same compiled bytecode is uploaded; the server verifies
+  //    it before it touches the catalog.
+  Status migrated = client->RegisterJJavaUdf(
+      "Volatility", source, "Volatility.score", TypeId::kInt,
+      {TypeId::kBytes});
+  std::printf("[client] migration to server: %s\n",
+              migrated.ToString().c_str());
+
+  MustExecute(client.get(),
+              "CREATE TABLE Stocks (symbol STRING, history BYTEARRAY)");
+  MustExecute(client.get(),
+              "INSERT INTO Stocks VALUES "
+              "('ACME', randbytes(100, 42)), "
+              "('CALM', zerobytes(100))");
+
+  QueryResult r = MustExecute(
+      client.get(), "SELECT symbol, Volatility(history) AS vol FROM Stocks");
+  std::printf("\n[server] SELECT symbol, Volatility(history) FROM Stocks:\n%s\n",
+              r.ToPrettyString().c_str());
+  std::printf("[check] server result for ACME (%lld) == client-local result "
+              "(%lld): %s\n\n",
+              static_cast<long long>(r.rows[0].value(1).AsInt()),
+              static_cast<long long>(local.AsInt()),
+              r.rows[0].value(1).AsInt() == local.AsInt() ? "YES" : "NO");
+
+  // 4. A hostile upload: hand-crafted bytecode that forges a pointer from an
+  //    integer. jjc would never emit this; the server's verifier rejects it
+  //    at migration time.
+  jvm::ClassFile evil;
+  evil.class_name = "Evil";
+  jvm::MethodDef m;
+  m.name_idx = evil.InternUtf8("run");
+  m.sig_idx = evil.InternUtf8("(B)I");
+  m.max_locals = 1;
+  jvm::CodeWriter code;
+  code.EmitImm(jvm::Op::kIConst, 0xDEADBEEF);  // an integer...
+  code.EmitImm(jvm::Op::kIConst, 0);
+  code.Emit(jvm::Op::kBALoad);                 // ...dereferenced as an array
+  code.Emit(jvm::Op::kIReturn);
+  m.code = code.Release();
+  evil.methods.push_back(std::move(m));
+
+  UdfInfo info;
+  info.name = "evil";
+  info.language = UdfLanguage::kJJava;
+  info.return_type = TypeId::kInt;
+  info.arg_types = {TypeId::kBytes};
+  info.impl_name = "Evil.run";
+  info.payload = evil.Serialize();
+  Status rejected = client->RegisterUdf(info);
+  std::printf("[server] hostile upload (int forged into a pointer):\n  %s\n",
+              rejected.ToString().c_str());
+
+  client.reset();
+  server.Stop();
+  db.reset();
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,176 @@
+#include "catalog/catalog.h"
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+
+namespace jaguar {
+
+namespace {
+constexpr uint8_t kTableTag = 0;
+constexpr uint8_t kUdfTag = 1;
+}  // namespace
+
+const char* UdfLanguageToString(UdfLanguage lang) {
+  switch (lang) {
+    case UdfLanguage::kNative: return "native";
+    case UdfLanguage::kNativeChecked: return "native-checked";
+    case UdfLanguage::kNativeIsolated: return "native-isolated";
+    case UdfLanguage::kJJava: return "jjava";
+    case UdfLanguage::kNativeSfi: return "native-sfi";
+    case UdfLanguage::kJJavaIsolated: return "jjava-isolated";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<Catalog>> Catalog::Open(StorageEngine* engine) {
+  auto catalog = std::unique_ptr<Catalog>(new Catalog(engine));
+  JAGUAR_ASSIGN_OR_RETURN(PageId root, engine->GetCatalogRoot());
+  if (root == kInvalidPageId) {
+    JAGUAR_ASSIGN_OR_RETURN(root, TableHeap::Create(engine));
+    JAGUAR_RETURN_IF_ERROR(engine->SetCatalogRoot(root));
+    catalog->root_ = root;
+  } else {
+    JAGUAR_RETURN_IF_ERROR(catalog->Load(root));
+  }
+  return catalog;
+}
+
+Status Catalog::Load(PageId root) {
+  root_ = root;
+  TableHeap heap(engine_, root);
+  TableHeap::Iterator it = heap.Scan();
+  while (true) {
+    JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+    if (!rec.has_value()) break;
+    BufferReader r(Slice(rec->second));
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    if (tag == kTableTag) {
+      TableInfo info;
+      JAGUAR_ASSIGN_OR_RETURN(info.name, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(info.schema, Schema::ReadFrom(&r));
+      JAGUAR_ASSIGN_OR_RETURN(info.first_page, r.ReadU32());
+      tables_[ToLower(info.name)] = std::move(info);
+    } else if (tag == kUdfTag) {
+      UdfInfo info;
+      JAGUAR_ASSIGN_OR_RETURN(info.name, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(uint8_t lang, r.ReadU8());
+      if (lang > static_cast<uint8_t>(UdfLanguage::kJJavaIsolated)) {
+        return Corruption("bad UDF language tag");
+      }
+      info.language = static_cast<UdfLanguage>(lang);
+      JAGUAR_ASSIGN_OR_RETURN(uint8_t ret, r.ReadU8());
+      info.return_type = static_cast<TypeId>(ret);
+      JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r.ReadU32());
+      if (nargs > 256) return Corruption("implausible UDF arity");
+      for (uint32_t i = 0; i < nargs; ++i) {
+        JAGUAR_ASSIGN_OR_RETURN(uint8_t t, r.ReadU8());
+        info.arg_types.push_back(static_cast<TypeId>(t));
+      }
+      JAGUAR_ASSIGN_OR_RETURN(info.impl_name, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(Slice payload, r.ReadLengthPrefixed());
+      info.payload = payload.ToVector();
+      udfs_[ToLower(info.name)] = std::move(info);
+    } else {
+      return Corruption("unknown catalog record tag");
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::Persist() {
+  // Rewrite: drop the old heap, build a fresh one, update the root pointer.
+  {
+    TableHeap old_heap(engine_, root_);
+    JAGUAR_RETURN_IF_ERROR(old_heap.DropAll());
+  }
+  JAGUAR_ASSIGN_OR_RETURN(root_, TableHeap::Create(engine_));
+  JAGUAR_RETURN_IF_ERROR(engine_->SetCatalogRoot(root_));
+  TableHeap heap(engine_, root_);
+  for (const auto& [key, info] : tables_) {
+    BufferWriter w;
+    w.PutU8(kTableTag);
+    w.PutString(info.name);
+    info.schema.WriteTo(&w);
+    w.PutU32(info.first_page);
+    JAGUAR_RETURN_IF_ERROR(heap.Insert(w.AsSlice()).status());
+  }
+  for (const auto& [key, info] : udfs_) {
+    BufferWriter w;
+    w.PutU8(kUdfTag);
+    w.PutString(info.name);
+    w.PutU8(static_cast<uint8_t>(info.language));
+    w.PutU8(static_cast<uint8_t>(info.return_type));
+    w.PutU32(static_cast<uint32_t>(info.arg_types.size()));
+    for (TypeId t : info.arg_types) w.PutU8(static_cast<uint8_t>(t));
+    w.PutString(info.impl_name);
+    w.PutLengthPrefixed(Slice(info.payload));
+    JAGUAR_RETURN_IF_ERROR(heap.Insert(w.AsSlice()).status());
+  }
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(const std::string& name, const Schema& schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) != 0) {
+    return AlreadyExists("table '" + name + "' already exists");
+  }
+  if (schema.num_columns() == 0) {
+    return InvalidArgument("table must have at least one column");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(PageId first, TableHeap::Create(engine_));
+  tables_[key] = TableInfo{name, schema, first};
+  return Persist();
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return NotFound("no table named '" + name + "'");
+  return &it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return NotFound("no table named '" + name + "'");
+  TableHeap heap(engine_, it->second.first_page);
+  JAGUAR_RETURN_IF_ERROR(heap.DropAll());
+  tables_.erase(it);
+  return Persist();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, info] : tables_) names.push_back(info.name);
+  return names;
+}
+
+Status Catalog::RegisterUdf(UdfInfo info) {
+  const std::string key = ToLower(info.name);
+  if (udfs_.count(key) != 0) {
+    return AlreadyExists("UDF '" + info.name + "' already exists");
+  }
+  udfs_[key] = std::move(info);
+  return Persist();
+}
+
+Result<const UdfInfo*> Catalog::GetUdf(const std::string& name) const {
+  auto it = udfs_.find(ToLower(name));
+  if (it == udfs_.end()) return NotFound("no UDF named '" + name + "'");
+  return &it->second;
+}
+
+Status Catalog::DropUdf(const std::string& name) {
+  auto it = udfs_.find(ToLower(name));
+  if (it == udfs_.end()) return NotFound("no UDF named '" + name + "'");
+  udfs_.erase(it);
+  return Persist();
+}
+
+std::vector<std::string> Catalog::ListUdfs() const {
+  std::vector<std::string> names;
+  names.reserve(udfs_.size());
+  for (const auto& [key, info] : udfs_) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,110 @@
+#ifndef JAGUAR_CATALOG_CATALOG_H_
+#define JAGUAR_CATALOG_CATALOG_H_
+
+/// \file catalog.h
+/// The system catalog: tables (name, schema, heap root) and registered UDFs
+/// (name, language, signature, implementation payload).
+///
+/// UDF registration is first-class catalog state because the paper's whole
+/// premise is that *clients* add functions at runtime (Section 6.4): a
+/// JJava UDF arrives as verified bytecode in `payload` and must survive
+/// server restarts, exactly like a table.
+///
+/// Persistence: the catalog serializes into its own TableHeap (one record per
+/// entry) whose first page is stored in the storage-engine header. Catalog
+/// mutations are rare, so each mutation rewrites the catalog heap.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+#include "storage/table_heap.h"
+#include "types/schema.h"
+
+namespace jaguar {
+
+/// How a registered UDF is implemented / which design runs it (Table 1).
+enum class UdfLanguage : uint8_t {
+  kNative = 0,         ///< Design 1: C++ in the server process.
+  kNativeChecked = 1,  ///< Design 1 + explicit bounds checks (Section 5.4).
+  kNativeIsolated = 2, ///< Design 2: C++ in a separate process.
+  kJJava = 3,          ///< Design 3: JJava bytecode in the in-process JagVM.
+  kNativeSfi = 4,      ///< Design 1 + software fault isolation (Section 2.3).
+  kJJavaIsolated = 5,  ///< Design 4: JJava bytecode in a JagVM hosted by a
+                       ///< separate executor process. The paper extrapolates
+                       ///< this cell ("a combination of Design 2 and Design
+                       ///< 3"); jaguar implements it.
+};
+
+const char* UdfLanguageToString(UdfLanguage lang);
+
+/// Catalog entry for one table.
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  PageId first_page = kInvalidPageId;
+};
+
+/// Catalog entry for one registered UDF.
+struct UdfInfo {
+  std::string name;
+  UdfLanguage language = UdfLanguage::kNative;
+  TypeId return_type = TypeId::kInt;
+  std::vector<TypeId> arg_types;
+  /// Native UDFs: the symbol name in the native registry. JJava UDFs: the
+  /// "Class.method" entry point within `payload`.
+  std::string impl_name;
+  /// JJava UDFs: the class-file bytes (verified at registration time).
+  std::vector<uint8_t> payload;
+};
+
+class Catalog {
+ public:
+  /// Loads the catalog from `engine`'s catalog root, creating an empty one on
+  /// first open.
+  static Result<std::unique_ptr<Catalog>> Open(StorageEngine* engine);
+
+  // -- Tables ---------------------------------------------------------------
+
+  /// Creates a table and its heap. Fails with AlreadyExists on name clash.
+  Status CreateTable(const std::string& name, const Schema& schema);
+
+  /// \return The table's catalog entry (owned by the catalog).
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+
+  /// Drops the table, freeing all of its pages.
+  Status DropTable(const std::string& name);
+
+  /// \return Names of all tables, sorted.
+  std::vector<std::string> ListTables() const;
+
+  // -- UDFs -----------------------------------------------------------------
+
+  /// Registers (or fails on duplicate) a UDF.
+  Status RegisterUdf(UdfInfo info);
+
+  Result<const UdfInfo*> GetUdf(const std::string& name) const;
+
+  Status DropUdf(const std::string& name);
+
+  std::vector<std::string> ListUdfs() const;
+
+ private:
+  explicit Catalog(StorageEngine* engine) : engine_(engine) {}
+
+  Status Load(PageId root);
+  Status Persist();
+
+  StorageEngine* engine_;
+  PageId root_ = kInvalidPageId;
+  // Keys are lower-cased names (SQL identifiers are case-insensitive).
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, UdfInfo> udfs_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_CATALOG_CATALOG_H_

@@ -1,0 +1,147 @@
+#ifndef JAGUAR_COMMON_BYTES_H_
+#define JAGUAR_COMMON_BYTES_H_
+
+/// \file bytes.h
+/// Little-endian binary encode/decode helpers shared by tuple serialization,
+/// the JagVM class-file format, the IPC shared-memory protocol and the network
+/// wire protocol. `BufferWriter` appends to a growable byte vector;
+/// `BufferReader` consumes a `Slice` with bounds-checked reads that fail with
+/// `Corruption` rather than crashing — untrusted bytes (uploaded class files,
+/// network frames) flow through these readers.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace jaguar {
+
+/// Appends fixed-width little-endian integers and length-prefixed blobs to an
+/// owned byte buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v, 2); }
+  void PutU32(uint32_t v) { PutLE(v, 4); }
+  void PutU64(uint64_t v) { PutLE(v, 8); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// Raw bytes, no length prefix.
+  void PutBytes(Slice s) { buf_.insert(buf_.end(), s.data(), s.data() + s.size()); }
+
+  /// u32 length prefix followed by the bytes.
+  void PutLengthPrefixed(Slice s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutBytes(s);
+  }
+  void PutString(const std::string& s) { PutLengthPrefixed(Slice(s)); }
+
+  /// Overwrites 4 bytes at `offset` with `v`; used to back-patch lengths.
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  Slice AsSlice() const { return Slice(buf_); }
+
+ private:
+  void PutLE(uint64_t v, int nbytes) {
+    for (int i = 0; i < nbytes; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked consumer of a byte slice. Every read either succeeds or
+/// returns `Corruption`; the reader never touches memory outside the slice.
+class BufferReader {
+ public:
+  explicit BufferReader(Slice data) : data_(data) {}
+
+  size_t remaining() const { return data_.size(); }
+  bool AtEnd() const { return data_.empty(); }
+
+  Result<uint8_t> ReadU8() {
+    if (data_.size() < 1) return Truncated("u8");
+    uint8_t v = data_[0];
+    data_.RemovePrefix(1);
+    return v;
+  }
+  Result<uint16_t> ReadU16() { return ReadLE<uint16_t>(2, "u16"); }
+  Result<uint32_t> ReadU32() { return ReadLE<uint32_t>(4, "u32"); }
+  Result<uint64_t> ReadU64() { return ReadLE<uint64_t>(8, "u64"); }
+
+  Result<int64_t> ReadI64() {
+    JAGUAR_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+    return static_cast<int64_t>(v);
+  }
+  Result<int32_t> ReadI32() {
+    JAGUAR_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+    return static_cast<int32_t>(v);
+  }
+
+  Result<double> ReadDouble() {
+    JAGUAR_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Reads `n` raw bytes as a view into the underlying slice (zero copy).
+  Result<Slice> ReadBytes(size_t n) {
+    if (data_.size() < n) return Truncated("bytes");
+    Slice out(data_.data(), n);
+    data_.RemovePrefix(n);
+    return out;
+  }
+
+  /// Reads a u32 length prefix followed by that many bytes.
+  Result<Slice> ReadLengthPrefixed() {
+    JAGUAR_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+    return ReadBytes(len);
+  }
+  Result<std::string> ReadString() {
+    JAGUAR_ASSIGN_OR_RETURN(Slice s, ReadLengthPrefixed());
+    return s.ToString();
+  }
+
+ private:
+  template <typename T>
+  Result<T> ReadLE(int nbytes, const char* what) {
+    if (data_.size() < static_cast<size_t>(nbytes)) return Truncated(what);
+    uint64_t v = 0;
+    for (int i = 0; i < nbytes; ++i) {
+      v |= static_cast<uint64_t>(data_[i]) << (8 * i);
+    }
+    data_.RemovePrefix(nbytes);
+    return static_cast<T>(v);
+  }
+
+  Status Truncated(const char* what) {
+    return Corruption(std::string("truncated input while reading ") + what);
+  }
+
+  Slice data_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_COMMON_BYTES_H_

@@ -1,0 +1,61 @@
+#ifndef JAGUAR_COMMON_LOGGING_H_
+#define JAGUAR_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// Minimal leveled logging to stderr plus `JAGUAR_CHECK` invariants. Logging
+/// defaults to warnings-and-above so benchmark output stays clean; tests can
+/// raise verbosity via `SetLogLevel`.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace jaguar {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: prints and aborts in the destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace jaguar
+
+#define JAGUAR_LOG(level)                                                   \
+  if (::jaguar::LogLevel::level >= ::jaguar::GetLogLevel())                 \
+  ::jaguar::internal::LogMessage(::jaguar::LogLevel::level, __FILE__,       \
+                                 __LINE__)                                  \
+      .stream()
+
+/// Hard invariant; aborts the process with a message when violated. Used for
+/// programmer errors only — recoverable conditions return Status instead.
+#define JAGUAR_CHECK(cond)                                             \
+  if (!(cond))                                                         \
+  ::jaguar::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#endif  // JAGUAR_COMMON_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef JAGUAR_COMMON_RANDOM_H_
+#define JAGUAR_COMMON_RANDOM_H_
+
+/// \file random.h
+/// A small, fast, deterministic PRNG (xorshift64*) used by workload
+/// generators, property tests, and synthetic data (stock histories, images).
+/// Deterministic seeding keeps benchmarks and tests reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  /// \return Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// \return Uniform value in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// \return Uniform value in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \return true with probability p (0..1).
+  bool Bernoulli(double p) {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// \return Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// \return `n` pseudo-random bytes.
+  std::vector<uint8_t> Bytes(size_t n) {
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(Next());
+    return out;
+  }
+
+  /// \return Random lowercase ASCII string of length `n`.
+  std::string AlphaString(size_t n) {
+    std::string out(n, 'a');
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<char>('a' + Uniform(26));
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef JAGUAR_COMMON_SLICE_H_
+#define JAGUAR_COMMON_SLICE_H_
+
+/// \file slice.h
+/// A non-owning view over a byte range, in the spirit of LevelDB/RocksDB's
+/// `Slice`. Used for zero-copy handoff of serialized tuples, class files and
+/// wire frames. The referenced bytes must outlive the Slice.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// View over a std::string's bytes.
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  /// View over a byte vector.
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(google-explicit-constructor)
+      : data_(v.data()), size_(v.size()) {}
+  /// View over a NUL-terminated C string (excluding the NUL).
+  Slice(const char* cstr)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(cstr)), size_(std::strlen(cstr)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first `n` bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// \return A sub-view [offset, offset+len); clamped to the slice's bounds.
+  Slice SubSlice(size_t offset, size_t len) const {
+    if (offset > size_) return Slice();
+    return Slice(data_ + offset, std::min(len, size_ - offset));
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = std::min(size_, other.size_);
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_COMMON_SLICE_H_

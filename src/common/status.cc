@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+namespace jaguar {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kSecurityViolation: return "SecurityViolation";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kRuntimeError: return "RuntimeError";
+    case StatusCode::kVerificationError: return "VerificationError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+Status Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status NotSupported(std::string msg) {
+  return Status(StatusCode::kNotSupported, std::move(msg));
+}
+Status SecurityViolation(std::string msg) {
+  return Status(StatusCode::kSecurityViolation, std::move(msg));
+}
+Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status RuntimeError(std::string msg) {
+  return Status(StatusCode::kRuntimeError, std::move(msg));
+}
+Status VerificationError(std::string msg) {
+  return Status(StatusCode::kVerificationError, std::move(msg));
+}
+
+}  // namespace jaguar

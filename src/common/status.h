@@ -1,0 +1,172 @@
+#ifndef JAGUAR_COMMON_STATUS_H_
+#define JAGUAR_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for the jaguar codebase.
+///
+/// Jaguar does not use C++ exceptions across module boundaries. Every fallible
+/// operation returns a `Status` (for procedures) or a `Result<T>` (for
+/// functions producing a value). The `JAGUAR_RETURN_IF_ERROR` and
+/// `JAGUAR_ASSIGN_OR_RETURN` macros make propagation terse.
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace jaguar {
+
+/// Broad classification of an error. Mirrors the classes of failure the
+/// SIGMOD'98 paper worries about: bad input from untrusted UDF authors,
+/// security violations, and resource exhaustion (denial of service).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Named entity (table, class, method...) missing.
+  kAlreadyExists = 3,     ///< Unique name collision.
+  kIoError = 4,           ///< Disk / socket / shared-memory failure.
+  kCorruption = 5,        ///< On-disk or on-wire bytes failed validation.
+  kInternal = 6,          ///< Invariant violation inside jaguar itself.
+  kNotSupported = 7,      ///< Valid request outside implemented scope.
+  kSecurityViolation = 8, ///< Sandbox/security-manager denied an action.
+  kResourceExhausted = 9, ///< Quota exceeded (CPU budget, heap, callbacks).
+  kRuntimeError = 10,     ///< UDF/VM runtime fault (bounds, null, div-zero).
+  kVerificationError = 11 ///< Bytecode failed load-time verification.
+};
+
+/// \return Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK state allocates nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk` (use the default constructor for success).
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// \return "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsSecurityViolation() const { return code() == StatusCode::kSecurityViolation; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
+  bool IsVerificationError() const { return code() == StatusCode::kVerificationError; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, used throughout the codebase.
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status IoError(std::string msg);
+Status Corruption(std::string msg);
+Status Internal(std::string msg);
+Status NotSupported(std::string msg);
+Status SecurityViolation(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status RuntimeError(std::string msg);
+Status VerificationError(std::string msg);
+
+/// A value-or-error: holds either a `T` or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from an error status. `status.ok()` is a programming error and
+  /// is converted to an internal error to keep the invariant.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      var_ = Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// \return The contained status; OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Value accessors; only valid when `ok()`.
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \return The value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace jaguar
+
+/// Propagates a non-OK `Status` to the caller.
+#define JAGUAR_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::jaguar::Status _jaguar_status = (expr);          \
+    if (!_jaguar_status.ok()) return _jaguar_status;   \
+  } while (false)
+
+#define JAGUAR_CONCAT_IMPL(a, b) a##b
+#define JAGUAR_CONCAT(a, b) JAGUAR_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define JAGUAR_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  JAGUAR_ASSIGN_OR_RETURN_IMPL(JAGUAR_CONCAT(_jaguar_res_, __LINE__), lhs,  \
+                               rexpr)
+
+#define JAGUAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // JAGUAR_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#include "engine/query_result.h"
+
+#include <algorithm>
+
+namespace jaguar {
+
+std::string QueryResult::ToPrettyString() const {
+  if (schema.num_columns() == 0) {
+    return message.empty() ? "OK" : message;
+  }
+  const size_t ncols = schema.num_columns();
+  std::vector<size_t> widths(ncols);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < ncols; ++c) {
+    widths[c] = schema.column(c).name.size();
+  }
+  cells.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < ncols && c < row.num_values(); ++c) {
+      line.push_back(row.value(c).ToString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& line) {
+    out += "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < line.size() ? line[c] : "";
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::vector<std::string> header;
+  for (size_t c = 0; c < ncols; ++c) header.push_back(schema.column(c).name);
+  std::string rule = "+";
+  for (size_t c = 0; c < ncols; ++c) rule += std::string(widths[c] + 2, '-') + "+";
+  rule += "\n";
+  out += rule;
+  append_row(header);
+  out += rule;
+  for (const auto& line : cells) append_row(line);
+  out += rule;
+  out += std::to_string(rows.size()) + " row(s)\n";
+  return out;
+}
+
+}  // namespace jaguar

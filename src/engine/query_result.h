@@ -1,0 +1,28 @@
+#ifndef JAGUAR_ENGINE_QUERY_RESULT_H_
+#define JAGUAR_ENGINE_QUERY_RESULT_H_
+
+/// \file query_result.h
+/// Materialized result of one SQL statement.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace jaguar {
+
+struct QueryResult {
+  Schema schema;             ///< Empty for DDL/DML statements.
+  std::vector<Tuple> rows;   ///< SELECT output.
+  uint64_t rows_affected = 0;
+  std::string message;       ///< Human-readable status ("Table created").
+
+  /// Renders an aligned ASCII table (used by the CLI client and examples).
+  std::string ToPrettyString() const;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_ENGINE_QUERY_RESULT_H_

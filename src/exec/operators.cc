@@ -1,0 +1,42 @@
+#include "exec/operators.h"
+
+namespace jaguar {
+namespace exec {
+
+Result<std::optional<Tuple>> SeqScanOp::Next() {
+  JAGUAR_ASSIGN_OR_RETURN(auto rec, iter_.Next());
+  if (!rec.has_value()) return std::optional<Tuple>();
+  JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+  return std::make_optional(std::move(t));
+}
+
+Result<std::optional<Tuple>> FilterOp::Next() {
+  while (true) {
+    JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
+    if (!t.has_value()) return std::optional<Tuple>();
+    JAGUAR_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *t, ctx_));
+    if (pass) return t;
+  }
+}
+
+Result<std::optional<Tuple>> ProjectOp::Next() {
+  JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>();
+  std::vector<Value> out;
+  out.reserve(exprs_.size());
+  for (const BoundExprPtr& e : exprs_) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Eval(*e, *t, ctx_));
+    out.push_back(std::move(v));
+  }
+  return std::make_optional(Tuple(std::move(out)));
+}
+
+Result<std::optional<Tuple>> LimitOp::Next() {
+  if (remaining_ <= 0) return std::optional<Tuple>();
+  JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
+  if (t.has_value()) --remaining_;
+  return t;
+}
+
+}  // namespace exec
+}  // namespace jaguar

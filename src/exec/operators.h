@@ -1,0 +1,106 @@
+#ifndef JAGUAR_EXEC_OPERATORS_H_
+#define JAGUAR_EXEC_OPERATORS_H_
+
+/// \file operators.h
+/// Pull-based ("Volcano"-style) query operators. PREDATOR evaluates all
+/// expressions — including UDFs — serially per tuple; so do we. The plans the
+/// paper's experiments need are SeqScan → Filter → Project → Limit.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expression.h"
+#include "storage/table_heap.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace jaguar {
+namespace exec {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// \return The next tuple, or nullopt at end of stream.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+
+  /// Output schema of this operator.
+  virtual const Schema& schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full scan over a table heap, deserializing stored records to tuples.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(StorageEngine* engine, PageId first_page, Schema schema)
+      : heap_(engine, first_page),
+        iter_(heap_.Scan()),
+        schema_(std::move(schema)) {}
+
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  TableHeap heap_;
+  TableHeap::Iterator iter_;
+  Schema schema_;
+};
+
+/// Emits only tuples for which the predicate evaluates to true.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, BoundExprPtr predicate, UdfContext* ctx)
+      : child_(std::move(child)),
+        predicate_(std::move(predicate)),
+        ctx_(ctx) {}
+
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  BoundExprPtr predicate_;
+  UdfContext* ctx_;
+};
+
+/// Computes output expressions per input tuple.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs,
+            Schema out_schema, UdfContext* ctx)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(out_schema)),
+        ctx_(ctx) {}
+
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> exprs_;
+  Schema schema_;
+  UdfContext* ctx_;
+};
+
+/// Stops after `limit` tuples.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+
+  Result<std::optional<Tuple>> Next() override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+}  // namespace exec
+}  // namespace jaguar
+
+#endif  // JAGUAR_EXEC_OPERATORS_H_

@@ -1,0 +1,111 @@
+#include "ipc/remote_executor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace jaguar {
+namespace ipc {
+
+std::vector<uint8_t> EncodeStatus(const Status& status) {
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Release();
+}
+
+Status DecodeStatus(Slice payload) {
+  BufferReader r(payload);
+  Result<uint8_t> code = r.ReadU8();
+  if (!code.ok()) return Corruption("malformed status payload");
+  Result<std::string> message = r.ReadString();
+  if (!message.ok()) return Corruption("malformed status payload");
+  return Status(static_cast<StatusCode>(*code), std::move(*message));
+}
+
+namespace {
+
+/// Child main loop: serve requests until kShutdown (or channel failure).
+[[noreturn]] void ChildLoop(ShmChannel* channel,
+                            const RemoteExecutor::RequestHandler& handler) {
+  while (true) {
+    Result<std::pair<MsgType, std::vector<uint8_t>>> msg =
+        channel->ReceiveInChild();
+    if (!msg.ok()) _exit(2);
+    if (msg->first == MsgType::kShutdown) _exit(0);
+    if (msg->first != MsgType::kRequest) _exit(3);
+
+    Result<std::vector<uint8_t>> result =
+        handler(Slice(msg->second), channel);
+    Status send = result.ok()
+                      ? channel->SendToParent(MsgType::kResult, Slice(*result))
+                      : channel->SendToParent(
+                            MsgType::kError,
+                            Slice(EncodeStatus(result.status())));
+    if (!send.ok()) _exit(4);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RemoteExecutor>> RemoteExecutor::Spawn(
+    size_t shm_capacity, RequestHandler handler) {
+  auto executor = std::unique_ptr<RemoteExecutor>(new RemoteExecutor());
+  JAGUAR_ASSIGN_OR_RETURN(executor->channel_, ShmChannel::Create(shm_capacity));
+  pid_t pid = ::fork();
+  if (pid < 0) return IoError("fork failed");
+  if (pid == 0) {
+    ChildLoop(executor->channel_.get(), handler);  // never returns
+  }
+  executor->child_pid_ = pid;
+  return executor;
+}
+
+RemoteExecutor::~RemoteExecutor() { Shutdown().ok(); }
+
+Status RemoteExecutor::Shutdown() {
+  if (child_pid_ < 0) return Status::OK();
+  channel_->SendToChild(MsgType::kShutdown, Slice()).ok();
+  int status = 0;
+  pid_t reaped = ::waitpid(child_pid_, &status, 0);
+  child_pid_ = -1;
+  if (reaped < 0) return IoError("waitpid failed");
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RemoteExecutor::Execute(
+    Slice request, const CallbackHandler& on_callback) {
+  if (child_pid_ < 0) return Internal("remote executor already shut down");
+  JAGUAR_RETURN_IF_ERROR(channel_->SendToChild(MsgType::kRequest, request));
+  while (true) {
+    JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveInParent());
+    switch (msg.first) {
+      case MsgType::kResult:
+        return std::move(msg.second);
+      case MsgType::kError:
+        return DecodeStatus(Slice(msg.second));
+      case MsgType::kCallbackRequest: {
+        Result<std::vector<uint8_t>> reply = on_callback(Slice(msg.second));
+        if (!reply.ok()) {
+          // Surface the callback failure to the child; it will fail the UDF
+          // and ship the error back as kError.
+          JAGUAR_RETURN_IF_ERROR(channel_->SendToChild(
+              MsgType::kError, Slice(EncodeStatus(reply.status()))));
+          break;
+        }
+        JAGUAR_RETURN_IF_ERROR(
+            channel_->SendToChild(MsgType::kCallbackReply, Slice(*reply)));
+        break;
+      }
+      default:
+        return Internal("unexpected message type from executor child");
+    }
+  }
+}
+
+}  // namespace ipc
+}  // namespace jaguar

@@ -1,0 +1,81 @@
+#ifndef JAGUAR_IPC_REMOTE_EXECUTOR_H_
+#define JAGUAR_IPC_REMOTE_EXECUTOR_H_
+
+/// \file remote_executor.h
+/// A forked executor process plus the request/callback/result protocol of
+/// Design 2. The paper assigns "one remote executor process per UDF in the
+/// query ... created once per query (not once per function invocation)"; the
+/// UDF layer follows the same policy.
+///
+/// Protocol (all over one ShmChannel):
+///
+///   parent                         child
+///   ------ kRequest(payload) --->  handler runs...
+///   <----- kCallbackRequest ----   (0..n times; parent answers each)
+///   ------ kCallbackReply ----->
+///   <----- kResult | kError ----
+///
+/// Errors cross the boundary as serialized Status (code + message).
+
+#include <sys/types.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ipc/shm_channel.h"
+
+namespace jaguar {
+namespace ipc {
+
+/// Serializes a Status for the wire (code byte + message).
+std::vector<uint8_t> EncodeStatus(const Status& status);
+Status DecodeStatus(Slice payload);
+
+class RemoteExecutor {
+ public:
+  /// Runs in the child for each kRequest. May issue callbacks by sending
+  /// kCallbackRequest on `channel` and awaiting kCallbackReply. Returns the
+  /// result payload, or an error to be shipped back as kError.
+  using RequestHandler =
+      std::function<Result<std::vector<uint8_t>>(Slice request,
+                                                 ShmChannel* channel)>;
+
+  /// Answers a child callback in the parent.
+  using CallbackHandler =
+      std::function<Result<std::vector<uint8_t>>(Slice payload)>;
+
+  /// Forks an executor child running `handler` in a loop. The child inherits
+  /// the parent's full image (so native UDF registries resolve identically —
+  /// the same effect as the paper's executors being built from the server
+  /// binary).
+  static Result<std::unique_ptr<RemoteExecutor>> Spawn(
+      size_t shm_capacity, RequestHandler handler);
+
+  ~RemoteExecutor();
+  RemoteExecutor(const RemoteExecutor&) = delete;
+  RemoteExecutor& operator=(const RemoteExecutor&) = delete;
+
+  /// Parent side: executes one request, servicing callbacks until the result
+  /// arrives.
+  Result<std::vector<uint8_t>> Execute(Slice request,
+                                       const CallbackHandler& on_callback);
+
+  /// Asks the child to exit and reaps it. Called by the destructor too.
+  Status Shutdown();
+
+  pid_t child_pid() const { return child_pid_; }
+  ShmChannel* channel() { return channel_.get(); }
+
+ private:
+  RemoteExecutor() = default;
+
+  std::unique_ptr<ShmChannel> channel_;
+  pid_t child_pid_ = -1;
+};
+
+}  // namespace ipc
+}  // namespace jaguar
+
+#endif  // JAGUAR_IPC_REMOTE_EXECUTOR_H_

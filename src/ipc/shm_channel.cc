@@ -1,0 +1,102 @@
+#include "ipc/shm_channel.h"
+
+#include <sys/mman.h>
+#include <time.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace ipc {
+
+Result<std::unique_ptr<ShmChannel>> ShmChannel::Create(size_t data_capacity) {
+  auto channel = std::unique_ptr<ShmChannel>(new ShmChannel());
+  channel->capacity_ = data_capacity;
+  channel->total_size_ = sizeof(Header) + 2 * data_capacity;
+  void* mem = ::mmap(nullptr, channel->total_size_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return IoError(StringPrintf("mmap(%zu) for shm channel failed: %s",
+                                channel->total_size_, std::strerror(errno)));
+  }
+  channel->mem_ = mem;
+  channel->header_ = static_cast<Header*>(mem);
+  channel->to_child_data_ = static_cast<uint8_t*>(mem) + sizeof(Header);
+  channel->to_parent_data_ = channel->to_child_data_ + data_capacity;
+  if (::sem_init(&channel->header_->to_child_sem, /*pshared=*/1, 0) != 0 ||
+      ::sem_init(&channel->header_->to_parent_sem, /*pshared=*/1, 0) != 0) {
+    return IoError("sem_init failed");
+  }
+  return channel;
+}
+
+ShmChannel::~ShmChannel() {
+  if (mem_ != nullptr) {
+    ::sem_destroy(&header_->to_child_sem);
+    ::sem_destroy(&header_->to_parent_sem);
+    ::munmap(mem_, total_size_);
+  }
+}
+
+Status ShmChannel::Send(sem_t* sem, uint32_t* type_field, uint64_t* len_field,
+                        uint8_t* data_area, MsgType type, Slice payload) {
+  if (payload.size() > capacity_) {
+    return InvalidArgument(StringPrintf(
+        "shm message of %zu bytes exceeds channel capacity %zu",
+        payload.size(), capacity_));
+  }
+  *type_field = static_cast<uint32_t>(type);
+  *len_field = payload.size();
+  if (!payload.empty()) {
+    std::memcpy(data_area, payload.data(), payload.size());
+  }
+  if (::sem_post(sem) != 0) return IoError("sem_post failed");
+  return Status::OK();
+}
+
+Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
+    sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
+    const uint8_t* data_area) {
+  struct timespec deadline;
+  ::clock_gettime(CLOCK_REALTIME, &deadline);
+  deadline.tv_sec += timeout_seconds_;
+  while (::sem_timedwait(sem, &deadline) != 0) {
+    if (errno == EINTR) continue;
+    if (errno == ETIMEDOUT) {
+      return IoError("shm channel receive timed out (peer dead?)");
+    }
+    return IoError(StringPrintf("sem_timedwait failed: %s",
+                                std::strerror(errno)));
+  }
+  uint64_t len = *len_field;
+  if (len > capacity_) return Corruption("shm message length out of range");
+  std::vector<uint8_t> payload(data_area, data_area + len);
+  return std::make_pair(static_cast<MsgType>(*type_field),
+                        std::move(payload));
+}
+
+Status ShmChannel::SendToChild(MsgType type, Slice payload) {
+  return Send(&header_->to_child_sem, &header_->to_child_type,
+              &header_->to_child_len, to_child_data_, type, payload);
+}
+
+Status ShmChannel::SendToParent(MsgType type, Slice payload) {
+  return Send(&header_->to_parent_sem, &header_->to_parent_type,
+              &header_->to_parent_len, to_parent_data_, type, payload);
+}
+
+Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::ReceiveInChild() {
+  return Receive(&header_->to_child_sem, &header_->to_child_type,
+                 &header_->to_child_len, to_child_data_);
+}
+
+Result<std::pair<MsgType, std::vector<uint8_t>>>
+ShmChannel::ReceiveInParent() {
+  return Receive(&header_->to_parent_sem, &header_->to_parent_type,
+                 &header_->to_parent_len, to_parent_data_);
+}
+
+}  // namespace ipc
+}  // namespace jaguar

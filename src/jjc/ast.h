@@ -1,0 +1,124 @@
+#ifndef JAGUAR_JJC_AST_H_
+#define JAGUAR_JJC_AST_H_
+
+/// \file ast.h
+/// JJava abstract syntax trees.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jaguar {
+namespace jjc {
+
+/// JJava static types. Booleans are ints; kVoid appears only as a return
+/// type.
+enum class JType : uint8_t { kInt, kByteArray, kIntArray, kVoid };
+
+const char* JTypeToString(JType t);
+
+// -- Expressions -------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kVar,
+  kUnary,    // - !
+  kBinary,   // + - * / % == != < <= > >= && ||
+  kIndex,    // a[i]
+  kLength,   // a.length
+  kNewArray, // new byte[n] / new int[n]
+  kCall,     // f(...), Cls.f(...), Jaguar.*(...)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  int64_t int_value = 0;          // kIntLit
+  std::string name;               // kVar; kCall: function name
+  std::string qualifier;          // kCall: class / "Jaguar"
+  std::string op;                 // kUnary / kBinary
+  ExprPtr a;                      // operand / lhs / array / size
+  ExprPtr b;                      // rhs / index
+  std::vector<ExprPtr> args;      // kCall
+  JType new_elem_type = JType::kInt;  // kNewArray
+
+  /// Filled by the type checker.
+  JType type = JType::kInt;
+};
+
+// -- Statements ----------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kVarDecl,
+  kAssign,       // var = e;  or  a[i] = e;
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kExprStmt,
+  kBlock,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // kVarDecl
+  JType decl_type = JType::kInt;
+  std::string name;
+  ExprPtr init;               // may be null (then zero/unset)
+
+  // kAssign: target is either a variable (`name`) or an index expr.
+  ExprPtr index_target;       // a[i] target (kIndex expr) or null
+  ExprPtr value;
+
+  // kIf / kWhile / kFor
+  ExprPtr cond;               // null = for(;;)
+  StmtPtr then_branch;
+  StmtPtr else_branch;        // may be null
+  StmtPtr body;
+  StmtPtr for_init;           // may be null
+  StmtPtr for_step;           // may be null (an assign/expr statement)
+
+  // kReturn
+  ExprPtr ret_value;          // null for `return;`
+
+  // kExprStmt
+  ExprPtr expr;
+
+  // kBlock
+  std::vector<StmtPtr> stmts;
+};
+
+// -- Declarations ----------------------------------------------------------------
+
+struct Param {
+  JType type;
+  std::string name;
+};
+
+struct MethodDecl {
+  std::string name;
+  JType return_type;
+  std::vector<Param> params;
+  StmtPtr body;  // kBlock
+  int line = 0;
+};
+
+struct ClassDecl {
+  std::string name;
+  std::vector<MethodDecl> methods;
+};
+
+}  // namespace jjc
+}  // namespace jaguar
+
+#endif  // JAGUAR_JJC_AST_H_

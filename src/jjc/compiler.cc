@@ -1,0 +1,506 @@
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "jjc/jjc.h"
+#include "jjc/parser.h"
+#include "jvm/bytecode.h"
+
+namespace jaguar {
+namespace jjc {
+
+namespace {
+
+using jvm::CodeWriter;
+using jvm::Op;
+
+char TypeChar(JType t) {
+  switch (t) {
+    case JType::kInt: return 'I';
+    case JType::kByteArray: return 'B';
+    case JType::kIntArray: return 'A';
+    case JType::kVoid: return 'V';
+  }
+  return '?';
+}
+
+std::string MethodSigString(const MethodDecl& m) {
+  std::string sig = "(";
+  for (const Param& p : m.params) sig += TypeChar(p.type);
+  sig += ")";
+  sig += TypeChar(m.return_type);
+  return sig;
+}
+
+/// Label/fixup management layered on CodeWriter byte offsets.
+class Labels {
+ public:
+  uint32_t New() {
+    positions_.push_back(UINT32_MAX);
+    return static_cast<uint32_t>(positions_.size() - 1);
+  }
+  void Bind(uint32_t label, uint32_t offset) { positions_[label] = offset; }
+  void AddFixup(uint32_t label, uint32_t instr_offset) {
+    fixups_.push_back({label, instr_offset});
+  }
+  Status Patch(CodeWriter* code) {
+    for (const auto& [label, instr_offset] : fixups_) {
+      if (positions_[label] == UINT32_MAX) {
+        return Internal("jjc: unbound label");
+      }
+      code->PatchA(instr_offset, positions_[label]);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<uint32_t> positions_;
+  std::vector<std::pair<uint32_t, uint32_t>> fixups_;
+};
+
+struct LocalVar {
+  uint32_t slot;
+  JType type;
+};
+
+class MethodCompiler {
+ public:
+  MethodCompiler(const ClassDecl& cls, const MethodDecl& method,
+                 const std::map<std::string, std::string>& natives,
+                 jvm::ClassFile* cf)
+      : cls_(cls), method_(method), natives_(natives), cf_(cf) {}
+
+  Result<jvm::MethodDef> Run() {
+    PushScope();
+    for (const Param& p : method_.params) {
+      JAGUAR_RETURN_IF_ERROR(Declare(method_.line, p.name, p.type));
+    }
+    JAGUAR_RETURN_IF_ERROR(CompileStmt(*method_.body));
+    if (method_.return_type == JType::kVoid) {
+      code_.Emit(Op::kReturn);  // implicit return at end (may be unreachable)
+    }
+    JAGUAR_RETURN_IF_ERROR(labels_.Patch(&code_));
+
+    jvm::MethodDef def;
+    def.name_idx = cf_->InternUtf8(method_.name);
+    def.sig_idx = cf_->InternUtf8(MethodSigString(method_));
+    def.max_locals = static_cast<uint16_t>(next_slot_);
+    def.max_stack = 0;  // verifier computes
+    def.code = code_.Release();
+    return def;
+  }
+
+ private:
+  Status Error(int line, const std::string& msg) {
+    return InvalidArgument(StringPrintf("line %d: in %s.%s: %s", line,
+                                        cls_.name.c_str(),
+                                        method_.name.c_str(), msg.c_str()));
+  }
+
+  // -- Scopes ---------------------------------------------------------------
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  Status Declare(int line, const std::string& name, JType type) {
+    if (scopes_.back().count(name) != 0) {
+      return Error(line, "duplicate variable '" + name + "'");
+    }
+    if (next_slot_ >= 256) return Error(line, "too many local variables");
+    scopes_.back()[name] = {next_slot_++, type};
+    return Status::OK();
+  }
+
+  Result<LocalVar> Lookup(int line, const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return Error(line, "undefined variable '" + name + "'");
+  }
+
+  // -- Statements -------------------------------------------------------------
+
+  Status CompileStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        PushScope();
+        for (const StmtPtr& inner : s.stmts) {
+          JAGUAR_RETURN_IF_ERROR(CompileStmt(*inner));
+        }
+        PopScope();
+        return Status::OK();
+      }
+      case StmtKind::kVarDecl: {
+        JAGUAR_RETURN_IF_ERROR(Declare(s.line, s.name, s.decl_type));
+        LocalVar var = Lookup(s.line, s.name).value();
+        if (s.init != nullptr) {
+          JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*s.init));
+          if (t != s.decl_type) {
+            return Error(s.line, StringPrintf("cannot initialize %s with %s",
+                                              JTypeToString(s.decl_type),
+                                              JTypeToString(t)));
+          }
+          code_.EmitA(t == JType::kInt ? Op::kIStore : Op::kAStore, var.slot);
+        } else if (s.decl_type == JType::kInt) {
+          // Java-style default: ints start at 0. Arrays must be assigned
+          // before use (enforced by the bytecode verifier).
+          code_.EmitImm(Op::kIConst, 0);
+          code_.EmitA(Op::kIStore, var.slot);
+        }
+        return Status::OK();
+      }
+      case StmtKind::kAssign: {
+        if (s.index_target == nullptr) {
+          JAGUAR_ASSIGN_OR_RETURN(LocalVar var, Lookup(s.line, s.name));
+          JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*s.value));
+          if (t != var.type) {
+            return Error(s.line,
+                         StringPrintf("cannot assign %s to %s variable '%s'",
+                                      JTypeToString(t),
+                                      JTypeToString(var.type),
+                                      s.name.c_str()));
+          }
+          code_.EmitA(t == JType::kInt ? Op::kIStore : Op::kAStore, var.slot);
+          return Status::OK();
+        }
+        // a[i] = v: compile array, index, value; pick the store opcode.
+        const Expr& target = *s.index_target;
+        JAGUAR_ASSIGN_OR_RETURN(JType arr_t, CompileExpr(*target.a));
+        if (arr_t != JType::kByteArray && arr_t != JType::kIntArray) {
+          return Error(s.line, "indexed assignment target is not an array");
+        }
+        JAGUAR_ASSIGN_OR_RETURN(JType idx_t, CompileExpr(*target.b));
+        if (idx_t != JType::kInt) return Error(s.line, "array index not int");
+        JAGUAR_ASSIGN_OR_RETURN(JType val_t, CompileExpr(*s.value));
+        if (val_t != JType::kInt) {
+          return Error(s.line, "array element value must be int");
+        }
+        code_.Emit(arr_t == JType::kByteArray ? Op::kBAStore : Op::kIAStore);
+        return Status::OK();
+      }
+      case StmtKind::kIf: {
+        uint32_t else_label = labels_.New();
+        JAGUAR_RETURN_IF_ERROR(
+            EmitCondJump(*s.cond, else_label, /*jump_if_true=*/false));
+        JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.then_branch));
+        if (s.else_branch != nullptr) {
+          uint32_t end_label = labels_.New();
+          labels_.AddFixup(end_label, code_.EmitA(Op::kGoto, 0));
+          labels_.Bind(else_label, code_.size());
+          JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.else_branch));
+          labels_.Bind(end_label, code_.size());
+        } else {
+          labels_.Bind(else_label, code_.size());
+        }
+        return Status::OK();
+      }
+      case StmtKind::kWhile: {
+        // Rotated ("bottom-test") loop: guard once, then test at the bottom.
+        // One conditional branch per iteration instead of a conditional plus
+        // an unconditional jump — measurably faster under the JIT.
+        uint32_t top = labels_.New();
+        uint32_t end = labels_.New();
+        JAGUAR_RETURN_IF_ERROR(
+            EmitCondJump(*s.cond, end, /*jump_if_true=*/false));
+        labels_.Bind(top, code_.size());
+        JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.body));
+        JAGUAR_RETURN_IF_ERROR(
+            EmitCondJump(*s.cond, top, /*jump_if_true=*/true));
+        labels_.Bind(end, code_.size());
+        return Status::OK();
+      }
+      case StmtKind::kFor: {
+        PushScope();
+        if (s.for_init != nullptr) {
+          JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.for_init));
+        }
+        // Rotated loop, as for kWhile. `for (;;)` keeps a plain backedge.
+        uint32_t top = labels_.New();
+        uint32_t end = labels_.New();
+        if (s.cond != nullptr) {
+          JAGUAR_RETURN_IF_ERROR(
+              EmitCondJump(*s.cond, end, /*jump_if_true=*/false));
+        }
+        labels_.Bind(top, code_.size());
+        JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.body));
+        if (s.for_step != nullptr) {
+          JAGUAR_RETURN_IF_ERROR(CompileStmt(*s.for_step));
+        }
+        if (s.cond != nullptr) {
+          JAGUAR_RETURN_IF_ERROR(
+              EmitCondJump(*s.cond, top, /*jump_if_true=*/true));
+        } else {
+          labels_.AddFixup(top, code_.EmitA(Op::kGoto, 0));
+        }
+        labels_.Bind(end, code_.size());
+        PopScope();
+        return Status::OK();
+      }
+      case StmtKind::kReturn: {
+        if (method_.return_type == JType::kVoid) {
+          if (s.ret_value != nullptr) {
+            return Error(s.line, "void method returns a value");
+          }
+          code_.Emit(Op::kReturn);
+          return Status::OK();
+        }
+        if (s.ret_value == nullptr) {
+          return Error(s.line, "missing return value");
+        }
+        JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*s.ret_value));
+        if (t != method_.return_type) {
+          return Error(s.line, StringPrintf("returning %s from a %s method",
+                                            JTypeToString(t),
+                                            JTypeToString(method_.return_type)));
+        }
+        code_.Emit(t == JType::kInt ? Op::kIReturn : Op::kAReturn);
+        return Status::OK();
+      }
+      case StmtKind::kExprStmt: {
+        JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*s.expr));
+        if (t != JType::kVoid) code_.Emit(Op::kPop);
+        return Status::OK();
+      }
+    }
+    return Internal("unhandled statement kind");
+  }
+
+  // -- Conditions (fused compare-and-branch) -----------------------------------
+
+  static bool IsComparisonOp(const std::string& op) {
+    return op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+           op == ">=";
+  }
+
+  /// Emits code that jumps to `target` when `e` is true/false per
+  /// `jump_if_true`, without materializing a 0/1 value where avoidable.
+  Status EmitCondJump(const Expr& e, uint32_t target, bool jump_if_true) {
+    if (e.kind == ExprKind::kUnary && e.op == "!") {
+      return EmitCondJump(*e.a, target, !jump_if_true);
+    }
+    if (e.kind == ExprKind::kBinary && e.op == "&&") {
+      if (jump_if_true) {
+        uint32_t skip = labels_.New();
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.a, skip, false));
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.b, target, true));
+        labels_.Bind(skip, code_.size());
+      } else {
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.a, target, false));
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.b, target, false));
+      }
+      return Status::OK();
+    }
+    if (e.kind == ExprKind::kBinary && e.op == "||") {
+      if (jump_if_true) {
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.a, target, true));
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.b, target, true));
+      } else {
+        uint32_t skip = labels_.New();
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.a, skip, true));
+        JAGUAR_RETURN_IF_ERROR(EmitCondJump(*e.b, target, false));
+        labels_.Bind(skip, code_.size());
+      }
+      return Status::OK();
+    }
+    if (e.kind == ExprKind::kBinary && IsComparisonOp(e.op)) {
+      JAGUAR_ASSIGN_OR_RETURN(JType ta, CompileExpr(*e.a));
+      JAGUAR_ASSIGN_OR_RETURN(JType tb, CompileExpr(*e.b));
+      if (ta != JType::kInt || tb != JType::kInt) {
+        return Error(e.line, "comparison operands must be int");
+      }
+      Op op;
+      if (e.op == "==") op = jump_if_true ? Op::kIfICmpEq : Op::kIfICmpNe;
+      else if (e.op == "!=") op = jump_if_true ? Op::kIfICmpNe : Op::kIfICmpEq;
+      else if (e.op == "<") op = jump_if_true ? Op::kIfICmpLt : Op::kIfICmpGe;
+      else if (e.op == "<=") op = jump_if_true ? Op::kIfICmpLe : Op::kIfICmpGt;
+      else if (e.op == ">") op = jump_if_true ? Op::kIfICmpGt : Op::kIfICmpLe;
+      else op = jump_if_true ? Op::kIfICmpGe : Op::kIfICmpLt;
+      labels_.AddFixup(target, code_.EmitA(op, 0));
+      return Status::OK();
+    }
+    // Generic: evaluate as int, compare against zero.
+    JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(e));
+    if (t != JType::kInt) return Error(e.line, "condition must be int");
+    labels_.AddFixup(target,
+                     code_.EmitA(jump_if_true ? Op::kIfNe : Op::kIfEq, 0));
+    return Status::OK();
+  }
+
+  // -- Expressions -----------------------------------------------------------
+
+  Result<JType> CompileExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        code_.EmitImm(Op::kIConst, e.int_value);
+        return JType::kInt;
+      case ExprKind::kVar: {
+        JAGUAR_ASSIGN_OR_RETURN(LocalVar var, Lookup(e.line, e.name));
+        code_.EmitA(var.type == JType::kInt ? Op::kILoad : Op::kALoad,
+                    var.slot);
+        return var.type;
+      }
+      case ExprKind::kUnary: {
+        if (e.op == "-") {
+          JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*e.a));
+          if (t != JType::kInt) return Error(e.line, "cannot negate non-int");
+          code_.Emit(Op::kINeg);
+          return JType::kInt;
+        }
+        // "!" in value context: materialize 0/1.
+        return MaterializeBool(e);
+      }
+      case ExprKind::kBinary: {
+        if (IsComparisonOp(e.op) || e.op == "&&" || e.op == "||") {
+          return MaterializeBool(e);
+        }
+        JAGUAR_ASSIGN_OR_RETURN(JType ta, CompileExpr(*e.a));
+        JAGUAR_ASSIGN_OR_RETURN(JType tb, CompileExpr(*e.b));
+        if (ta != JType::kInt || tb != JType::kInt) {
+          return Error(e.line, StringPrintf("operator %s needs int operands",
+                                            e.op.c_str()));
+        }
+        if (e.op == "+") code_.Emit(Op::kIAdd);
+        else if (e.op == "-") code_.Emit(Op::kISub);
+        else if (e.op == "*") code_.Emit(Op::kIMul);
+        else if (e.op == "/") code_.Emit(Op::kIDiv);
+        else if (e.op == "%") code_.Emit(Op::kIRem);
+        else return Error(e.line, "unknown operator " + e.op);
+        return JType::kInt;
+      }
+      case ExprKind::kIndex: {
+        JAGUAR_ASSIGN_OR_RETURN(JType arr_t, CompileExpr(*e.a));
+        if (arr_t != JType::kByteArray && arr_t != JType::kIntArray) {
+          return Error(e.line, "indexing a non-array");
+        }
+        JAGUAR_ASSIGN_OR_RETURN(JType idx_t, CompileExpr(*e.b));
+        if (idx_t != JType::kInt) return Error(e.line, "array index not int");
+        code_.Emit(arr_t == JType::kByteArray ? Op::kBALoad : Op::kIALoad);
+        return JType::kInt;
+      }
+      case ExprKind::kLength: {
+        JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*e.a));
+        if (t != JType::kByteArray && t != JType::kIntArray) {
+          return Error(e.line, ".length on a non-array");
+        }
+        code_.Emit(Op::kArrayLen);
+        return JType::kInt;
+      }
+      case ExprKind::kNewArray: {
+        JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*e.a));
+        if (t != JType::kInt) return Error(e.line, "array size must be int");
+        code_.Emit(e.new_elem_type == JType::kByteArray ? Op::kNewBArray
+                                                        : Op::kNewIArray);
+        return e.new_elem_type;
+      }
+      case ExprKind::kCall:
+        return CompileCall(e);
+    }
+    return Internal("unhandled expression kind");
+  }
+
+  /// Compiles a boolean-valued expression to an explicit 0/1.
+  Result<JType> MaterializeBool(const Expr& e) {
+    uint32_t true_label = labels_.New();
+    uint32_t end_label = labels_.New();
+    JAGUAR_RETURN_IF_ERROR(EmitCondJump(e, true_label, /*jump_if_true=*/true));
+    code_.EmitImm(Op::kIConst, 0);
+    labels_.AddFixup(end_label, code_.EmitA(Op::kGoto, 0));
+    labels_.Bind(true_label, code_.size());
+    code_.EmitImm(Op::kIConst, 1);
+    labels_.Bind(end_label, code_.size());
+    return JType::kInt;
+  }
+
+  Result<JType> CompileCall(const Expr& e) {
+    // Resolve the callee signature.
+    std::string sig_text;
+    bool is_native = false;
+    std::string full_name =
+        e.qualifier.empty() ? e.name : e.qualifier + "." + e.name;
+    if (!e.qualifier.empty()) {
+      auto native = natives_.find(full_name);
+      if (native != natives_.end()) {
+        sig_text = native->second;
+        is_native = true;
+      } else if (e.qualifier != cls_.name) {
+        return Error(e.line,
+                     "unknown function '" + full_name +
+                         "' (only Jaguar.* natives and same-class calls are "
+                         "available to UDFs)");
+      }
+    }
+    if (!is_native) {
+      const MethodDecl* target = nullptr;
+      for (const MethodDecl& m : cls_.methods) {
+        if (m.name == e.name) {
+          target = &m;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        return Error(e.line, "undefined function '" + e.name + "'");
+      }
+      sig_text = MethodSigString(*target);
+    }
+    JAGUAR_ASSIGN_OR_RETURN(jvm::Signature sig,
+                            jvm::Signature::Parse(sig_text));
+    if (e.args.size() != sig.params.size()) {
+      return Error(e.line, StringPrintf("%s expects %zu arguments, got %zu",
+                                        full_name.c_str(), sig.params.size(),
+                                        e.args.size()));
+    }
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      JAGUAR_ASSIGN_OR_RETURN(JType t, CompileExpr(*e.args[i]));
+      JType want = sig.params[i] == jvm::VType::kInt ? JType::kInt
+                   : sig.params[i] == jvm::VType::kByteArray
+                       ? JType::kByteArray
+                       : JType::kIntArray;
+      if (t != want) {
+        return Error(e.line,
+                     StringPrintf("argument %zu of %s: expected %s, got %s",
+                                  i + 1, full_name.c_str(),
+                                  JTypeToString(want), JTypeToString(t)));
+      }
+    }
+    if (is_native) {
+      code_.EmitA(Op::kCallNative, cf_->AddNativeRef(full_name, sig_text));
+    } else {
+      code_.EmitA(Op::kCall, cf_->AddMethodRef(cls_.name, e.name, sig_text));
+    }
+    if (sig.returns_void) return JType::kVoid;
+    switch (sig.return_type) {
+      case jvm::VType::kInt: return JType::kInt;
+      case jvm::VType::kByteArray: return JType::kByteArray;
+      case jvm::VType::kIntArray: return JType::kIntArray;
+    }
+    return JType::kInt;
+  }
+
+  const ClassDecl& cls_;
+  const MethodDecl& method_;
+  const std::map<std::string, std::string>& natives_;
+  jvm::ClassFile* cf_;
+  CodeWriter code_;
+  Labels labels_;
+  std::vector<std::map<std::string, LocalVar>> scopes_;
+  uint32_t next_slot_ = 0;
+};
+
+}  // namespace
+
+Result<jvm::ClassFile> Compile(const std::string& source,
+                               const CompileOptions& options) {
+  JAGUAR_ASSIGN_OR_RETURN(ClassDecl cls, ParseClass(source));
+  jvm::ClassFile cf;
+  cf.class_name = cls.name;
+  for (const MethodDecl& m : cls.methods) {
+    MethodCompiler compiler(cls, m, options.native_decls, &cf);
+    JAGUAR_ASSIGN_OR_RETURN(jvm::MethodDef def, compiler.Run());
+    cf.methods.push_back(std::move(def));
+  }
+  return cf;
+}
+
+}  // namespace jjc
+}  // namespace jaguar

@@ -1,0 +1,66 @@
+#ifndef JAGUAR_JJC_JJC_H_
+#define JAGUAR_JJC_JJC_H_
+
+/// \file jjc.h
+/// jjc — the JJava compiler. JJava is jaguar's Java-like UDF language: a
+/// class with static methods over `int`, `byte[]` and `int[]`, compiled to
+/// verified JagVM bytecode. It is what the paper's users would write instead
+/// of Java:
+///
+/// ```java
+/// class InvestVal {
+///   static int run(byte[] history) {
+///     int score = 0;
+///     int i = 1;
+///     while (i < history.length) {
+///       if (history[i] > history[i - 1]) { score = score + 1; }
+///       i = i + 1;
+///     }
+///     return (score * 10) / history.length;
+///   }
+/// }
+/// ```
+///
+/// Language summary:
+///  * types: `int` (64-bit), `byte[]`, `int[]`, `void` (returns only);
+///    booleans are ints (0/1), conditions are C-like (nonzero = true)
+///  * statements: declarations with initializers, assignment (including
+///    `a[i] = e`), `if`/`else`, `while`, `for`, `return`, blocks, expression
+///    statements
+///  * expressions: integer literals (incl. hex), arithmetic `+ - * / %`,
+///    comparisons, `&& || !` (short-circuit), unary `-`, array indexing,
+///    `.length`, `new byte[n]` / `new int[n]`, calls `f(x)` (same class),
+///    `Cls.f(x)` (same namespace), and native calls `Jaguar.*`
+///  * native functions visible to UDFs (the server callback surface):
+///      - `Jaguar.callback(kind, arg) -> int`
+///      - `Jaguar.fetch(handle, offset, len) -> byte[]`
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "jvm/class_file.h"
+
+namespace jaguar {
+namespace jjc {
+
+struct CompileOptions {
+  /// Native functions callable as `Jaguar.<name>(...)` etc., mapping the
+  /// full dotted name to a JagVM signature string.
+  std::map<std::string, std::string> native_decls = {
+      {"Jaguar.callback", "(II)I"},
+      {"Jaguar.fetch", "(III)B"},
+  };
+};
+
+/// Compiles one JJava class to a class file. The output still goes through
+/// the bytecode verifier at load time — the compiler is not trusted
+/// (Section 2.4: safe languages must not depend on compiler trust; JagVM,
+/// like Java, verifies the *bytecode*).
+Result<jvm::ClassFile> Compile(const std::string& source,
+                               const CompileOptions& options = {});
+
+}  // namespace jjc
+}  // namespace jaguar
+
+#endif  // JAGUAR_JJC_JJC_H_

@@ -1,0 +1,111 @@
+#include "jjc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jjc {
+
+bool Token::Is(const char* punct) const {
+  return kind == Tok::kPunct && text == punct;
+}
+
+bool Token::IsIdent(const char* name) const {
+  return kind == Tok::kIdent && text == name;
+}
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+  auto peek = [&](size_t k) { return i + k < n ? source[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= n) {
+        return InvalidArgument(
+            StringPrintf("line %d: unterminated block comment", line));
+      }
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({Tok::kIdent, source.substr(start, i - start), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int base = 10;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])))) {
+        ++i;
+      }
+      std::string text = source.substr(start, i - start);
+      char* endp = nullptr;
+      int64_t value = static_cast<int64_t>(
+          std::strtoull(base == 16 ? text.c_str() + 2 : text.c_str(), &endp,
+                        base));
+      if (endp == nullptr || *endp != '\0') {
+        return InvalidArgument(
+            StringPrintf("line %d: bad integer literal '%s'", line,
+                         text.c_str()));
+      }
+      tokens.push_back({Tok::kInt, text, value, line});
+      continue;
+    }
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        tokens.push_back({Tok::kPunct, op, 0, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOneChar = "{}()[];,.<>=+-*/%!";
+    if (kOneChar.find(c) != std::string::npos) {
+      tokens.push_back({Tok::kPunct, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    return InvalidArgument(
+        StringPrintf("line %d: unexpected character '%c'", line, c));
+  }
+  tokens.push_back({Tok::kEnd, "", 0, line});
+  return tokens;
+}
+
+}  // namespace jjc
+}  // namespace jaguar

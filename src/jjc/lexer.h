@@ -1,0 +1,39 @@
+#ifndef JAGUAR_JJC_LEXER_H_
+#define JAGUAR_JJC_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for JJava. Tracks line numbers for diagnostics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jaguar {
+namespace jjc {
+
+enum class Tok : uint8_t {
+  kIdent,
+  kInt,      ///< Integer literal (decimal or 0x hex); value in `int_value`.
+  kPunct,    ///< Operator or punctuation; spelling in `text`.
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 0;
+
+  bool Is(const char* punct) const;
+  bool IsIdent(const char* name) const;
+};
+
+/// Tokenizes JJava source. Handles // and /* */ comments.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace jjc
+}  // namespace jaguar
+
+#endif  // JAGUAR_JJC_LEXER_H_

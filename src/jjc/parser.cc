@@ -1,0 +1,476 @@
+#include "jjc/parser.h"
+
+#include "common/string_util.h"
+#include "jjc/lexer.h"
+
+namespace jaguar {
+namespace jjc {
+
+const char* JTypeToString(JType t) {
+  switch (t) {
+    case JType::kInt: return "int";
+    case JType::kByteArray: return "byte[]";
+    case JType::kIntArray: return "int[]";
+    case JType::kVoid: return "void";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ClassDecl> Run() {
+    ClassDecl cls;
+    JAGUAR_RETURN_IF_ERROR(ExpectIdent("class"));
+    JAGUAR_ASSIGN_OR_RETURN(cls.name, ExpectName("class name"));
+    JAGUAR_RETURN_IF_ERROR(Expect("{"));
+    while (!Peek().Is("}")) {
+      JAGUAR_ASSIGN_OR_RETURN(MethodDecl m, ParseMethod());
+      cls.methods.push_back(std::move(m));
+    }
+    JAGUAR_RETURN_IF_ERROR(Expect("}"));
+    if (Peek().kind != Tok::kEnd) return Error("trailing input after class");
+    return cls;
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return InvalidArgument(StringPrintf("line %d: %s (got '%s')", Peek().line,
+                                        msg.c_str(), Peek().text.c_str()));
+  }
+
+  Status Expect(const char* punct) {
+    if (!Peek().Is(punct)) return Error(std::string("expected '") + punct + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectIdent(const char* name) {
+    if (!Peek().IsIdent(name)) {
+      return Error(std::string("expected '") + name + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectName(const char* what) {
+    if (Peek().kind != Tok::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsKeyword(const std::string& s) {
+    static const char* kw[] = {"class",  "static", "int",   "byte", "void",
+                               "if",     "else",   "while", "for",  "return",
+                               "new"};
+    for (const char* k : kw) {
+      if (s == k) return true;
+    }
+    return false;
+  }
+
+  /// Parses `int`, `byte[]`, `int[]`, `void`; `allow_void` for return types.
+  Result<JType> ParseType(bool allow_void) {
+    if (Peek().IsIdent("void")) {
+      Advance();
+      if (!allow_void) return Error("void is only allowed as a return type");
+      return JType::kVoid;
+    }
+    if (Peek().IsIdent("byte")) {
+      Advance();
+      JAGUAR_RETURN_IF_ERROR(Expect("["));
+      JAGUAR_RETURN_IF_ERROR(Expect("]"));
+      return JType::kByteArray;
+    }
+    if (Peek().IsIdent("int")) {
+      Advance();
+      if (Peek().Is("[")) {
+        Advance();
+        JAGUAR_RETURN_IF_ERROR(Expect("]"));
+        return JType::kIntArray;
+      }
+      return JType::kInt;
+    }
+    return Error("expected a type (int, byte[], int[])");
+  }
+
+  /// True if the upcoming tokens start a type (for declarations).
+  bool PeekIsType() const {
+    if (Peek().IsIdent("int")) return true;
+    if (Peek().IsIdent("byte") && Peek(1).Is("[")) return true;
+    return false;
+  }
+
+  Result<MethodDecl> ParseMethod() {
+    MethodDecl m;
+    m.line = Peek().line;
+    JAGUAR_RETURN_IF_ERROR(ExpectIdent("static"));
+    JAGUAR_ASSIGN_OR_RETURN(m.return_type, ParseType(/*allow_void=*/true));
+    JAGUAR_ASSIGN_OR_RETURN(m.name, ExpectName("method name"));
+    JAGUAR_RETURN_IF_ERROR(Expect("("));
+    if (!Peek().Is(")")) {
+      while (true) {
+        Param p;
+        JAGUAR_ASSIGN_OR_RETURN(p.type, ParseType(/*allow_void=*/false));
+        JAGUAR_ASSIGN_OR_RETURN(p.name, ExpectName("parameter name"));
+        m.params.push_back(std::move(p));
+        if (Peek().Is(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    JAGUAR_RETURN_IF_ERROR(Expect(")"));
+    JAGUAR_ASSIGN_OR_RETURN(m.body, ParseBlock());
+    return m;
+  }
+
+  Result<StmtPtr> ParseBlock() {
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::kBlock;
+    block->line = Peek().line;
+    JAGUAR_RETURN_IF_ERROR(Expect("{"));
+    while (!Peek().Is("}")) {
+      JAGUAR_ASSIGN_OR_RETURN(StmtPtr s, ParseStmt());
+      block->stmts.push_back(std::move(s));
+    }
+    JAGUAR_RETURN_IF_ERROR(Expect("}"));
+    return StmtPtr(std::move(block));
+  }
+
+  Result<StmtPtr> ParseStmt() {
+    const int line = Peek().line;
+    if (Peek().Is("{")) return ParseBlock();
+
+    if (Peek().IsIdent("if")) {
+      Advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kIf;
+      s->line = line;
+      JAGUAR_RETURN_IF_ERROR(Expect("("));
+      JAGUAR_ASSIGN_OR_RETURN(s->cond, ParseExpr());
+      JAGUAR_RETURN_IF_ERROR(Expect(")"));
+      JAGUAR_ASSIGN_OR_RETURN(s->then_branch, ParseStmt());
+      if (Peek().IsIdent("else")) {
+        Advance();
+        JAGUAR_ASSIGN_OR_RETURN(s->else_branch, ParseStmt());
+      }
+      return StmtPtr(std::move(s));
+    }
+    if (Peek().IsIdent("while")) {
+      Advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kWhile;
+      s->line = line;
+      JAGUAR_RETURN_IF_ERROR(Expect("("));
+      JAGUAR_ASSIGN_OR_RETURN(s->cond, ParseExpr());
+      JAGUAR_RETURN_IF_ERROR(Expect(")"));
+      JAGUAR_ASSIGN_OR_RETURN(s->body, ParseStmt());
+      return StmtPtr(std::move(s));
+    }
+    if (Peek().IsIdent("for")) {
+      Advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kFor;
+      s->line = line;
+      JAGUAR_RETURN_IF_ERROR(Expect("("));
+      if (!Peek().Is(";")) {
+        JAGUAR_ASSIGN_OR_RETURN(s->for_init, ParseSimpleStmt());
+      }
+      JAGUAR_RETURN_IF_ERROR(Expect(";"));
+      if (!Peek().Is(";")) {
+        JAGUAR_ASSIGN_OR_RETURN(s->cond, ParseExpr());
+      }
+      JAGUAR_RETURN_IF_ERROR(Expect(";"));
+      if (!Peek().Is(")")) {
+        JAGUAR_ASSIGN_OR_RETURN(s->for_step, ParseSimpleStmt());
+      }
+      JAGUAR_RETURN_IF_ERROR(Expect(")"));
+      JAGUAR_ASSIGN_OR_RETURN(s->body, ParseStmt());
+      return StmtPtr(std::move(s));
+    }
+    if (Peek().IsIdent("return")) {
+      Advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kReturn;
+      s->line = line;
+      if (!Peek().Is(";")) {
+        JAGUAR_ASSIGN_OR_RETURN(s->ret_value, ParseExpr());
+      }
+      JAGUAR_RETURN_IF_ERROR(Expect(";"));
+      return StmtPtr(std::move(s));
+    }
+    JAGUAR_ASSIGN_OR_RETURN(StmtPtr s, ParseSimpleStmt());
+    JAGUAR_RETURN_IF_ERROR(Expect(";"));
+    return s;
+  }
+
+  /// Declaration, assignment, or expression — without the trailing ';'
+  /// (shared by plain statements and for-headers).
+  Result<StmtPtr> ParseSimpleStmt() {
+    const int line = Peek().line;
+    if (PeekIsType()) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kVarDecl;
+      s->line = line;
+      JAGUAR_ASSIGN_OR_RETURN(s->decl_type, ParseType(/*allow_void=*/false));
+      JAGUAR_ASSIGN_OR_RETURN(s->name, ExpectName("variable name"));
+      if (IsKeyword(s->name)) return Error("variable name is a keyword");
+      if (Peek().Is("=")) {
+        Advance();
+        JAGUAR_ASSIGN_OR_RETURN(s->init, ParseExpr());
+      }
+      return StmtPtr(std::move(s));
+    }
+    // Assignment vs expression statement: parse an expression; if '='
+    // follows and the expression is assignable, treat as assignment.
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().Is("=")) {
+      Advance();
+      auto s = std::make_unique<Stmt>();
+      s->kind = StmtKind::kAssign;
+      s->line = line;
+      if (e->kind == ExprKind::kVar) {
+        s->name = e->name;
+      } else if (e->kind == ExprKind::kIndex) {
+        s->index_target = std::move(e);
+      } else {
+        return Error("left side of '=' is not assignable");
+      }
+      JAGUAR_ASSIGN_OR_RETURN(s->value, ParseExpr());
+      return StmtPtr(std::move(s));
+    }
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::kExprStmt;
+    s->line = line;
+    s->expr = std::move(e);
+    return StmtPtr(std::move(s));
+  }
+
+  // -- Expressions (precedence climbing) --------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  ExprPtr MakeBinary(const std::string& op, ExprPtr a, ExprPtr b, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kBinary;
+    e->op = op;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    e->line = line;
+    return e;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (Peek().Is("||")) {
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary("||", std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseEquality());
+    while (Peek().Is("&&")) {
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseEquality());
+      left = MakeBinary("&&", std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseRelational());
+    while (Peek().Is("==") || Peek().Is("!=")) {
+      std::string op = Peek().text;
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseRelational());
+      left = MakeBinary(op, std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseRelational() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    while (Peek().Is("<") || Peek().Is("<=") || Peek().Is(">") ||
+           Peek().Is(">=")) {
+      std::string op = Peek().text;
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      left = MakeBinary(op, std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().Is("+") || Peek().Is("-")) {
+      std::string op = Peek().text;
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().Is("*") || Peek().Is("/") || Peek().Is("%")) {
+      std::string op = Peek().text;
+      int line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right), line);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().Is("-") || Peek().Is("!")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->op = Peek().text;
+      e->line = Advance().line;
+      JAGUAR_ASSIGN_OR_RETURN(e->a, ParseUnary());
+      return ExprPtr(std::move(e));
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (true) {
+      if (Peek().Is("[")) {
+        int line = Advance().line;
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::kIndex;
+        idx->line = line;
+        idx->a = std::move(e);
+        JAGUAR_ASSIGN_OR_RETURN(idx->b, ParseExpr());
+        JAGUAR_RETURN_IF_ERROR(Expect("]"));
+        e = std::move(idx);
+        continue;
+      }
+      if (Peek().Is(".") && Peek(1).IsIdent("length")) {
+        int line = Advance().line;
+        Advance();  // length
+        auto len = std::make_unique<Expr>();
+        len->kind = ExprKind::kLength;
+        len->line = line;
+        len->a = std::move(e);
+        e = std::move(len);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    const int line = tok.line;
+    if (tok.kind == Tok::kInt) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIntLit;
+      e->int_value = Advance().int_value;
+      e->line = line;
+      return ExprPtr(std::move(e));
+    }
+    if (tok.Is("(")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      JAGUAR_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (tok.IsIdent("new")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kNewArray;
+      e->line = line;
+      if (Peek().IsIdent("byte")) {
+        e->new_elem_type = JType::kByteArray;
+      } else if (Peek().IsIdent("int")) {
+        e->new_elem_type = JType::kIntArray;
+      } else {
+        return Error("expected 'byte' or 'int' after new");
+      }
+      Advance();
+      JAGUAR_RETURN_IF_ERROR(Expect("["));
+      JAGUAR_ASSIGN_OR_RETURN(e->a, ParseExpr());
+      JAGUAR_RETURN_IF_ERROR(Expect("]"));
+      return ExprPtr(std::move(e));
+    }
+    if (tok.kind == Tok::kIdent) {
+      if (IsKeyword(tok.text)) return Error("unexpected keyword");
+      std::string first = Advance().text;
+      // Qualified call: Cls.method(...) — but `.length` is handled in
+      // postfix, so only treat '.' + ident + '(' as a call.
+      if (Peek().Is(".") && Peek(1).kind == Tok::kIdent &&
+          !Peek(1).IsIdent("length") && Peek(2).Is("(")) {
+        Advance();  // .
+        std::string method = Advance().text;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->qualifier = std::move(first);
+        e->name = std::move(method);
+        e->line = line;
+        JAGUAR_RETURN_IF_ERROR(ParseArgs(&e->args));
+        return ExprPtr(std::move(e));
+      }
+      if (Peek().Is("(")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCall;
+        e->name = std::move(first);
+        e->line = line;
+        JAGUAR_RETURN_IF_ERROR(ParseArgs(&e->args));
+        return ExprPtr(std::move(e));
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kVar;
+      e->name = std::move(first);
+      e->line = line;
+      return ExprPtr(std::move(e));
+    }
+    return Error("expected expression");
+  }
+
+  Status ParseArgs(std::vector<ExprPtr>* args) {
+    JAGUAR_RETURN_IF_ERROR(Expect("("));
+    if (!Peek().Is(")")) {
+      while (true) {
+        JAGUAR_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        args->push_back(std::move(arg));
+        if (Peek().Is(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return Expect(")");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ClassDecl> ParseClass(const std::string& source) {
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace jjc
+}  // namespace jaguar

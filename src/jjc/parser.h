@@ -1,0 +1,21 @@
+#ifndef JAGUAR_JJC_PARSER_H_
+#define JAGUAR_JJC_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser for JJava.
+
+#include <string>
+
+#include "common/status.h"
+#include "jjc/ast.h"
+
+namespace jaguar {
+namespace jjc {
+
+/// Parses one JJava class declaration.
+Result<ClassDecl> ParseClass(const std::string& source);
+
+}  // namespace jjc
+}  // namespace jaguar
+
+#endif  // JAGUAR_JJC_PARSER_H_

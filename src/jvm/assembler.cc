@@ -1,0 +1,216 @@
+#include "jvm/assembler.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/string_util.h"
+#include "jvm/bytecode.h"
+
+namespace jaguar {
+namespace jvm {
+
+namespace {
+
+struct PendingBranch {
+  uint32_t instr_offset;  // offset of the branch instruction in the code
+  std::string label;
+  int line;
+};
+
+Status LineError(int line, const std::string& msg) {
+  return InvalidArgument(StringPrintf("line %d: %s", line, msg.c_str()));
+}
+
+/// Splits a line into whitespace-separated fields, dropping ';' comments.
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ';') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+const std::map<std::string, Op>& SimpleOps() {
+  static const auto* ops = new std::map<std::string, Op>{
+      {"nop", Op::kNop},         {"iadd", Op::kIAdd},
+      {"isub", Op::kISub},       {"imul", Op::kIMul},
+      {"idiv", Op::kIDiv},       {"irem", Op::kIRem},
+      {"ineg", Op::kINeg},       {"iand", Op::kIAnd},
+      {"ior", Op::kIOr},         {"ixor", Op::kIXor},
+      {"ishl", Op::kIShl},       {"ishr", Op::kIShr},
+      {"iushr", Op::kIUShr},     {"baload", Op::kBALoad},
+      {"bastore", Op::kBAStore}, {"iaload", Op::kIALoad},
+      {"iastore", Op::kIAStore}, {"arraylen", Op::kArrayLen},
+      {"newbarray", Op::kNewBArray}, {"newiarray", Op::kNewIArray},
+      {"ireturn", Op::kIReturn}, {"areturn", Op::kAReturn},
+      {"return", Op::kReturn},   {"dup", Op::kDup},
+      {"pop", Op::kPop},         {"swap", Op::kSwap},
+  };
+  return *ops;
+}
+
+const std::map<std::string, Op>& LocalOps() {
+  static const auto* ops = new std::map<std::string, Op>{
+      {"iload", Op::kILoad},
+      {"istore", Op::kIStore},
+      {"aload", Op::kALoad},
+      {"astore", Op::kAStore},
+  };
+  return *ops;
+}
+
+const std::map<std::string, Op>& BranchOps() {
+  static const auto* ops = new std::map<std::string, Op>{
+      {"if_icmpeq", Op::kIfICmpEq}, {"if_icmpne", Op::kIfICmpNe},
+      {"if_icmplt", Op::kIfICmpLt}, {"if_icmple", Op::kIfICmpLe},
+      {"if_icmpgt", Op::kIfICmpGt}, {"if_icmpge", Op::kIfICmpGe},
+      {"ifeq", Op::kIfEq},          {"ifne", Op::kIfNe},
+      {"goto", Op::kGoto},
+  };
+  return *ops;
+}
+
+}  // namespace
+
+Result<ClassFile> Assemble(const std::string& source) {
+  ClassFile cf;
+  bool in_method = false;
+  MethodDef method;
+  CodeWriter code;
+  std::map<std::string, uint32_t> labels;  // label -> byte offset
+  std::vector<PendingBranch> pending;
+
+  auto finish_method = [&](int line) -> Status {
+    for (const PendingBranch& p : pending) {
+      auto it = labels.find(p.label);
+      if (it == labels.end()) {
+        return LineError(p.line, "undefined label '" + p.label + "'");
+      }
+      code.PatchA(p.instr_offset, it->second);
+    }
+    method.code = code.Release();
+    cf.methods.push_back(std::move(method));
+    method = MethodDef{};
+    code = CodeWriter{};
+    labels.clear();
+    pending.clear();
+    in_method = false;
+    return Status::OK();
+  };
+
+  int line_no = 0;
+  for (const std::string& raw : Split(source, '\n')) {
+    ++line_no;
+    std::vector<std::string> f = Fields(raw);
+    if (f.empty()) continue;
+
+    if (f[0] == "class") {
+      if (f.size() != 2) return LineError(line_no, "usage: class <Name>");
+      cf.class_name = f[1];
+      continue;
+    }
+    if (f[0] == "method") {
+      if (in_method) return LineError(line_no, "nested method");
+      if (f.size() < 3) {
+        return LineError(line_no, "usage: method <name> <sig> [locals=N]");
+      }
+      method.name_idx = cf.InternUtf8(f[1]);
+      JAGUAR_ASSIGN_OR_RETURN(Signature sig, Signature::Parse(f[2]));
+      method.sig_idx = cf.InternUtf8(f[2]);
+      method.max_locals = static_cast<uint16_t>(sig.params.size());
+      for (size_t i = 3; i < f.size(); ++i) {
+        if (StartsWith(f[i], "locals=")) {
+          method.max_locals =
+              static_cast<uint16_t>(std::atoi(f[i].c_str() + 7));
+        } else if (StartsWith(f[i], "stack=")) {
+          method.max_stack =
+              static_cast<uint16_t>(std::atoi(f[i].c_str() + 6));
+        } else {
+          return LineError(line_no, "unknown method attribute " + f[i]);
+        }
+      }
+      in_method = true;
+      continue;
+    }
+    if (f[0] == "end") {
+      if (!in_method) return LineError(line_no, "'end' outside method");
+      JAGUAR_RETURN_IF_ERROR(finish_method(line_no));
+      continue;
+    }
+    if (!in_method) {
+      return LineError(line_no, "instruction outside method: " + f[0]);
+    }
+
+    // Label definition: "name:".
+    if (f.size() == 1 && EndsWith(f[0], ":")) {
+      std::string label = f[0].substr(0, f[0].size() - 1);
+      if (labels.count(label) != 0) {
+        return LineError(line_no, "duplicate label '" + label + "'");
+      }
+      labels[label] = code.size();
+      continue;
+    }
+
+    const std::string& mnemonic = f[0];
+    if (auto it = SimpleOps().find(mnemonic); it != SimpleOps().end()) {
+      if (f.size() != 1) return LineError(line_no, mnemonic + " takes no operand");
+      code.Emit(it->second);
+      continue;
+    }
+    if (mnemonic == "iconst") {
+      if (f.size() != 2) return LineError(line_no, "iconst <imm>");
+      code.EmitImm(Op::kIConst, std::strtoll(f[1].c_str(), nullptr, 0));
+      continue;
+    }
+    if (auto it = LocalOps().find(mnemonic); it != LocalOps().end()) {
+      if (f.size() != 2) return LineError(line_no, mnemonic + " <local>");
+      code.EmitA(it->second, static_cast<uint32_t>(std::atoi(f[1].c_str())));
+      continue;
+    }
+    if (auto it = BranchOps().find(mnemonic); it != BranchOps().end()) {
+      if (f.size() != 2) return LineError(line_no, mnemonic + " <label>");
+      uint32_t off = code.EmitA(it->second, 0);
+      pending.push_back({off, f[1], line_no});
+      continue;
+    }
+    if (mnemonic == "call") {
+      if (f.size() != 3) return LineError(line_no, "call <Class.method> <sig>");
+      size_t dot = f[1].find('.');
+      if (dot == std::string::npos) {
+        return LineError(line_no, "call target must be Class.method");
+      }
+      JAGUAR_RETURN_IF_ERROR(Signature::Parse(f[2]).status());
+      uint16_t idx =
+          cf.AddMethodRef(f[1].substr(0, dot), f[1].substr(dot + 1), f[2]);
+      code.EmitA(Op::kCall, idx);
+      continue;
+    }
+    if (mnemonic == "callnative") {
+      if (f.size() != 3) return LineError(line_no, "callnative <name> <sig>");
+      JAGUAR_RETURN_IF_ERROR(Signature::Parse(f[2]).status());
+      uint16_t idx = cf.AddNativeRef(f[1], f[2]);
+      code.EmitA(Op::kCallNative, idx);
+      continue;
+    }
+    return LineError(line_no, "unknown mnemonic '" + mnemonic + "'");
+  }
+
+  if (in_method) {
+    return LineError(line_no, "missing 'end' at end of input");
+  }
+  if (cf.class_name.empty()) {
+    return InvalidArgument("no 'class' directive");
+  }
+  return cf;
+}
+
+}  // namespace jvm
+}  // namespace jaguar

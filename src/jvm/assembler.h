@@ -1,0 +1,56 @@
+#ifndef JAGUAR_JVM_ASSEMBLER_H_
+#define JAGUAR_JVM_ASSEMBLER_H_
+
+/// \file assembler.h
+/// Textual JagVM assembly → class file. Used by tests, the property-based
+/// JIT/interpreter differential suite, and anyone writing a UDF below the
+/// JJava level.
+///
+/// Syntax (one directive/instruction per line; `;` starts a comment):
+///
+///     class Checksum
+///     method run (B)I locals=3
+///       iconst 0          ; acc
+///       istore 1
+///       iconst 0          ; i
+///       istore 2
+///     loop:
+///       iload 2
+///       aload 0
+///       arraylen
+///       if_icmpge done
+///       iload 1
+///       aload 0
+///       iload 2
+///       baload
+///       iadd
+///       istore 1
+///       iload 2
+///       iconst 1
+///       iadd
+///       istore 2
+///       goto loop
+///     done:
+///       iload 1
+///       ireturn
+///     end
+///
+/// Calls name their target and signature inline:
+///     call Helper.sum (II)I
+///     callnative Jaguar.callback (II)I
+
+#include <string>
+
+#include "common/status.h"
+#include "jvm/class_file.h"
+
+namespace jaguar {
+namespace jvm {
+
+/// Assembles `source` into a class file. Errors carry line numbers.
+Result<ClassFile> Assemble(const std::string& source);
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_ASSEMBLER_H_

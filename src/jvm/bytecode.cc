@@ -1,0 +1,286 @@
+#include "jvm/bytecode.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jvm {
+
+const char* OpToString(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kIConst: return "iconst";
+    case Op::kILoad: return "iload";
+    case Op::kIStore: return "istore";
+    case Op::kALoad: return "aload";
+    case Op::kAStore: return "astore";
+    case Op::kIAdd: return "iadd";
+    case Op::kISub: return "isub";
+    case Op::kIMul: return "imul";
+    case Op::kIDiv: return "idiv";
+    case Op::kIRem: return "irem";
+    case Op::kINeg: return "ineg";
+    case Op::kIAnd: return "iand";
+    case Op::kIOr: return "ior";
+    case Op::kIXor: return "ixor";
+    case Op::kIShl: return "ishl";
+    case Op::kIShr: return "ishr";
+    case Op::kIUShr: return "iushr";
+    case Op::kIfICmpEq: return "if_icmpeq";
+    case Op::kIfICmpNe: return "if_icmpne";
+    case Op::kIfICmpLt: return "if_icmplt";
+    case Op::kIfICmpLe: return "if_icmple";
+    case Op::kIfICmpGt: return "if_icmpgt";
+    case Op::kIfICmpGe: return "if_icmpge";
+    case Op::kIfEq: return "ifeq";
+    case Op::kIfNe: return "ifne";
+    case Op::kGoto: return "goto";
+    case Op::kBALoad: return "baload";
+    case Op::kBAStore: return "bastore";
+    case Op::kIALoad: return "iaload";
+    case Op::kIAStore: return "iastore";
+    case Op::kArrayLen: return "arraylen";
+    case Op::kNewBArray: return "newbarray";
+    case Op::kNewIArray: return "newiarray";
+    case Op::kCall: return "call";
+    case Op::kCallNative: return "callnative";
+    case Op::kIReturn: return "ireturn";
+    case Op::kAReturn: return "areturn";
+    case Op::kReturn: return "return";
+    case Op::kDup: return "dup";
+    case Op::kPop: return "pop";
+    case Op::kSwap: return "swap";
+  }
+  return "?";
+}
+
+char VTypeToChar(VType t) {
+  switch (t) {
+    case VType::kInt: return 'I';
+    case VType::kByteArray: return 'B';
+    case VType::kIntArray: return 'A';
+  }
+  return '?';
+}
+
+Result<VType> VTypeFromChar(char c) {
+  switch (c) {
+    case 'I': return VType::kInt;
+    case 'B': return VType::kByteArray;
+    case 'A': return VType::kIntArray;
+    default:
+      return VerificationError(StringPrintf("bad type char '%c'", c));
+  }
+}
+
+const char* VTypeToString(VType t) {
+  switch (t) {
+    case VType::kInt: return "int";
+    case VType::kByteArray: return "byte[]";
+    case VType::kIntArray: return "int[]";
+  }
+  return "?";
+}
+
+Result<Signature> Signature::Parse(const std::string& text) {
+  Signature sig;
+  if (text.size() < 3 || text[0] != '(') {
+    return VerificationError("malformed signature: " + text);
+  }
+  size_t i = 1;
+  while (i < text.size() && text[i] != ')') {
+    JAGUAR_ASSIGN_OR_RETURN(VType t, VTypeFromChar(text[i]));
+    sig.params.push_back(t);
+    ++i;
+  }
+  if (i + 2 != text.size() || text[i] != ')') {
+    return VerificationError("malformed signature: " + text);
+  }
+  char ret = text[i + 1];
+  if (ret == 'V') {
+    sig.returns_void = true;
+  } else {
+    JAGUAR_ASSIGN_OR_RETURN(sig.return_type, VTypeFromChar(ret));
+  }
+  return sig;
+}
+
+std::string Signature::ToString() const {
+  std::string out = "(";
+  for (VType t : params) out += VTypeToChar(t);
+  out += ")";
+  out += returns_void ? 'V' : VTypeToChar(return_type);
+  return out;
+}
+
+bool Signature::operator==(const Signature& o) const {
+  return params == o.params && returns_void == o.returns_void &&
+         (returns_void || return_type == o.return_type);
+}
+
+bool IsBranch(Op op) {
+  switch (op) {
+    case Op::kIfICmpEq:
+    case Op::kIfICmpNe:
+    case Op::kIfICmpLt:
+    case Op::kIfICmpLe:
+    case Op::kIfICmpGt:
+    case Op::kIfICmpGe:
+    case Op::kIfEq:
+    case Op::kIfNe:
+    case Op::kGoto:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsBlockEnd(Op op) {
+  switch (op) {
+    case Op::kGoto:
+    case Op::kIReturn:
+    case Op::kAReturn:
+    case Op::kReturn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Operand layout per opcode: 0 = none, 8 = i64 imm, 4 = u32 `a`.
+int OperandBytes(Op op) {
+  if (op == Op::kIConst) return 8;
+  switch (op) {
+    case Op::kILoad:
+    case Op::kIStore:
+    case Op::kALoad:
+    case Op::kAStore:
+    case Op::kCall:
+    case Op::kCallNative:
+      return 4;
+    default:
+      return IsBranch(op) ? 4 : 0;
+  }
+}
+
+bool IsValidOp(uint8_t byte) {
+  Op op = static_cast<Op>(byte);
+  switch (op) {
+    case Op::kNop: case Op::kIConst: case Op::kILoad: case Op::kIStore:
+    case Op::kALoad: case Op::kAStore: case Op::kIAdd: case Op::kISub:
+    case Op::kIMul: case Op::kIDiv: case Op::kIRem: case Op::kINeg:
+    case Op::kIAnd: case Op::kIOr: case Op::kIXor: case Op::kIShl:
+    case Op::kIShr: case Op::kIUShr: case Op::kIfICmpEq: case Op::kIfICmpNe:
+    case Op::kIfICmpLt: case Op::kIfICmpLe: case Op::kIfICmpGt:
+    case Op::kIfICmpGe: case Op::kIfEq: case Op::kIfNe: case Op::kGoto:
+    case Op::kBALoad: case Op::kBAStore: case Op::kIALoad: case Op::kIAStore:
+    case Op::kArrayLen: case Op::kNewBArray: case Op::kNewIArray:
+    case Op::kCall: case Op::kCallNative: case Op::kIReturn: case Op::kAReturn:
+    case Op::kReturn: case Op::kDup: case Op::kPop: case Op::kSwap:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+uint32_t CodeWriter::Emit(Op op) {
+  uint32_t off = size();
+  code_.push_back(static_cast<uint8_t>(op));
+  return off;
+}
+
+uint32_t CodeWriter::EmitImm(Op op, int64_t imm) {
+  uint32_t off = Emit(op);
+  uint64_t v = static_cast<uint64_t>(imm);
+  for (int i = 0; i < 8; ++i) code_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  return off;
+}
+
+uint32_t CodeWriter::EmitA(Op op, uint32_t a) {
+  uint32_t off = Emit(op);
+  for (int i = 0; i < 4; ++i) code_.push_back(static_cast<uint8_t>(a >> (8 * i)));
+  return off;
+}
+
+void CodeWriter::PatchA(uint32_t instr_offset, uint32_t a) {
+  for (int i = 0; i < 4; ++i) {
+    code_[instr_offset + 1 + i] = static_cast<uint8_t>(a >> (8 * i));
+  }
+}
+
+Result<std::vector<Instr>> DecodeCode(const std::vector<uint8_t>& code) {
+  std::vector<Instr> out;
+  size_t i = 0;
+  while (i < code.size()) {
+    if (!IsValidOp(code[i])) {
+      return VerificationError(
+          StringPrintf("unknown opcode 0x%02x at offset %zu", code[i], i));
+    }
+    Instr ins;
+    ins.op = static_cast<Op>(code[i]);
+    ins.offset = static_cast<uint32_t>(i);
+    int nbytes = OperandBytes(ins.op);
+    if (i + 1 + nbytes > code.size()) {
+      return VerificationError(
+          StringPrintf("truncated operand at offset %zu", i));
+    }
+    if (nbytes == 8) {
+      uint64_t v = 0;
+      for (int k = 0; k < 8; ++k) {
+        v |= static_cast<uint64_t>(code[i + 1 + k]) << (8 * k);
+      }
+      ins.imm = static_cast<int64_t>(v);
+    } else if (nbytes == 4) {
+      uint32_t v = 0;
+      for (int k = 0; k < 4; ++k) {
+        v |= static_cast<uint32_t>(code[i + 1 + k]) << (8 * k);
+      }
+      ins.a = v;
+    }
+    out.push_back(ins);
+    i += 1 + nbytes;
+  }
+  return out;
+}
+
+Status RetargetBranches(std::vector<Instr>* instrs) {
+  std::unordered_map<uint32_t, uint32_t> offset_to_index;
+  for (size_t i = 0; i < instrs->size(); ++i) {
+    offset_to_index[(*instrs)[i].offset] = static_cast<uint32_t>(i);
+  }
+  for (Instr& ins : *instrs) {
+    if (!IsBranch(ins.op)) continue;
+    auto it = offset_to_index.find(ins.a);
+    if (it == offset_to_index.end()) {
+      return VerificationError(StringPrintf(
+          "branch at offset %u targets mid-instruction offset %u", ins.offset,
+          ins.a));
+    }
+    ins.a = it->second;
+  }
+  return Status::OK();
+}
+
+std::string Disassemble(const std::vector<Instr>& instrs) {
+  std::string out;
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& ins = instrs[i];
+    out += StringPrintf("%4zu: %-11s", i, OpToString(ins.op));
+    if (ins.op == Op::kIConst) {
+      out += StringPrintf(" %lld", static_cast<long long>(ins.imm));
+    } else if (IsBranch(ins.op)) {
+      out += StringPrintf(" ->%u", ins.a);
+    } else if (OperandBytes(ins.op) == 4) {
+      out += StringPrintf(" #%u", ins.a);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jvm
+}  // namespace jaguar

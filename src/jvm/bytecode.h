@@ -1,0 +1,161 @@
+#ifndef JAGUAR_JVM_BYTECODE_H_
+#define JAGUAR_JVM_BYTECODE_H_
+
+/// \file bytecode.h
+/// The JagVM instruction set: a verified, stack-based bytecode in the mold of
+/// JVM bytecode, scoped to what database UDFs need — 64-bit integer
+/// arithmetic, byte/int arrays with **mandatory bounds checks**, static
+/// method calls, and security-checked native calls (the UDF↔server callback
+/// boundary).
+///
+/// Design notes mirroring the paper's Java properties:
+///  * The bytecode is *typed*: a load-time verifier (verifier.h) proves stack
+///    and local-variable type safety, so the interpreter and JIT run without
+///    runtime type tags.
+///  * Array accesses are bounds-checked at runtime — this is the cost the
+///    paper measures in Figure 7.
+///  * References are always initialized (the verifier rejects reads of
+///    uninitialized locals and there is no null literal), so no null checks
+///    are needed; bounds checks remain the only per-access cost.
+///  * Branch operands are absolute byte offsets into the method's code and
+///    must land on instruction boundaries (verified).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jaguar {
+namespace jvm {
+
+enum class Op : uint8_t {
+  kNop = 0x00,
+  kIConst = 0x01,   ///< imm: i64 constant to push.
+  kILoad = 0x02,    ///< a: local slot (int).
+  kIStore = 0x03,   ///< a: local slot (int).
+  kALoad = 0x04,    ///< a: local slot (reference).
+  kAStore = 0x05,   ///< a: local slot (reference).
+
+  kIAdd = 0x10,
+  kISub = 0x11,
+  kIMul = 0x12,
+  kIDiv = 0x13,     ///< Traps on division by zero.
+  kIRem = 0x14,     ///< Traps on modulo by zero.
+  kINeg = 0x15,
+  kIAnd = 0x16,
+  kIOr = 0x17,
+  kIXor = 0x18,
+  kIShl = 0x19,     ///< Shift count masked to 63.
+  kIShr = 0x1A,     ///< Arithmetic shift; count masked to 63.
+  kIUShr = 0x1B,    ///< Logical shift; count masked to 63.
+
+  kIfICmpEq = 0x20,  ///< a: target. Pops b, a; jumps when a == b.
+  kIfICmpNe = 0x21,
+  kIfICmpLt = 0x22,
+  kIfICmpLe = 0x23,
+  kIfICmpGt = 0x24,
+  kIfICmpGe = 0x25,
+  kIfEq = 0x26,      ///< a: target. Pops v; jumps when v == 0.
+  kIfNe = 0x27,
+  kGoto = 0x28,      ///< a: target.
+
+  kBALoad = 0x30,    ///< arr, idx -> int (byte zero-extended). Bounds-checked.
+  kBAStore = 0x31,   ///< arr, idx, val -> (stores low 8 bits). Bounds-checked.
+  kIALoad = 0x32,    ///< int-array load. Bounds-checked.
+  kIAStore = 0x33,   ///< int-array store. Bounds-checked.
+  kArrayLen = 0x34,  ///< arr -> int.
+  kNewBArray = 0x35, ///< len -> byte[]. Charged against the heap quota.
+  kNewIArray = 0x36, ///< len -> int[]. Charged against the heap quota.
+
+  kCall = 0x40,        ///< a: constant-pool MethodRef index.
+  kCallNative = 0x41,  ///< a: constant-pool NativeRef index. Security-checked.
+
+  kIReturn = 0x50,
+  kAReturn = 0x51,
+  kReturn = 0x52,
+
+  kDup = 0x60,
+  kPop = 0x61,
+  kSwap = 0x62,
+};
+
+/// \return Mnemonic for an opcode ("iadd", "if_icmpeq", ...).
+const char* OpToString(Op op);
+
+/// Value/slot types as tracked by the verifier and encoded in signatures.
+enum class VType : uint8_t {
+  kInt = 0,        ///< 'I' — 64-bit integer.
+  kByteArray = 1,  ///< 'B' — reference to byte[].
+  kIntArray = 2,   ///< 'A' — reference to int[].
+};
+
+/// \return Signature character for a type.
+char VTypeToChar(VType t);
+Result<VType> VTypeFromChar(char c);
+const char* VTypeToString(VType t);
+
+/// A parsed method signature: "(IBA)I" style. Return may also be 'V' (void).
+struct Signature {
+  std::vector<VType> params;
+  bool returns_void = false;
+  VType return_type = VType::kInt;  ///< Valid when !returns_void.
+
+  /// Parses "(<params>)<ret>".
+  static Result<Signature> Parse(const std::string& text);
+  std::string ToString() const;
+  bool operator==(const Signature& o) const;
+};
+
+/// One decoded instruction. `imm` is used by kIConst; `a` holds the local
+/// slot, constant-pool index, or branch target (byte offset before
+/// retargeting, instruction index after).
+struct Instr {
+  Op op;
+  int64_t imm = 0;
+  uint32_t a = 0;
+  /// Byte offset of this instruction in the original code (for diagnostics).
+  uint32_t offset = 0;
+};
+
+/// \return true if `op` takes a branch-target operand.
+bool IsBranch(Op op);
+/// \return true if `op` unconditionally ends a basic block (goto/returns).
+bool IsBlockEnd(Op op);
+
+/// Encodes instructions to code bytes. Branch targets in `a` are byte
+/// offsets; the caller (assembler/compiler) is responsible for fixing them up.
+class CodeWriter {
+ public:
+  /// Appends an instruction; returns its byte offset.
+  uint32_t Emit(Op op);
+  uint32_t EmitImm(Op op, int64_t imm);     ///< kIConst.
+  uint32_t EmitA(Op op, uint32_t a);        ///< Ops with a u32 operand.
+
+  /// Overwrites the 4-byte operand of the instruction at `instr_offset`.
+  void PatchA(uint32_t instr_offset, uint32_t a);
+
+  uint32_t size() const { return static_cast<uint32_t>(code_.size()); }
+  const std::vector<uint8_t>& code() const { return code_; }
+  std::vector<uint8_t> Release() { return std::move(code_); }
+
+ private:
+  std::vector<uint8_t> code_;
+};
+
+/// Decodes code bytes into an instruction vector. Fails (VerificationError)
+/// on unknown opcodes or truncated operands. Branch targets remain byte
+/// offsets; `RetargetBranches` converts them to instruction indices.
+Result<std::vector<Instr>> DecodeCode(const std::vector<uint8_t>& code);
+
+/// Converts branch byte-offsets to instruction indices; fails if a target is
+/// not an instruction boundary.
+Status RetargetBranches(std::vector<Instr>* instrs);
+
+/// Human-readable disassembly (one instruction per line).
+std::string Disassemble(const std::vector<Instr>& instrs);
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_BYTECODE_H_

@@ -1,0 +1,174 @@
+#include "jvm/class_file.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jvm {
+
+uint16_t ClassFile::InternUtf8(const std::string& s) {
+  for (size_t i = 0; i < cpool.size(); ++i) {
+    if (cpool[i].kind == ConstKind::kUtf8 && cpool[i].utf8 == s) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  ConstEntry e;
+  e.kind = ConstKind::kUtf8;
+  e.utf8 = s;
+  cpool.push_back(std::move(e));
+  return static_cast<uint16_t>(cpool.size() - 1);
+}
+
+uint16_t ClassFile::AddMethodRef(const std::string& cls,
+                                 const std::string& name,
+                                 const std::string& sig) {
+  ConstEntry e;
+  e.kind = ConstKind::kMethodRef;
+  e.class_idx = InternUtf8(cls);
+  e.name_idx = InternUtf8(name);
+  e.sig_idx = InternUtf8(sig);
+  cpool.push_back(e);
+  return static_cast<uint16_t>(cpool.size() - 1);
+}
+
+uint16_t ClassFile::AddNativeRef(const std::string& name,
+                                 const std::string& sig) {
+  ConstEntry e;
+  e.kind = ConstKind::kNativeRef;
+  e.name_idx = InternUtf8(name);
+  e.sig_idx = InternUtf8(sig);
+  cpool.push_back(e);
+  return static_cast<uint16_t>(cpool.size() - 1);
+}
+
+Result<const std::string*> ClassFile::GetUtf8(uint16_t idx) const {
+  if (idx >= cpool.size() || cpool[idx].kind != ConstKind::kUtf8) {
+    return VerificationError(StringPrintf("bad utf8 constant index %u", idx));
+  }
+  return &cpool[idx].utf8;
+}
+
+Result<const ConstEntry*> ClassFile::GetEntry(uint16_t idx,
+                                              ConstKind kind) const {
+  if (idx >= cpool.size() || cpool[idx].kind != kind) {
+    return VerificationError(
+        StringPrintf("bad constant index %u (kind %d)", idx,
+                     static_cast<int>(kind)));
+  }
+  return &cpool[idx];
+}
+
+Result<size_t> ClassFile::FindMethod(const std::string& name) const {
+  for (size_t i = 0; i < methods.size(); ++i) {
+    Result<const std::string*> n = GetUtf8(methods[i].name_idx);
+    if (n.ok() && **n == name) return i;
+  }
+  return NotFound("no method named '" + name + "' in class " + class_name);
+}
+
+Result<std::string> ClassFile::MethodName(const MethodDef& m) const {
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* n, GetUtf8(m.name_idx));
+  return *n;
+}
+
+Result<Signature> ClassFile::MethodSignature(const MethodDef& m) const {
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* s, GetUtf8(m.sig_idx));
+  return Signature::Parse(*s);
+}
+
+std::vector<uint8_t> ClassFile::Serialize() const {
+  BufferWriter w;
+  w.PutU32(kClassMagic);
+  w.PutU16(kClassVersion);
+  w.PutString(class_name);
+  w.PutU16(static_cast<uint16_t>(cpool.size()));
+  for (const ConstEntry& e : cpool) {
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    switch (e.kind) {
+      case ConstKind::kUtf8:
+        w.PutString(e.utf8);
+        break;
+      case ConstKind::kMethodRef:
+        w.PutU16(e.class_idx);
+        w.PutU16(e.name_idx);
+        w.PutU16(e.sig_idx);
+        break;
+      case ConstKind::kNativeRef:
+        w.PutU16(e.name_idx);
+        w.PutU16(e.sig_idx);
+        break;
+    }
+  }
+  w.PutU16(static_cast<uint16_t>(methods.size()));
+  for (const MethodDef& m : methods) {
+    w.PutU16(m.name_idx);
+    w.PutU16(m.sig_idx);
+    w.PutU16(m.max_locals);
+    w.PutU16(m.max_stack);
+    w.PutLengthPrefixed(Slice(m.code));
+  }
+  return w.Release();
+}
+
+Result<ClassFile> ClassFile::Parse(Slice bytes) {
+  BufferReader r(bytes);
+  ClassFile cf;
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kClassMagic) {
+    return VerificationError("not a JagVM class file (bad magic)");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(uint16_t version, r.ReadU16());
+  if (version != kClassVersion) {
+    return VerificationError(
+        StringPrintf("unsupported class file version %u", version));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(cf.class_name, r.ReadString());
+  JAGUAR_ASSIGN_OR_RETURN(uint16_t cpool_count, r.ReadU16());
+  cf.cpool.reserve(cpool_count);
+  for (uint16_t i = 0; i < cpool_count; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+    ConstEntry e;
+    switch (static_cast<ConstKind>(kind)) {
+      case ConstKind::kUtf8: {
+        e.kind = ConstKind::kUtf8;
+        JAGUAR_ASSIGN_OR_RETURN(e.utf8, r.ReadString());
+        break;
+      }
+      case ConstKind::kMethodRef: {
+        e.kind = ConstKind::kMethodRef;
+        JAGUAR_ASSIGN_OR_RETURN(e.class_idx, r.ReadU16());
+        JAGUAR_ASSIGN_OR_RETURN(e.name_idx, r.ReadU16());
+        JAGUAR_ASSIGN_OR_RETURN(e.sig_idx, r.ReadU16());
+        break;
+      }
+      case ConstKind::kNativeRef: {
+        e.kind = ConstKind::kNativeRef;
+        JAGUAR_ASSIGN_OR_RETURN(e.name_idx, r.ReadU16());
+        JAGUAR_ASSIGN_OR_RETURN(e.sig_idx, r.ReadU16());
+        break;
+      }
+      default:
+        return VerificationError(
+            StringPrintf("bad constant kind %u", kind));
+    }
+    cf.cpool.push_back(std::move(e));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(uint16_t method_count, r.ReadU16());
+  cf.methods.reserve(method_count);
+  for (uint16_t i = 0; i < method_count; ++i) {
+    MethodDef m;
+    JAGUAR_ASSIGN_OR_RETURN(m.name_idx, r.ReadU16());
+    JAGUAR_ASSIGN_OR_RETURN(m.sig_idx, r.ReadU16());
+    JAGUAR_ASSIGN_OR_RETURN(m.max_locals, r.ReadU16());
+    JAGUAR_ASSIGN_OR_RETURN(m.max_stack, r.ReadU16());
+    JAGUAR_ASSIGN_OR_RETURN(Slice code, r.ReadLengthPrefixed());
+    m.code = code.ToVector();
+    cf.methods.push_back(std::move(m));
+  }
+  if (!r.AtEnd()) {
+    return VerificationError("trailing bytes after class file");
+  }
+  return cf;
+}
+
+}  // namespace jvm
+}  // namespace jaguar

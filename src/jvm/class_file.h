@@ -1,0 +1,92 @@
+#ifndef JAGUAR_JVM_CLASS_FILE_H_
+#define JAGUAR_JVM_CLASS_FILE_H_
+
+/// \file class_file.h
+/// The JagVM class-file format — the *portable* unit of UDF code, playing the
+/// role of Java .class files in the paper: compiled once (by jjc or the
+/// assembler), shipped between client and server as bytes, verified at load
+/// time.
+///
+/// Binary layout (all integers little-endian):
+///
+///   magic "JAGC" | u16 version | u32 class_name (utf8 idx is not used for
+///   the class name: it is a length-prefixed string) |
+///   u16 cpool_count | cpool entries | u16 method_count | methods
+///
+///   cpool entry:  u8 kind
+///     kind 0 Utf8:      length-prefixed string
+///     kind 1 MethodRef: u16 class_utf8, u16 name_utf8, u16 sig_utf8
+///     kind 2 NativeRef: u16 name_utf8, u16 sig_utf8
+///
+///   method: u16 name_utf8 | u16 sig_utf8 | u16 max_locals | u16 max_stack |
+///           u32 code_len | code bytes
+///
+/// Parsing is fully bounds-checked (class files arrive from untrusted
+/// clients); structural validation beyond shape — index ranges, signature
+/// syntax, code well-formedness — is the verifier's job.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "jvm/bytecode.h"
+
+namespace jaguar {
+namespace jvm {
+
+inline constexpr uint32_t kClassMagic = 0x4341474A;  // "JAGC"
+inline constexpr uint16_t kClassVersion = 1;
+
+enum class ConstKind : uint8_t { kUtf8 = 0, kMethodRef = 1, kNativeRef = 2 };
+
+struct ConstEntry {
+  ConstKind kind = ConstKind::kUtf8;
+  std::string utf8;        ///< kUtf8.
+  uint16_t class_idx = 0;  ///< kMethodRef: utf8 index of the class name.
+  uint16_t name_idx = 0;   ///< kMethodRef/kNativeRef.
+  uint16_t sig_idx = 0;    ///< kMethodRef/kNativeRef.
+};
+
+struct MethodDef {
+  uint16_t name_idx = 0;
+  uint16_t sig_idx = 0;
+  uint16_t max_locals = 0;
+  uint16_t max_stack = 0;  ///< Declared; the verifier recomputes and checks.
+  std::vector<uint8_t> code;
+};
+
+class ClassFile {
+ public:
+  std::string class_name;
+  std::vector<ConstEntry> cpool;
+  std::vector<MethodDef> methods;
+
+  /// Adds a Utf8 entry (deduplicating) and returns its index.
+  uint16_t InternUtf8(const std::string& s);
+  /// Adds a MethodRef entry; the three arguments are interned automatically.
+  uint16_t AddMethodRef(const std::string& cls, const std::string& name,
+                        const std::string& sig);
+  /// Adds a NativeRef entry.
+  uint16_t AddNativeRef(const std::string& name, const std::string& sig);
+
+  /// Bounds-checked constant-pool accessors.
+  Result<const std::string*> GetUtf8(uint16_t idx) const;
+  Result<const ConstEntry*> GetEntry(uint16_t idx, ConstKind kind) const;
+
+  /// \return Index of the method named `name`, or NotFound.
+  Result<size_t> FindMethod(const std::string& name) const;
+
+  /// Method name/signature convenience (validated indices).
+  Result<std::string> MethodName(const MethodDef& m) const;
+  Result<Signature> MethodSignature(const MethodDef& m) const;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<ClassFile> Parse(Slice bytes);
+};
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_CLASS_FILE_H_

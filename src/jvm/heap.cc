@@ -1,0 +1,40 @@
+#include "jvm/heap.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jvm {
+
+Result<ArrayObject*> VmHeap::Allocate(uint64_t len, uint64_t kind,
+                                      uint64_t payload_bytes) {
+  // Cap individual allocations well below address-space games.
+  constexpr uint64_t kMaxArrayBytes = 1ULL << 32;
+  if (payload_bytes > kMaxArrayBytes) {
+    return ResourceExhausted("array allocation too large");
+  }
+  const size_t total = ArrayObject::kDataOffset + payload_bytes;
+  if (quota_ != 0 && bytes_allocated_ + total > quota_) {
+    return ResourceExhausted(StringPrintf(
+        "UDF heap quota exceeded (%zu bytes used, %zu requested, quota %zu)",
+        bytes_allocated_, total, quota_));
+  }
+  void* mem = std::calloc(1, total);
+  if (mem == nullptr) return ResourceExhausted("out of memory");
+  auto* arr = static_cast<ArrayObject*>(mem);
+  arr->length = len;
+  arr->kind = kind;
+  bytes_allocated_ += total;
+  objects_.push_back(arr);
+  return arr;
+}
+
+void VmHeap::Reset() {
+  for (ArrayObject* obj : objects_) std::free(obj);
+  objects_.clear();
+  bytes_allocated_ = 0;
+}
+
+}  // namespace jvm
+}  // namespace jaguar

@@ -1,0 +1,103 @@
+#ifndef JAGUAR_JVM_HEAP_H_
+#define JAGUAR_JVM_HEAP_H_
+
+/// \file heap.h
+/// The JagVM object heap: byte[] and int[] arrays with a hard byte quota.
+///
+/// Memory-management design (cf. Section 6.3 of the paper): rather than run a
+/// tracing GC *inside* the database server — the paper documents how a JVM
+/// garbage collector interacts badly with DBMS memory managers — JagVM uses
+/// the database world's own idiom, which the paper itself points out:
+/// allocate into a per-invocation pool and reclaim the entire pool when the
+/// invocation ends. UDFs are side-effect-free expressions (Section 4), so no
+/// object outlives its invocation; results are copied out across the
+/// embedding boundary before the pool is reset.
+///
+/// Every allocation is charged against the quota — this is the J-Kernel-style
+/// memory accounting the paper calls "essential in database systems"
+/// (Section 6.2).
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace jaguar {
+namespace jvm {
+
+/// Array object header. Layout is fixed and known to the JIT:
+///   offset 0: u64 length (elements)
+///   offset 8: u64 element kind (0 = byte, 1 = int)
+///   offset 16: payload
+struct ArrayObject {
+  uint64_t length;
+  uint64_t kind;  // 0 = byte, 1 = int
+
+  static constexpr uint64_t kByteKind = 0;
+  static constexpr uint64_t kIntKind = 1;
+  static constexpr size_t kLengthOffset = 0;
+  static constexpr size_t kKindOffset = 8;
+  static constexpr size_t kDataOffset = 16;
+
+  uint8_t* bytes() { return reinterpret_cast<uint8_t*>(this) + kDataOffset; }
+  const uint8_t* bytes() const {
+    return reinterpret_cast<const uint8_t*>(this) + kDataOffset;
+  }
+  int64_t* ints() { return reinterpret_cast<int64_t*>(bytes()); }
+  const int64_t* ints() const {
+    return reinterpret_cast<const int64_t*>(bytes());
+  }
+};
+
+static_assert(sizeof(ArrayObject) == ArrayObject::kDataOffset,
+              "JIT-visible layout");
+
+/// Per-invocation allocation pool with quota accounting.
+class VmHeap {
+ public:
+  /// \param quota_bytes maximum payload+header bytes (0 = unlimited).
+  explicit VmHeap(size_t quota_bytes = 0) : quota_(quota_bytes) {}
+  ~VmHeap() { Reset(); }
+
+  VmHeap(const VmHeap&) = delete;
+  VmHeap& operator=(const VmHeap&) = delete;
+
+  /// Allocates a zeroed byte array of `len` elements.
+  Result<ArrayObject*> NewByteArray(uint64_t len) {
+    return Allocate(len, ArrayObject::kByteKind, len);
+  }
+  /// Allocates a zeroed int array of `len` elements.
+  Result<ArrayObject*> NewIntArray(uint64_t len) {
+    return Allocate(len, ArrayObject::kIntKind, len * 8);
+  }
+  /// Allocates a byte array initialized from `data` (the copy across the
+  /// embedding boundary — the paper's marshalling cost).
+  Result<ArrayObject*> NewByteArrayFrom(Slice data) {
+    JAGUAR_ASSIGN_OR_RETURN(ArrayObject* arr, NewByteArray(data.size()));
+    if (!data.empty()) std::memcpy(arr->bytes(), data.data(), data.size());
+    return arr;
+  }
+
+  /// Frees every object allocated since the last Reset.
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t quota() const { return quota_; }
+  size_t object_count() const { return objects_.size(); }
+  void set_quota(size_t quota_bytes) { quota_ = quota_bytes; }
+
+ private:
+  Result<ArrayObject*> Allocate(uint64_t len, uint64_t kind,
+                                uint64_t payload_bytes);
+
+  size_t quota_;
+  size_t bytes_allocated_ = 0;
+  std::vector<ArrayObject*> objects_;
+};
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_HEAP_H_

@@ -1,0 +1,270 @@
+#include "jvm/interpreter.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jvm {
+
+namespace {
+
+inline ArrayObject* AsRef(int64_t slot) {
+  return reinterpret_cast<ArrayObject*>(slot);
+}
+inline int64_t FromRef(ArrayObject* obj) {
+  return reinterpret_cast<int64_t>(obj);
+}
+
+Status BoundsError(int64_t idx, uint64_t len) {
+  return RuntimeError(StringPrintf(
+      "array index %lld out of bounds for length %llu",
+      static_cast<long long>(idx), static_cast<unsigned long long>(len)));
+}
+
+}  // namespace
+
+Result<int64_t> Interpret(ExecContext* ctx, const LoadedClass& cls,
+                          const VerifiedMethod& method, const int64_t* args) {
+  JAGUAR_RETURN_IF_ERROR(ctx->EnterCall());
+  struct CallGuard {
+    ExecContext* ctx;
+    ~CallGuard() { ctx->LeaveCall(); }
+  } guard{ctx};
+
+  // Verified bounds: max_locals <= kMaxLocals, max_stack <= kMaxStackLimit.
+  int64_t locals[kMaxLocals];
+  int64_t stack[kMaxStackLimit];
+  const size_t nparams = method.sig.params.size();
+  for (size_t i = 0; i < nparams; ++i) locals[i] = args[i];
+
+  const Instr* code = method.code.data();
+  int64_t* budget = ctx->budget_ptr();
+  size_t sp = 0;  // next free slot
+  uint32_t pc = 0;
+
+  while (true) {
+    const Instr& ins = code[pc];
+    if (--*budget < 0) {
+      return ResourceExhausted("UDF exceeded its instruction budget");
+    }
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kIConst:
+        stack[sp++] = ins.imm;
+        break;
+      case Op::kILoad:
+      case Op::kALoad:
+        stack[sp++] = locals[ins.a];
+        break;
+      case Op::kIStore:
+      case Op::kAStore:
+        locals[ins.a] = stack[--sp];
+        break;
+      // Arithmetic wraps on overflow (two's complement), computed in the
+      // unsigned domain so the wrap is defined behavior — and so the
+      // interpreter matches the JIT's machine semantics exactly.
+      case Op::kIAdd:
+        stack[sp - 2] = static_cast<int64_t>(
+            static_cast<uint64_t>(stack[sp - 2]) +
+            static_cast<uint64_t>(stack[sp - 1]));
+        --sp;
+        break;
+      case Op::kISub:
+        stack[sp - 2] = static_cast<int64_t>(
+            static_cast<uint64_t>(stack[sp - 2]) -
+            static_cast<uint64_t>(stack[sp - 1]));
+        --sp;
+        break;
+      case Op::kIMul:
+        stack[sp - 2] = static_cast<int64_t>(
+            static_cast<uint64_t>(stack[sp - 2]) *
+            static_cast<uint64_t>(stack[sp - 1]));
+        --sp;
+        break;
+      case Op::kIDiv: {
+        int64_t b = stack[--sp];
+        if (b == 0) return RuntimeError("division by zero");
+        // INT64_MIN / -1 overflows; define it as INT64_MIN (wraps). The
+        // negation happens in the unsigned domain to avoid signed-overflow
+        // UB on exactly that input.
+        if (b == -1) {
+          stack[sp - 1] =
+              static_cast<int64_t>(-static_cast<uint64_t>(stack[sp - 1]));
+        } else {
+          stack[sp - 1] /= b;
+        }
+        break;
+      }
+      case Op::kIRem: {
+        int64_t b = stack[--sp];
+        if (b == 0) return RuntimeError("modulo by zero");
+        if (b == -1) {
+          stack[sp - 1] = 0;
+        } else {
+          stack[sp - 1] %= b;
+        }
+        break;
+      }
+      case Op::kINeg:
+        stack[sp - 1] =
+            static_cast<int64_t>(-static_cast<uint64_t>(stack[sp - 1]));
+        break;
+      case Op::kIAnd:
+        stack[sp - 2] &= stack[sp - 1];
+        --sp;
+        break;
+      case Op::kIOr:
+        stack[sp - 2] |= stack[sp - 1];
+        --sp;
+        break;
+      case Op::kIXor:
+        stack[sp - 2] ^= stack[sp - 1];
+        --sp;
+        break;
+      case Op::kIShl:
+        stack[sp - 2] = static_cast<int64_t>(
+            static_cast<uint64_t>(stack[sp - 2]) << (stack[sp - 1] & 63));
+        --sp;
+        break;
+      case Op::kIShr:
+        stack[sp - 2] >>= (stack[sp - 1] & 63);
+        --sp;
+        break;
+      case Op::kIUShr:
+        stack[sp - 2] = static_cast<int64_t>(
+            static_cast<uint64_t>(stack[sp - 2]) >> (stack[sp - 1] & 63));
+        --sp;
+        break;
+      case Op::kIfICmpEq:
+        sp -= 2;
+        if (stack[sp] == stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfICmpNe:
+        sp -= 2;
+        if (stack[sp] != stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfICmpLt:
+        sp -= 2;
+        if (stack[sp] < stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfICmpLe:
+        sp -= 2;
+        if (stack[sp] <= stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfICmpGt:
+        sp -= 2;
+        if (stack[sp] > stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfICmpGe:
+        sp -= 2;
+        if (stack[sp] >= stack[sp + 1]) { pc = ins.a; continue; }
+        break;
+      case Op::kIfEq:
+        if (stack[--sp] == 0) { pc = ins.a; continue; }
+        break;
+      case Op::kIfNe:
+        if (stack[--sp] != 0) { pc = ins.a; continue; }
+        break;
+      case Op::kGoto:
+        pc = ins.a;
+        continue;
+      case Op::kBALoad: {
+        int64_t idx = stack[--sp];
+        ArrayObject* arr = AsRef(stack[sp - 1]);
+        if (static_cast<uint64_t>(idx) >= arr->length) {
+          return BoundsError(idx, arr->length);
+        }
+        stack[sp - 1] = arr->bytes()[idx];
+        break;
+      }
+      case Op::kBAStore: {
+        int64_t val = stack[--sp];
+        int64_t idx = stack[--sp];
+        ArrayObject* arr = AsRef(stack[--sp]);
+        if (static_cast<uint64_t>(idx) >= arr->length) {
+          return BoundsError(idx, arr->length);
+        }
+        arr->bytes()[idx] = static_cast<uint8_t>(val);
+        break;
+      }
+      case Op::kIALoad: {
+        int64_t idx = stack[--sp];
+        ArrayObject* arr = AsRef(stack[sp - 1]);
+        if (static_cast<uint64_t>(idx) >= arr->length) {
+          return BoundsError(idx, arr->length);
+        }
+        stack[sp - 1] = arr->ints()[idx];
+        break;
+      }
+      case Op::kIAStore: {
+        int64_t val = stack[--sp];
+        int64_t idx = stack[--sp];
+        ArrayObject* arr = AsRef(stack[--sp]);
+        if (static_cast<uint64_t>(idx) >= arr->length) {
+          return BoundsError(idx, arr->length);
+        }
+        arr->ints()[idx] = val;
+        break;
+      }
+      case Op::kArrayLen:
+        stack[sp - 1] = static_cast<int64_t>(AsRef(stack[sp - 1])->length);
+        break;
+      case Op::kNewBArray: {
+        int64_t len = stack[--sp];
+        if (len < 0) return RuntimeError("negative array size");
+        JAGUAR_ASSIGN_OR_RETURN(ArrayObject* arr,
+                                ctx->heap().NewByteArray(len));
+        stack[sp++] = FromRef(arr);
+        break;
+      }
+      case Op::kNewIArray: {
+        int64_t len = stack[--sp];
+        if (len < 0) return RuntimeError("negative array size");
+        JAGUAR_ASSIGN_OR_RETURN(ArrayObject* arr, ctx->heap().NewIntArray(len));
+        stack[sp++] = FromRef(arr);
+        break;
+      }
+      case Op::kCall: {
+        JAGUAR_ASSIGN_OR_RETURN(LoadedClass::ResolvedMethod target,
+                                ResolveCall(cls, ins.a));
+        const size_t nargs = target.method->sig.params.size();
+        sp -= nargs;
+        JAGUAR_ASSIGN_OR_RETURN(
+            int64_t ret,
+            ctx->CallResolved(*target.target_class, *target.method,
+                              stack + sp));
+        if (!target.method->sig.returns_void) stack[sp++] = ret;
+        break;
+      }
+      case Op::kCallNative: {
+        JAGUAR_ASSIGN_OR_RETURN(const NativeMethod* native,
+                                ResolveNative(ctx->vm(), cls, ins.a));
+        const size_t nargs = native->sig.params.size();
+        sp -= nargs;
+        JAGUAR_ASSIGN_OR_RETURN(int64_t ret,
+                                InvokeNative(ctx, *native, stack + sp));
+        if (!native->sig.returns_void) stack[sp++] = ret;
+        break;
+      }
+      case Op::kIReturn:
+      case Op::kAReturn:
+        return stack[sp - 1];
+      case Op::kReturn:
+        return 0;
+      case Op::kDup:
+        stack[sp] = stack[sp - 1];
+        ++sp;
+        break;
+      case Op::kPop:
+        --sp;
+        break;
+      case Op::kSwap:
+        std::swap(stack[sp - 1], stack[sp - 2]);
+        break;
+    }
+    ++pc;
+  }
+}
+
+}  // namespace jvm
+}  // namespace jaguar

@@ -1,0 +1,27 @@
+#ifndef JAGUAR_JVM_INTERPRETER_H_
+#define JAGUAR_JVM_INTERPRETER_H_
+
+/// \file interpreter.h
+/// The bytecode interpreter: the always-available execution engine (and the
+/// reference semantics the JIT is differentially tested against).
+///
+/// Because code is verified before it reaches the interpreter, the loop
+/// performs no type checks — only the checks with runtime semantics: array
+/// bounds, division by zero, the instruction budget, heap quota, call depth,
+/// and the security manager on native calls.
+
+#include "common/status.h"
+#include "jvm/vm.h"
+
+namespace jaguar {
+namespace jvm {
+
+/// Executes `method` with `args` (one slot per parameter). Returns the raw
+/// result slot (undefined for void methods).
+Result<int64_t> Interpret(ExecContext* ctx, const LoadedClass& cls,
+                          const VerifiedMethod& method, const int64_t* args);
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_INTERPRETER_H_

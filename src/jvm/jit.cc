@@ -1,0 +1,1052 @@
+#include "jvm/jit.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "jvm/heap.h"
+#include "jvm/vm.h"
+
+namespace jaguar {
+namespace jvm {
+
+// ---------------------------------------------------------------------------
+// Runtime helpers called from JIT code (C ABI). Each returns 0 on success or
+// a Trap code after storing it (plus any Status detail) in the frame/context.
+// ---------------------------------------------------------------------------
+
+extern "C" {
+
+int64_t jag_rt_call(JitCallFrame* f, uint64_t cpool_idx, int64_t* argret) {
+  Result<LoadedClass::ResolvedMethod> target =
+      ResolveCall(*f->cls, static_cast<uint32_t>(cpool_idx));
+  if (!target.ok()) {
+    f->ctx->set_pending_error(target.status());
+    f->trap = static_cast<int64_t>(Trap::kNative);
+    return f->trap;
+  }
+  Result<int64_t> r =
+      f->ctx->CallResolved(*target->target_class, *target->method, argret);
+  if (!r.ok()) {
+    f->ctx->set_pending_error(r.status());
+    f->trap = static_cast<int64_t>(Trap::kNative);
+    return f->trap;
+  }
+  argret[0] = *r;
+  return 0;
+}
+
+int64_t jag_rt_callnative(JitCallFrame* f, uint64_t cpool_idx,
+                          int64_t* argret) {
+  Result<const NativeMethod*> native =
+      ResolveNative(f->ctx->vm(), *f->cls, static_cast<uint32_t>(cpool_idx));
+  if (!native.ok()) {
+    f->ctx->set_pending_error(native.status());
+    f->trap = static_cast<int64_t>(Trap::kNative);
+    return f->trap;
+  }
+  Result<int64_t> r = InvokeNative(f->ctx, **native, argret);
+  if (!r.ok()) {
+    f->ctx->set_pending_error(r.status());
+    f->trap = static_cast<int64_t>(
+        r.status().IsSecurityViolation() ? Trap::kSecurity : Trap::kNative);
+    return f->trap;
+  }
+  argret[0] = *r;
+  return 0;
+}
+
+/// Returns the new ArrayObject* (never 0) or 0 with f->trap set.
+int64_t jag_rt_newarray(JitCallFrame* f, int64_t len, int64_t kind) {
+  if (len < 0) {
+    f->ctx->set_pending_error(RuntimeError("negative array size"));
+    f->trap = static_cast<int64_t>(Trap::kNative);
+    return 0;
+  }
+  Result<ArrayObject*> arr =
+      kind == static_cast<int64_t>(ArrayObject::kByteKind)
+          ? f->ctx->heap().NewByteArray(static_cast<uint64_t>(len))
+          : f->ctx->heap().NewIntArray(static_cast<uint64_t>(len));
+  if (!arr.ok()) {
+    f->ctx->set_pending_error(arr.status());
+    f->trap = static_cast<int64_t>(Trap::kHeap);
+    return 0;
+  }
+  return reinterpret_cast<int64_t>(*arr);
+}
+
+}  // extern "C"
+
+#if !defined(__x86_64__)
+
+Result<std::unique_ptr<JitArtifact>> CompileMethod(
+    const LoadedClass& cls, const VerifiedMethod& method,
+    bool emit_budget_checks) {
+  return NotSupported("JagVM JIT supports x86-64 only");
+}
+
+#else
+
+namespace {
+
+// Pinned infrastructure registers.
+constexpr Reg kLocals = Reg::RBX;     // locals array base
+constexpr Reg kSpillBase = Reg::R13;  // canonical operand-stack base
+constexpr Reg kFrame = Reg::R14;      // JitCallFrame*
+constexpr Reg kBudget = Reg::R12;     // instructions-remaining (VALUE; synced
+                                      // to *frame->budget at boundaries)
+
+// Frame field offsets (must match JitCallFrame).
+constexpr int32_t kFrameLocals = 0;
+constexpr int32_t kFrameSpill = 8;
+constexpr int32_t kFrameTrap = 24;
+constexpr int32_t kFrameBudget = 32;
+
+// Registers available for pinning hot locals. RBP/R15 are callee-saved and
+// survive helper calls for free; RSI/RDI/R8 are caller-saved and are
+// spilled/reloaded around helper calls.
+constexpr Reg kPinRegs[] = {Reg::RBP, Reg::R15, Reg::RSI, Reg::RDI, Reg::R8};
+constexpr size_t kMaxPins = sizeof(kPinRegs) / sizeof(kPinRegs[0]);
+constexpr size_t kCalleeSavedPins = 2;  // RBP, R15
+
+// Operand-pool registers (caller-saved; flushed around helper calls). Three
+// registers are necessary and sufficient: the widest simultaneous operand
+// set is bastore/iastore (value, index, array), and popped operands are no
+// longer spillable stack entries.
+constexpr Reg kPool[] = {Reg::R9, Reg::R10, Reg::R11};
+constexpr size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+
+/// One symbolic operand-stack entry.
+///  * kReg:   value lives in an owned pool register.
+///  * kSpill: value lives in its canonical frame slot (always positioned at
+///            its own stack index — see Flush()).
+///  * kAlias: value is "the current value of pinned local `local`"; reading
+///            it uses the pin register directly, but any store to that local
+///            first materializes live aliases (copy-on-invalidate).
+struct StackEntry {
+  enum class Kind : uint8_t { kReg, kSpill, kAlias };
+  Kind kind;
+  Reg reg = Reg::RAX;      // kReg
+  uint32_t local = 0;      // kAlias
+};
+
+/// A popped operand: the register holding the value plus whether the caller
+/// owns (and must free / may mutate) it.
+struct Operand {
+  Reg reg;
+  bool temp;
+};
+
+class MethodCompiler {
+ public:
+  MethodCompiler(const LoadedClass& cls, const VerifiedMethod& m,
+                 bool emit_budget_checks)
+      : cls_(cls), m_(m), emit_budget_checks_(emit_budget_checks) {}
+
+  Result<std::unique_ptr<JitArtifact>> Compile() {
+    JAGUAR_RETURN_IF_ERROR(AnalyzeBlocks());
+    PickPinnedLocals();
+
+    block_labels_.resize(m_.code.size());
+    for (size_t pc = 0; pc < m_.code.size(); ++pc) {
+      if (block_start_[pc]) block_labels_[pc] = a_.NewLabel();
+    }
+    trap_div_ = a_.NewLabel();
+    trap_bounds_ = a_.NewLabel();
+    trap_budget_ = a_.NewLabel();
+    trap_helper_ = a_.NewLabel();
+    epilogue_ = a_.NewLabel();
+
+    EmitPrologue();
+
+    bool reachable = true;
+    for (uint32_t pc = 0; pc < m_.code.size(); ++pc) {
+      if (block_start_[pc]) {
+        if (pc > 0 && reachable && !IsBlockEnd(m_.code[pc - 1].op)) {
+          Flush();
+        }
+        reachable = entry_depth_[pc] >= 0;
+        if (reachable) {
+          if (loop_head_[pc]) a_.AlignTo(16);
+          a_.Bind(block_labels_[pc]);
+          ResetToCanonical(entry_depth_[pc]);
+          EmitBudgetCharge(pc);
+        }
+      }
+      if (!reachable) continue;
+      skip_ = 0;
+      JAGUAR_RETURN_IF_ERROR(EmitInstr(pc));
+      pc += skip_;
+    }
+
+    EmitTrapExits();
+
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> code, a_.Finalize());
+    JAGUAR_ASSIGN_OR_RETURN(ExecutableMemory mem,
+                            ExecutableMemory::Create(code));
+    return std::make_unique<JitArtifact>(std::move(mem));
+  }
+
+ private:
+  // -- Analysis -------------------------------------------------------------
+
+  Status StackEffect(const Instr& ins, int* pops, int* pushes) {
+    switch (ins.op) {
+      case Op::kNop: *pops = 0; *pushes = 0; break;
+      case Op::kIConst: *pops = 0; *pushes = 1; break;
+      case Op::kILoad: case Op::kALoad: *pops = 0; *pushes = 1; break;
+      case Op::kIStore: case Op::kAStore: *pops = 1; *pushes = 0; break;
+      case Op::kIAdd: case Op::kISub: case Op::kIMul: case Op::kIDiv:
+      case Op::kIRem: case Op::kIAnd: case Op::kIOr: case Op::kIXor:
+      case Op::kIShl: case Op::kIShr: case Op::kIUShr:
+        *pops = 2; *pushes = 1; break;
+      case Op::kINeg: *pops = 1; *pushes = 1; break;
+      case Op::kIfICmpEq: case Op::kIfICmpNe: case Op::kIfICmpLt:
+      case Op::kIfICmpLe: case Op::kIfICmpGt: case Op::kIfICmpGe:
+        *pops = 2; *pushes = 0; break;
+      case Op::kIfEq: case Op::kIfNe: *pops = 1; *pushes = 0; break;
+      case Op::kGoto: *pops = 0; *pushes = 0; break;
+      case Op::kBALoad: case Op::kIALoad: *pops = 2; *pushes = 1; break;
+      case Op::kBAStore: case Op::kIAStore: *pops = 3; *pushes = 0; break;
+      case Op::kArrayLen: *pops = 1; *pushes = 1; break;
+      case Op::kNewBArray: case Op::kNewIArray: *pops = 1; *pushes = 1; break;
+      case Op::kCall: case Op::kCallNative: {
+        JAGUAR_ASSIGN_OR_RETURN(Signature sig, CalleeSig(ins));
+        *pops = static_cast<int>(sig.params.size());
+        *pushes = sig.returns_void ? 0 : 1;
+        break;
+      }
+      case Op::kIReturn: case Op::kAReturn: *pops = 1; *pushes = 0; break;
+      case Op::kReturn: *pops = 0; *pushes = 0; break;
+      case Op::kDup: *pops = 0; *pushes = 1; break;
+      case Op::kPop: *pops = 1; *pushes = 0; break;
+      case Op::kSwap: *pops = 0; *pushes = 0; break;
+    }
+    return Status::OK();
+  }
+
+  Result<Signature> CalleeSig(const Instr& ins) {
+    const ClassFile& cf = cls_.cls.cf;
+    ConstKind kind = ins.op == Op::kCall ? ConstKind::kMethodRef
+                                         : ConstKind::kNativeRef;
+    JAGUAR_ASSIGN_OR_RETURN(const ConstEntry* e,
+                            cf.GetEntry(static_cast<uint16_t>(ins.a), kind));
+    JAGUAR_ASSIGN_OR_RETURN(const std::string* sig_text,
+                            cf.GetUtf8(e->sig_idx));
+    return Signature::Parse(*sig_text);
+  }
+
+  Status AnalyzeBlocks() {
+    const size_t n = m_.code.size();
+    block_start_.assign(n, false);
+    entry_depth_.assign(n, -1);
+    block_start_[0] = true;
+    for (size_t pc = 0; pc < n; ++pc) {
+      const Instr& ins = m_.code[pc];
+      if (IsBranch(ins.op)) {
+        block_start_[ins.a] = true;
+        if (pc + 1 < n) block_start_[pc + 1] = true;
+      } else if (IsBlockEnd(ins.op) && pc + 1 < n) {
+        block_start_[pc + 1] = true;
+      }
+    }
+    // Loop heads (targets of backward branches) get 16-byte alignment.
+    loop_head_.assign(n, false);
+    for (uint32_t pc = 0; pc < n; ++pc) {
+      const Instr& ins = m_.code[pc];
+      if (IsBranch(ins.op) && ins.a <= pc) loop_head_[ins.a] = true;
+    }
+    std::vector<uint32_t> worklist = {0};
+    entry_depth_[0] = 0;
+    while (!worklist.empty()) {
+      uint32_t pc = worklist.back();
+      worklist.pop_back();
+      int depth = entry_depth_[pc];
+      for (uint32_t i = pc;; ++i) {
+        const Instr& ins = m_.code[i];
+        int pops = 0, pushes = 0;
+        JAGUAR_RETURN_IF_ERROR(StackEffect(ins, &pops, &pushes));
+        depth = depth - pops + pushes;
+        auto propagate = [&](uint32_t target, int d) -> Status {
+          if (entry_depth_[target] == -1) {
+            entry_depth_[target] = d;
+            worklist.push_back(target);
+          } else if (entry_depth_[target] != d) {
+            return Internal("inconsistent stack depth post-verification");
+          }
+          return Status::OK();
+        };
+        if (IsBranch(ins.op)) {
+          JAGUAR_RETURN_IF_ERROR(propagate(ins.a, depth));
+        }
+        if (IsBlockEnd(ins.op)) break;
+        if (i + 1 < m_.code.size() && block_start_[i + 1]) {
+          JAGUAR_RETURN_IF_ERROR(propagate(i + 1, depth));
+          break;
+        }
+      }
+    }
+    block_len_.assign(n, 0);
+    for (size_t start = 0; start < n; ++start) {
+      if (!block_start_[start]) continue;
+      uint32_t len = 0;
+      for (size_t i = start; i < n; ++i) {
+        ++len;
+        if (IsBlockEnd(m_.code[i].op) ||
+            (i + 1 < n && block_start_[i + 1])) {
+          break;
+        }
+      }
+      block_len_[start] = len;
+    }
+    return Status::OK();
+  }
+
+  /// Pins the hottest locals to registers for the whole method — the
+  /// optimization that lets JIT-compiled loops run at native speed
+  /// (Figure 6's "good JIT compiler"). Uses are weighted by approximate
+  /// loop-nesting depth (derived from backward branches), so inner-loop
+  /// counters beat outer-loop parameters.
+  void PickPinnedLocals() {
+    pin_of_local_.assign(m_.max_locals, -1);
+    num_pins_ = 0;
+    if (m_.max_locals == 0) return;
+    // Loop depth estimate: each backward edge (branch to target <= pc)
+    // increments the depth of every instruction in [target, pc].
+    std::vector<uint32_t> depth(m_.code.size(), 0);
+    for (uint32_t pc = 0; pc < m_.code.size(); ++pc) {
+      const Instr& ins = m_.code[pc];
+      if (IsBranch(ins.op) && ins.a <= pc) {
+        for (uint32_t i = ins.a; i <= pc; ++i) ++depth[i];
+      }
+    }
+    std::vector<uint64_t> weight(m_.max_locals, 0);
+    for (uint32_t pc = 0; pc < m_.code.size(); ++pc) {
+      const Instr& ins = m_.code[pc];
+      switch (ins.op) {
+        case Op::kILoad: case Op::kIStore: case Op::kALoad: case Op::kAStore:
+          if (ins.a < weight.size()) {
+            weight[ins.a] += uint64_t{1} << (3 * std::min<uint32_t>(
+                                                 depth[pc], 6));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    std::vector<std::pair<uint64_t, uint32_t>> uses;  // (weight, local)
+    for (uint32_t i = 0; i < weight.size(); ++i) {
+      if (weight[i] > 0) uses.emplace_back(weight[i], i);
+    }
+    std::sort(uses.begin(), uses.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (const auto& [w, local] : uses) {
+      if (num_pins_ >= kMaxPins) break;
+      pin_of_local_[local] = static_cast<int>(num_pins_++);
+    }
+  }
+
+  bool IsPinned(uint32_t local) const { return pin_of_local_[local] >= 0; }
+  Reg PinReg(uint32_t local) const {
+    return kPinRegs[pin_of_local_[local]];
+  }
+
+  // -- Symbolic stack management ---------------------------------------------
+
+  void ResetToCanonical(int depth) {
+    stack_.clear();
+    for (int i = 0; i < depth; ++i) {
+      stack_.push_back({StackEntry::Kind::kSpill});
+    }
+    for (size_t i = 0; i < kPoolSize; ++i) reg_used_[i] = false;
+  }
+
+  int32_t SlotDisp(size_t position) {
+    return static_cast<int32_t>(position * 8);
+  }
+
+  Reg AllocReg() {
+    for (size_t i = 0; i < kPoolSize; ++i) {
+      if (!reg_used_[i]) {
+        reg_used_[i] = true;
+        return kPool[i];
+      }
+    }
+    for (size_t pos = 0; pos < stack_.size(); ++pos) {
+      if (stack_[pos].kind == StackEntry::Kind::kReg) {
+        Reg victim = stack_[pos].reg;
+        a_.MovMemReg(kSpillBase, SlotDisp(pos), victim);
+        stack_[pos].kind = StackEntry::Kind::kSpill;
+        return victim;  // stays marked used
+      }
+    }
+    JAGUAR_CHECK(false) << "JIT register pool inconsistency";
+    return kPool[0];
+  }
+
+  void FreeReg(Reg r) {
+    for (size_t i = 0; i < kPoolSize; ++i) {
+      if (kPool[i] == r) {
+        reg_used_[i] = false;
+        return;
+      }
+    }
+  }
+  void FreeOperand(const Operand& op) {
+    if (op.temp) FreeReg(op.reg);
+  }
+
+  void PushReg(Reg r) {
+    stack_.push_back({StackEntry::Kind::kReg, r, 0});
+  }
+
+  /// Pops the top entry for read-only use. Alias entries hand back the pin
+  /// register itself (no copy, not owned).
+  Operand PopSource() {
+    JAGUAR_CHECK(!stack_.empty()) << "JIT symbolic stack underflow";
+    StackEntry e = stack_.back();
+    size_t pos = stack_.size() - 1;
+    stack_.pop_back();
+    switch (e.kind) {
+      case StackEntry::Kind::kReg:
+        return {e.reg, true};
+      case StackEntry::Kind::kSpill: {
+        Reg r = AllocReg();
+        a_.MovRegMem(r, kSpillBase, SlotDisp(pos));
+        return {r, true};
+      }
+      case StackEntry::Kind::kAlias:
+        return {PinReg(e.local), false};
+    }
+    return {kPool[0], false};
+  }
+
+  /// Pops the top entry into a register the caller may clobber.
+  Operand PopMutable() {
+    JAGUAR_CHECK(!stack_.empty()) << "JIT symbolic stack underflow";
+    StackEntry e = stack_.back();
+    size_t pos = stack_.size() - 1;
+    stack_.pop_back();
+    Reg r;
+    switch (e.kind) {
+      case StackEntry::Kind::kReg:
+        return {e.reg, true};
+      case StackEntry::Kind::kSpill:
+        r = AllocReg();
+        a_.MovRegMem(r, kSpillBase, SlotDisp(pos));
+        return {r, true};
+      case StackEntry::Kind::kAlias:
+        r = AllocReg();
+        a_.MovRegReg(r, PinReg(e.local));
+        return {r, true};
+    }
+    return {kPool[0], true};
+  }
+
+  /// A store to pinned local `local` is about to change its register; any
+  /// live stack aliases of it must capture the old value first. Captures go
+  /// to the canonical spill slot so this never needs a free register.
+  void MaterializeAliasesOf(uint32_t local) {
+    for (size_t pos = 0; pos < stack_.size(); ++pos) {
+      StackEntry& e = stack_[pos];
+      if (e.kind == StackEntry::Kind::kAlias && e.local == local) {
+        a_.MovMemReg(kSpillBase, SlotDisp(pos), PinReg(local));
+        e.kind = StackEntry::Kind::kSpill;
+      }
+    }
+  }
+
+  /// Flushes every non-canonical entry to its canonical slot.
+  void Flush() {
+    for (size_t pos = 0; pos < stack_.size(); ++pos) {
+      StackEntry& e = stack_[pos];
+      if (e.kind == StackEntry::Kind::kReg) {
+        a_.MovMemReg(kSpillBase, SlotDisp(pos), e.reg);
+        FreeReg(e.reg);
+        e.kind = StackEntry::Kind::kSpill;
+      } else if (e.kind == StackEntry::Kind::kAlias) {
+        a_.MovMemReg(kSpillBase, SlotDisp(pos), PinReg(e.local));
+        e.kind = StackEntry::Kind::kSpill;
+      }
+    }
+  }
+
+  /// Drops all symbolic entries without emitting stores (used at returns,
+  /// where the remaining operand-stack values are dead).
+  void DiscardStack() {
+    for (StackEntry& e : stack_) {
+      if (e.kind == StackEntry::Kind::kReg) FreeReg(e.reg);
+    }
+    stack_.clear();
+  }
+
+  static bool FitsImm32(int64_t v) {
+    return v >= INT32_MIN && v <= INT32_MAX;
+  }
+
+  /// Emits `dst op= imm` for the foldable ALU ops.
+  void EmitAluImm(Op op, Reg dst, int32_t imm) {
+    switch (op) {
+      case Op::kIAdd: a_.AddRegImm32(dst, imm); break;
+      case Op::kISub: a_.SubRegImm32(dst, imm); break;
+      case Op::kIAnd: a_.AndRegImm32(dst, imm); break;
+      case Op::kIOr: a_.OrRegImm32(dst, imm); break;
+      default: a_.XorRegImm32(dst, imm); break;
+    }
+  }
+
+  void EmitAluReg(Op op, Reg dst, Reg src) {
+    switch (op) {
+      case Op::kIAdd: a_.AddRegReg(dst, src); break;
+      case Op::kISub: a_.SubRegReg(dst, src); break;
+      case Op::kIAnd: a_.AndRegReg(dst, src); break;
+      case Op::kIOr: a_.OrRegReg(dst, src); break;
+      default: a_.XorRegReg(dst, src); break;
+    }
+  }
+
+  static bool IsFoldableAlu(Op op) {
+    return op == Op::kIAdd || op == Op::kISub || op == Op::kIAnd ||
+           op == Op::kIOr || op == Op::kIXor;
+  }
+
+  /// True when instructions pc+1..pc+n exist in the same basic block.
+  bool SameBlock(uint32_t pc, uint32_t n) const {
+    if (pc + n >= m_.code.size()) return false;
+    for (uint32_t k = 1; k <= n; ++k) {
+      if (block_start_[pc + k]) return false;
+    }
+    return true;
+  }
+
+  /// Peephole: `iload a; (iconst c | iload b); alu; istore a` with `a`
+  /// pinned becomes a single read-modify-write on the pin register — this is
+  /// what makes JIT-compiled counter/accumulator loops run at native speed.
+  bool TryFusedPinnedRmw(uint32_t pc) {
+    const Instr& i0 = m_.code[pc];
+    if (i0.op != Op::kILoad || !IsPinned(i0.a) || !SameBlock(pc, 3)) {
+      return false;
+    }
+    const Instr& i1 = m_.code[pc + 1];
+    const Instr& i2 = m_.code[pc + 2];
+    const Instr& i3 = m_.code[pc + 3];
+    if (!IsFoldableAlu(i2.op) || i3.op != Op::kIStore || i3.a != i0.a) {
+      return false;
+    }
+    const bool src_const = i1.op == Op::kIConst && FitsImm32(i1.imm);
+    const bool src_local = i1.op == Op::kILoad;
+    if (!src_const && !src_local) return false;
+
+    Reg dst = PinReg(i0.a);
+    MaterializeAliasesOf(i0.a);  // stack aliases keep the pre-store value
+    if (src_const) {
+      EmitAluImm(i2.op, dst, static_cast<int32_t>(i1.imm));
+    } else if (IsPinned(i1.a)) {
+      EmitAluReg(i2.op, dst, PinReg(i1.a));
+    } else {
+      a_.MovRegMem(Reg::RAX, kLocals, static_cast<int32_t>(i1.a * 8));
+      EmitAluReg(i2.op, dst, Reg::RAX);
+    }
+    skip_ = 3;
+    return true;
+  }
+
+  /// Peephole: `iconst c; alu` folds the constant into an immediate operand;
+  /// `iconst c; if_icmpXX` becomes cmp-with-immediate.
+  bool TryConstFold(uint32_t pc) {
+    const Instr& i0 = m_.code[pc];
+    if (i0.op != Op::kIConst || !FitsImm32(i0.imm) || !SameBlock(pc, 1)) {
+      return false;
+    }
+    const Instr& i1 = m_.code[pc + 1];
+    if (IsFoldableAlu(i1.op)) {
+      Operand a = PopMutable();
+      EmitAluImm(i1.op, a.reg, static_cast<int32_t>(i0.imm));
+      PushReg(a.reg);
+      skip_ = 1;
+      return true;
+    }
+    switch (i1.op) {
+      case Op::kIfICmpEq: case Op::kIfICmpNe: case Op::kIfICmpLt:
+      case Op::kIfICmpLe: case Op::kIfICmpGt: case Op::kIfICmpGe: {
+        Operand a = PopSource();
+        Flush();
+        a_.CmpRegImm32(a.reg, static_cast<int32_t>(i0.imm));
+        FreeOperand(a);
+        Cond cond;
+        switch (i1.op) {
+          case Op::kIfICmpEq: cond = Cond::kE; break;
+          case Op::kIfICmpNe: cond = Cond::kNe; break;
+          case Op::kIfICmpLt: cond = Cond::kL; break;
+          case Op::kIfICmpLe: cond = Cond::kLe; break;
+          case Op::kIfICmpGt: cond = Cond::kG; break;
+          default: cond = Cond::kGe; break;
+        }
+        a_.Jcc(cond, block_labels_[i1.a]);
+        skip_ = 1;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// Peephole: `iload <unpinned local>; if_icmpXX` compares against the
+  /// local's memory slot directly (one micro-fused cmp instead of a load
+  /// with a dependent compare) — loop bounds that did not win a pin register
+  /// stay cheap.
+  bool TryCmpMemFold(uint32_t pc) {
+    const Instr& i0 = m_.code[pc];
+    if (i0.op != Op::kILoad || IsPinned(i0.a) || !SameBlock(pc, 1)) {
+      return false;
+    }
+    const Instr& i1 = m_.code[pc + 1];
+    Cond cond;
+    switch (i1.op) {
+      case Op::kIfICmpEq: cond = Cond::kE; break;
+      case Op::kIfICmpNe: cond = Cond::kNe; break;
+      case Op::kIfICmpLt: cond = Cond::kL; break;
+      case Op::kIfICmpLe: cond = Cond::kLe; break;
+      case Op::kIfICmpGt: cond = Cond::kG; break;
+      case Op::kIfICmpGe: cond = Cond::kGe; break;
+      default: return false;
+    }
+    Operand a = PopSource();  // the comparison's left operand
+    Flush();
+    a_.CmpRegMem(a.reg, kLocals, static_cast<int32_t>(i0.a * 8));
+    FreeOperand(a);
+    a_.Jcc(cond, block_labels_[i1.a]);
+    skip_ = 1;
+    return true;
+  }
+
+  /// Spills caller-saved pinned locals to the frame's locals array (helpers
+  /// clobber RSI/RDI); reload mirrors it.
+  void SaveCallerSavedPins() {
+    for (uint32_t local = 0; local < m_.max_locals; ++local) {
+      int pin = pin_of_local_[local];
+      if (pin >= static_cast<int>(kCalleeSavedPins)) {
+        a_.MovMemReg(kLocals, static_cast<int32_t>(local * 8),
+                     kPinRegs[pin]);
+      }
+    }
+  }
+  void ReloadCallerSavedPins() {
+    for (uint32_t local = 0; local < m_.max_locals; ++local) {
+      int pin = pin_of_local_[local];
+      if (pin >= static_cast<int>(kCalleeSavedPins)) {
+        a_.MovRegMem(kPinRegs[pin], kLocals,
+                     static_cast<int32_t>(local * 8));
+      }
+    }
+  }
+
+  // -- Emission ---------------------------------------------------------------
+
+  void EmitPrologue() {
+    a_.PushReg(Reg::RBX);
+    a_.PushReg(Reg::RBP);
+    a_.PushReg(Reg::R12);
+    a_.PushReg(Reg::R13);
+    a_.PushReg(Reg::R14);
+    a_.PushReg(Reg::R15);
+    a_.SubRegImm32(Reg::RSP, 8);  // align to 16 for helper calls
+    a_.MovRegReg(kFrame, Reg::RDI);
+    a_.MovRegMem(kLocals, kFrame, kFrameLocals);
+    a_.MovRegMem(kSpillBase, kFrame, kFrameSpill);
+    // The budget lives in a register while this frame runs; it is synced to
+    // the shared counter (*frame->budget) at returns and around helper calls
+    // so nested frames and the embedder observe a consistent value.
+    a_.MovRegMem(Reg::RAX, kFrame, kFrameBudget);
+    a_.MovRegMem(kBudget, Reg::RAX, 0);
+    // Load pinned locals (arguments are prefilled; others hold garbage that
+    // the verifier guarantees is never read before being written).
+    for (uint32_t local = 0; local < m_.max_locals; ++local) {
+      if (IsPinned(local)) {
+        a_.MovRegMem(PinReg(local), kLocals,
+                     static_cast<int32_t>(local * 8));
+      }
+    }
+  }
+
+  void EmitEpilogue() {
+    a_.Bind(epilogue_);
+    EmitBudgetWriteBack();
+    a_.AddRegImm32(Reg::RSP, 8);
+    a_.PopReg(Reg::R15);
+    a_.PopReg(Reg::R14);
+    a_.PopReg(Reg::R13);
+    a_.PopReg(Reg::R12);
+    a_.PopReg(Reg::RBP);
+    a_.PopReg(Reg::RBX);
+    a_.Ret();
+  }
+
+  void EmitBudgetCharge(uint32_t block_pc) {
+    if (!emit_budget_checks_) return;
+    a_.SubRegImm32(kBudget, static_cast<int32_t>(block_len_[block_pc]));
+    a_.Jcc(Cond::kS, trap_budget_);
+  }
+
+  /// *frame->budget = r12 (clobbers RCX only — RAX may hold a result).
+  void EmitBudgetWriteBack() {
+    if (!emit_budget_checks_) return;
+    a_.MovRegMem(Reg::RCX, kFrame, kFrameBudget);
+    a_.MovMemReg(Reg::RCX, 0, kBudget);
+  }
+  /// r12 = *frame->budget (clobbers RCX only).
+  void EmitBudgetReload() {
+    if (!emit_budget_checks_) return;
+    a_.MovRegMem(Reg::RCX, kFrame, kFrameBudget);
+    a_.MovRegMem(kBudget, Reg::RCX, 0);
+  }
+
+  void EmitTrapExits() {
+    auto store_trap = [&](X64Assembler::LabelId label, Trap code) {
+      a_.Bind(label);
+      a_.MovRegImm64(Reg::RAX, static_cast<int64_t>(code));
+      a_.MovMemReg(kFrame, kFrameTrap, Reg::RAX);
+      a_.Jmp(epilogue_);
+    };
+    store_trap(trap_div_, Trap::kDivByZero);
+    store_trap(trap_bounds_, Trap::kBounds);
+    store_trap(trap_budget_, Trap::kBudget);
+    a_.Bind(trap_helper_);  // helper already wrote frame->trap
+    EmitBudgetReload();     // nested frames spent budget; r12 is stale
+    a_.Jmp(epilogue_);
+    EmitEpilogue();
+  }
+
+  template <typename SetupFn>
+  void EmitHelperCall(void* helper, SetupFn setup_args) {
+    a_.MovRegReg(Reg::RDI, kFrame);
+    setup_args();
+    a_.MovRegImm64(Reg::RAX, reinterpret_cast<int64_t>(helper));
+    a_.CallReg(Reg::RAX);
+  }
+
+  Status EmitInstr(uint32_t pc) {
+    if (TryFusedPinnedRmw(pc) || TryConstFold(pc) || TryCmpMemFold(pc)) {
+      return Status::OK();
+    }
+    const Instr& ins = m_.code[pc];
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kIConst: {
+        Reg r = AllocReg();
+        a_.MovRegImm64(r, ins.imm);
+        PushReg(r);
+        break;
+      }
+      case Op::kILoad:
+      case Op::kALoad: {
+        if (IsPinned(ins.a)) {
+          stack_.push_back({StackEntry::Kind::kAlias, Reg::RAX, ins.a});
+        } else {
+          Reg r = AllocReg();
+          a_.MovRegMem(r, kLocals, static_cast<int32_t>(ins.a * 8));
+          PushReg(r);
+        }
+        break;
+      }
+      case Op::kIStore:
+      case Op::kAStore: {
+        Operand v = PopSource();
+        if (IsPinned(ins.a)) {
+          MaterializeAliasesOf(ins.a);
+          if (v.reg != PinReg(ins.a)) {
+            a_.MovRegReg(PinReg(ins.a), v.reg);
+          }
+        } else {
+          a_.MovMemReg(kLocals, static_cast<int32_t>(ins.a * 8), v.reg);
+        }
+        FreeOperand(v);
+        break;
+      }
+      case Op::kIAdd: case Op::kISub: case Op::kIMul:
+      case Op::kIAnd: case Op::kIOr: case Op::kIXor: {
+        Operand b = PopSource();
+        Operand a = PopMutable();
+        switch (ins.op) {
+          case Op::kIAdd: a_.AddRegReg(a.reg, b.reg); break;
+          case Op::kISub: a_.SubRegReg(a.reg, b.reg); break;
+          case Op::kIMul: a_.ImulRegReg(a.reg, b.reg); break;
+          case Op::kIAnd: a_.AndRegReg(a.reg, b.reg); break;
+          case Op::kIOr: a_.OrRegReg(a.reg, b.reg); break;
+          default: a_.XorRegReg(a.reg, b.reg); break;
+        }
+        FreeOperand(b);
+        PushReg(a.reg);
+        break;
+      }
+      case Op::kIDiv:
+      case Op::kIRem: {
+        Operand b = PopSource();
+        Operand a = PopMutable();
+        a_.TestRegReg(b.reg, b.reg);
+        a_.Jcc(Cond::kE, trap_div_);
+        X64Assembler::LabelId special = a_.NewLabel();
+        X64Assembler::LabelId done = a_.NewLabel();
+        a_.CmpRegImm32(b.reg, -1);
+        a_.Jcc(Cond::kE, special);
+        a_.MovRegReg(Reg::RAX, a.reg);
+        a_.Cqo();
+        a_.IdivReg(b.reg);
+        a_.MovRegReg(a.reg, ins.op == Op::kIDiv ? Reg::RAX : Reg::RDX);
+        a_.Jmp(done);
+        a_.Bind(special);
+        if (ins.op == Op::kIDiv) {
+          a_.NegReg(a.reg);
+        } else {
+          a_.XorRegReg(a.reg, a.reg);
+        }
+        a_.Bind(done);
+        FreeOperand(b);
+        PushReg(a.reg);
+        break;
+      }
+      case Op::kINeg: {
+        Operand a = PopMutable();
+        a_.NegReg(a.reg);
+        PushReg(a.reg);
+        break;
+      }
+      case Op::kIShl:
+      case Op::kIShr:
+      case Op::kIUShr: {
+        Operand b = PopSource();
+        a_.MovRegReg(Reg::RCX, b.reg);
+        FreeOperand(b);
+        Operand a = PopMutable();
+        // Hardware masks the count to 63 for 64-bit shifts (matches the
+        // interpreter's `& 63`).
+        if (ins.op == Op::kIShl) a_.ShlRegCl(a.reg);
+        else if (ins.op == Op::kIShr) a_.SarRegCl(a.reg);
+        else a_.ShrRegCl(a.reg);
+        PushReg(a.reg);
+        break;
+      }
+      case Op::kIfICmpEq: case Op::kIfICmpNe: case Op::kIfICmpLt:
+      case Op::kIfICmpLe: case Op::kIfICmpGt: case Op::kIfICmpGe: {
+        Operand b = PopSource();
+        Operand a = PopSource();
+        Flush();
+        a_.CmpRegReg(a.reg, b.reg);
+        FreeOperand(a);
+        FreeOperand(b);
+        Cond cond;
+        switch (ins.op) {
+          case Op::kIfICmpEq: cond = Cond::kE; break;
+          case Op::kIfICmpNe: cond = Cond::kNe; break;
+          case Op::kIfICmpLt: cond = Cond::kL; break;
+          case Op::kIfICmpLe: cond = Cond::kLe; break;
+          case Op::kIfICmpGt: cond = Cond::kG; break;
+          default: cond = Cond::kGe; break;
+        }
+        a_.Jcc(cond, block_labels_[ins.a]);
+        break;
+      }
+      case Op::kIfEq:
+      case Op::kIfNe: {
+        Operand a = PopSource();
+        Flush();
+        a_.TestRegReg(a.reg, a.reg);
+        FreeOperand(a);
+        a_.Jcc(ins.op == Op::kIfEq ? Cond::kE : Cond::kNe,
+               block_labels_[ins.a]);
+        break;
+      }
+      case Op::kGoto:
+        Flush();
+        a_.Jmp(block_labels_[ins.a]);
+        break;
+      case Op::kBALoad: {
+        Operand idx = PopSource();
+        Operand arr = PopMutable();
+        a_.CmpRegMem(idx.reg, arr.reg, ArrayObject::kLengthOffset);
+        a_.Jcc(Cond::kAe, trap_bounds_);  // unsigned: negatives trap too
+        a_.MovzxRegByte(arr.reg, arr.reg, idx.reg, ArrayObject::kDataOffset);
+        FreeOperand(idx);
+        PushReg(arr.reg);
+        break;
+      }
+      case Op::kBAStore: {
+        Operand val = PopSource();
+        Operand idx = PopSource();
+        Operand arr = PopSource();
+        a_.CmpRegMem(idx.reg, arr.reg, ArrayObject::kLengthOffset);
+        a_.Jcc(Cond::kAe, trap_bounds_);
+        a_.MovByteMemReg(arr.reg, idx.reg, ArrayObject::kDataOffset, val.reg);
+        FreeOperand(val);
+        FreeOperand(idx);
+        FreeOperand(arr);
+        break;
+      }
+      case Op::kIALoad: {
+        Operand idx = PopSource();
+        Operand arr = PopMutable();
+        a_.CmpRegMem(idx.reg, arr.reg, ArrayObject::kLengthOffset);
+        a_.Jcc(Cond::kAe, trap_bounds_);
+        a_.MovRegMemIndex8(arr.reg, arr.reg, idx.reg,
+                           ArrayObject::kDataOffset);
+        FreeOperand(idx);
+        PushReg(arr.reg);
+        break;
+      }
+      case Op::kIAStore: {
+        Operand val = PopSource();
+        Operand idx = PopSource();
+        Operand arr = PopSource();
+        a_.CmpRegMem(idx.reg, arr.reg, ArrayObject::kLengthOffset);
+        a_.Jcc(Cond::kAe, trap_bounds_);
+        a_.MovMemIndex8Reg(arr.reg, idx.reg, ArrayObject::kDataOffset,
+                           val.reg);
+        FreeOperand(val);
+        FreeOperand(idx);
+        FreeOperand(arr);
+        break;
+      }
+      case Op::kArrayLen: {
+        Operand arr = PopMutable();
+        a_.MovRegMem(arr.reg, arr.reg, ArrayObject::kLengthOffset);
+        PushReg(arr.reg);
+        break;
+      }
+      case Op::kNewBArray:
+      case Op::kNewIArray: {
+        Flush();
+        SaveCallerSavedPins();
+        EmitBudgetWriteBack();
+        size_t len_pos = stack_.size() - 1;
+        stack_.pop_back();
+        int64_t kind = ins.op == Op::kNewBArray
+                           ? static_cast<int64_t>(ArrayObject::kByteKind)
+                           : static_cast<int64_t>(ArrayObject::kIntKind);
+        EmitHelperCall(reinterpret_cast<void*>(&jag_rt_newarray), [&] {
+          a_.MovRegMem(Reg::RSI, kSpillBase, SlotDisp(len_pos));
+          a_.MovRegImm64(Reg::RDX, kind);
+        });
+        a_.CmpMemImm32(kFrame, kFrameTrap, 0);
+        a_.Jcc(Cond::kNe, trap_helper_);
+        a_.MovMemReg(kSpillBase, SlotDisp(len_pos), Reg::RAX);
+        stack_.push_back({StackEntry::Kind::kSpill});
+        EmitBudgetReload();
+        ReloadCallerSavedPins();
+        break;
+      }
+      case Op::kCall:
+      case Op::kCallNative: {
+        JAGUAR_ASSIGN_OR_RETURN(Signature sig, CalleeSig(ins));
+        const size_t nargs = sig.params.size();
+        Flush();
+        SaveCallerSavedPins();
+        EmitBudgetWriteBack();
+        const size_t base = stack_.size() - nargs;
+        for (size_t i = 0; i < nargs; ++i) stack_.pop_back();
+        void* helper = ins.op == Op::kCall
+                           ? reinterpret_cast<void*>(&jag_rt_call)
+                           : reinterpret_cast<void*>(&jag_rt_callnative);
+        uint32_t idx = ins.a;
+        EmitHelperCall(helper, [&] {
+          a_.MovRegImm64(Reg::RSI, static_cast<int64_t>(idx));
+          a_.LeaRegMem(Reg::RDX, kSpillBase, SlotDisp(base));
+        });
+        a_.TestRegReg(Reg::RAX, Reg::RAX);
+        a_.Jcc(Cond::kNe, trap_helper_);
+        if (!sig.returns_void) {
+          stack_.push_back({StackEntry::Kind::kSpill});
+        }
+        EmitBudgetReload();
+        ReloadCallerSavedPins();
+        break;
+      }
+      case Op::kIReturn:
+      case Op::kAReturn: {
+        Operand v = PopSource();
+        a_.MovRegReg(Reg::RAX, v.reg);
+        FreeOperand(v);
+        DiscardStack();  // remaining values are dead
+        a_.Jmp(epilogue_);
+        break;
+      }
+      case Op::kReturn:
+        a_.XorRegReg(Reg::RAX, Reg::RAX);
+        DiscardStack();
+        a_.Jmp(epilogue_);
+        break;
+      case Op::kDup: {
+        JAGUAR_CHECK(!stack_.empty()) << "JIT symbolic stack underflow";
+        StackEntry top = stack_.back();
+        if (top.kind == StackEntry::Kind::kAlias) {
+          // Both entries denote the pinned local's current value; a later
+          // store materializes them (copy-on-invalidate).
+          stack_.push_back(top);
+          break;
+        }
+        Reg r = AllocReg();
+        if (top.kind == StackEntry::Kind::kReg) {
+          a_.MovRegReg(r, top.reg);
+        } else {
+          a_.MovRegMem(r, kSpillBase, SlotDisp(stack_.size() - 1));
+        }
+        PushReg(r);
+        break;
+      }
+      case Op::kPop: {
+        Operand v = PopSource();
+        FreeOperand(v);
+        break;
+      }
+      case Op::kSwap: {
+        // Spill entries are position-dependent, so the robust (and rare —
+        // jjc never emits swap) path is: make everything canonical, then
+        // exchange the two memory slots via scratch registers.
+        Flush();
+        size_t p1 = stack_.size() - 1;
+        size_t p0 = p1 - 1;
+        a_.MovRegMem(Reg::RAX, kSpillBase, SlotDisp(p0));
+        a_.MovRegMem(Reg::RCX, kSpillBase, SlotDisp(p1));
+        a_.MovMemReg(kSpillBase, SlotDisp(p0), Reg::RCX);
+        a_.MovMemReg(kSpillBase, SlotDisp(p1), Reg::RAX);
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  const LoadedClass& cls_;
+  const VerifiedMethod& m_;
+  X64Assembler a_;
+
+  std::vector<bool> block_start_;
+  std::vector<bool> loop_head_;
+  std::vector<int> entry_depth_;
+  std::vector<uint32_t> block_len_;
+  std::vector<X64Assembler::LabelId> block_labels_;
+  X64Assembler::LabelId trap_div_ = 0, trap_bounds_ = 0, trap_budget_ = 0,
+                        trap_helper_ = 0, epilogue_ = 0;
+
+  std::vector<StackEntry> stack_;
+  bool reg_used_[kPoolSize] = {false};
+  std::vector<int> pin_of_local_;
+  size_t num_pins_ = 0;
+  bool emit_budget_checks_ = true;
+  uint32_t skip_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<JitArtifact>> CompileMethod(
+    const LoadedClass& cls, const VerifiedMethod& method,
+    bool emit_budget_checks) {
+  MethodCompiler compiler(cls, method, emit_budget_checks);
+  return compiler.Compile();
+}
+
+#endif  // __x86_64__
+
+}  // namespace jvm
+}  // namespace jaguar

@@ -1,0 +1,407 @@
+#include "jvm/verifier.h"
+
+#include <deque>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace jvm {
+
+namespace {
+
+/// Lattice of slot types. kUninit is the top/conflict element: reading it is
+/// an error, merging conflicting types produces it.
+enum class LType : uint8_t { kUninit, kInt, kBArr, kIArr };
+
+LType FromVType(VType t) {
+  switch (t) {
+    case VType::kInt: return LType::kInt;
+    case VType::kByteArray: return LType::kBArr;
+    case VType::kIntArray: return LType::kIArr;
+  }
+  return LType::kUninit;
+}
+
+const char* LTypeName(LType t) {
+  switch (t) {
+    case LType::kUninit: return "uninitialized";
+    case LType::kInt: return "int";
+    case LType::kBArr: return "byte[]";
+    case LType::kIArr: return "int[]";
+  }
+  return "?";
+}
+
+struct VState {
+  std::vector<LType> locals;
+  std::vector<LType> stack;
+
+  bool operator==(const VState& o) const {
+    return locals == o.locals && stack == o.stack;
+  }
+};
+
+/// Per-method verification context.
+class MethodVerifier {
+ public:
+  MethodVerifier(const ClassFile& cf, const MethodDef& def, std::string name,
+                 Signature sig)
+      : cf_(cf), def_(def), name_(std::move(name)), sig_(std::move(sig)) {}
+
+  Result<VerifiedMethod> Run() {
+    if (def_.max_locals > kMaxLocals) {
+      return Fail(0, "max_locals exceeds limit");
+    }
+    if (def_.code.size() > kMaxCodeBytes) {
+      return Fail(0, "code too large");
+    }
+    if (sig_.params.size() > def_.max_locals) {
+      return Fail(0, "max_locals smaller than parameter count");
+    }
+    JAGUAR_ASSIGN_OR_RETURN(code_, DecodeCode(def_.code));
+    if (code_.empty()) return Fail(0, "empty code");
+    JAGUAR_RETURN_IF_ERROR(RetargetBranches(&code_));
+
+    // Entry state: parameters in locals[0..n), everything else uninitialized.
+    VState entry;
+    entry.locals.assign(def_.max_locals, LType::kUninit);
+    for (size_t i = 0; i < sig_.params.size(); ++i) {
+      entry.locals[i] = FromVType(sig_.params[i]);
+    }
+
+    states_.assign(code_.size(), std::nullopt);
+    JAGUAR_RETURN_IF_ERROR(MergeInto(0, entry));
+    while (!worklist_.empty()) {
+      uint32_t pc = worklist_.front();
+      worklist_.pop_front();
+      JAGUAR_RETURN_IF_ERROR(Flow(pc));
+    }
+
+    VerifiedMethod out;
+    out.name = name_;
+    out.sig = sig_;
+    out.max_locals = def_.max_locals;
+    out.max_stack = max_stack_seen_;
+    if (def_.max_stack != 0 && max_stack_seen_ > def_.max_stack) {
+      return Fail(0, StringPrintf("computed max stack %u exceeds declared %u",
+                                  max_stack_seen_, def_.max_stack));
+    }
+    out.code = std::move(code_);
+    return out;
+  }
+
+ private:
+  Status Fail(uint32_t pc, const std::string& msg) {
+    return VerificationError(StringPrintf("method %s, instruction %u: %s",
+                                          name_.c_str(), pc, msg.c_str()));
+  }
+
+  Status MergeInto(uint32_t pc, const VState& incoming) {
+    if (pc >= code_.size()) {
+      return Fail(pc, "control flows past end of code");
+    }
+    if (incoming.stack.size() > kMaxStackLimit) {
+      return Fail(pc, "operand stack too deep");
+    }
+    if (incoming.stack.size() > max_stack_seen_) {
+      max_stack_seen_ = static_cast<uint16_t>(incoming.stack.size());
+    }
+    std::optional<VState>& existing = states_[pc];
+    if (!existing.has_value()) {
+      existing = incoming;
+      worklist_.push_back(pc);
+      return Status::OK();
+    }
+    if (existing->stack.size() != incoming.stack.size()) {
+      return Fail(pc, "conflicting stack depths at merge point");
+    }
+    bool changed = false;
+    for (size_t i = 0; i < incoming.stack.size(); ++i) {
+      if (existing->stack[i] != incoming.stack[i]) {
+        // No subtyping between our types: a conflicting stack slot is a hard
+        // error (it would be unusable anyway, and allowing it would force the
+        // runtime to carry type tags).
+        return Fail(pc, StringPrintf("conflicting stack types at merge "
+                                     "(slot %zu: %s vs %s)",
+                                     i, LTypeName(existing->stack[i]),
+                                     LTypeName(incoming.stack[i])));
+      }
+    }
+    for (size_t i = 0; i < incoming.locals.size(); ++i) {
+      if (existing->locals[i] != incoming.locals[i] &&
+          existing->locals[i] != LType::kUninit) {
+        existing->locals[i] = LType::kUninit;  // conflicting local: poisoned
+        changed = true;
+      }
+    }
+    if (changed) worklist_.push_back(pc);
+    return Status::OK();
+  }
+
+  Result<LType> Pop(VState* s, uint32_t pc) {
+    if (s->stack.empty()) return Fail(pc, "operand stack underflow");
+    LType t = s->stack.back();
+    s->stack.pop_back();
+    return t;
+  }
+
+  Status PopExpect(VState* s, uint32_t pc, LType want, const char* what) {
+    JAGUAR_ASSIGN_OR_RETURN(LType got, Pop(s, pc));
+    if (got != want) {
+      return Fail(pc, StringPrintf("%s expects %s on stack, found %s", what,
+                                   LTypeName(want), LTypeName(got)));
+    }
+    return Status::OK();
+  }
+
+  Status CheckLocal(uint32_t pc, uint32_t idx) {
+    if (idx >= def_.max_locals) {
+      return Fail(pc, StringPrintf("local index %u out of range", idx));
+    }
+    return Status::OK();
+  }
+
+  /// Applies one instruction to `state` and propagates to successors.
+  Status Flow(uint32_t pc) {
+    VState state = *states_[pc];
+    const Instr& ins = code_[pc];
+    const char* op_name = OpToString(ins.op);
+    bool falls_through = true;
+
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kIConst:
+        state.stack.push_back(LType::kInt);
+        break;
+      case Op::kILoad: {
+        JAGUAR_RETURN_IF_ERROR(CheckLocal(pc, ins.a));
+        if (state.locals[ins.a] != LType::kInt) {
+          return Fail(pc, StringPrintf("iload of %s local %u",
+                                       LTypeName(state.locals[ins.a]), ins.a));
+        }
+        state.stack.push_back(LType::kInt);
+        break;
+      }
+      case Op::kIStore: {
+        JAGUAR_RETURN_IF_ERROR(CheckLocal(pc, ins.a));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        state.locals[ins.a] = LType::kInt;
+        break;
+      }
+      case Op::kALoad: {
+        JAGUAR_RETURN_IF_ERROR(CheckLocal(pc, ins.a));
+        LType t = state.locals[ins.a];
+        if (t != LType::kBArr && t != LType::kIArr) {
+          return Fail(pc, StringPrintf("aload of %s local %u", LTypeName(t),
+                                       ins.a));
+        }
+        state.stack.push_back(t);
+        break;
+      }
+      case Op::kAStore: {
+        JAGUAR_RETURN_IF_ERROR(CheckLocal(pc, ins.a));
+        JAGUAR_ASSIGN_OR_RETURN(LType t, Pop(&state, pc));
+        if (t != LType::kBArr && t != LType::kIArr) {
+          return Fail(pc, "astore of non-reference");
+        }
+        state.locals[ins.a] = t;
+        break;
+      }
+      case Op::kIAdd: case Op::kISub: case Op::kIMul: case Op::kIDiv:
+      case Op::kIRem: case Op::kIAnd: case Op::kIOr: case Op::kIXor:
+      case Op::kIShl: case Op::kIShr: case Op::kIUShr:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        state.stack.push_back(LType::kInt);
+        break;
+      case Op::kINeg:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        state.stack.push_back(LType::kInt);
+        break;
+      case Op::kIfICmpEq: case Op::kIfICmpNe: case Op::kIfICmpLt:
+      case Op::kIfICmpLe: case Op::kIfICmpGt: case Op::kIfICmpGe:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(MergeInto(ins.a, state));
+        break;
+      case Op::kIfEq: case Op::kIfNe:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(MergeInto(ins.a, state));
+        break;
+      case Op::kGoto:
+        JAGUAR_RETURN_IF_ERROR(MergeInto(ins.a, state));
+        falls_through = false;
+        break;
+      case Op::kBALoad:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kBArr, op_name));
+        state.stack.push_back(LType::kInt);
+        break;
+      case Op::kBAStore:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kBArr, op_name));
+        break;
+      case Op::kIALoad:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kIArr, op_name));
+        state.stack.push_back(LType::kInt);
+        break;
+      case Op::kIAStore:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kIArr, op_name));
+        break;
+      case Op::kArrayLen: {
+        JAGUAR_ASSIGN_OR_RETURN(LType t, Pop(&state, pc));
+        if (t != LType::kBArr && t != LType::kIArr) {
+          return Fail(pc, "arraylen of non-array");
+        }
+        state.stack.push_back(LType::kInt);
+        break;
+      }
+      case Op::kNewBArray:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        state.stack.push_back(LType::kBArr);
+        break;
+      case Op::kNewIArray:
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        state.stack.push_back(LType::kIArr);
+        break;
+      case Op::kCall: {
+        JAGUAR_ASSIGN_OR_RETURN(
+            const ConstEntry* e,
+            cf_.GetEntry(static_cast<uint16_t>(ins.a), ConstKind::kMethodRef));
+        JAGUAR_ASSIGN_OR_RETURN(const std::string* sig_text,
+                                cf_.GetUtf8(e->sig_idx));
+        JAGUAR_RETURN_IF_ERROR(cf_.GetUtf8(e->class_idx).status());
+        JAGUAR_RETURN_IF_ERROR(cf_.GetUtf8(e->name_idx).status());
+        JAGUAR_ASSIGN_OR_RETURN(Signature callee, Signature::Parse(*sig_text));
+        JAGUAR_RETURN_IF_ERROR(ApplyCall(&state, pc, callee));
+        break;
+      }
+      case Op::kCallNative: {
+        JAGUAR_ASSIGN_OR_RETURN(
+            const ConstEntry* e,
+            cf_.GetEntry(static_cast<uint16_t>(ins.a), ConstKind::kNativeRef));
+        JAGUAR_ASSIGN_OR_RETURN(const std::string* sig_text,
+                                cf_.GetUtf8(e->sig_idx));
+        JAGUAR_RETURN_IF_ERROR(cf_.GetUtf8(e->name_idx).status());
+        JAGUAR_ASSIGN_OR_RETURN(Signature callee, Signature::Parse(*sig_text));
+        JAGUAR_RETURN_IF_ERROR(ApplyCall(&state, pc, callee));
+        break;
+      }
+      case Op::kIReturn:
+        if (sig_.returns_void || sig_.return_type != VType::kInt) {
+          return Fail(pc, "ireturn in a method that does not return int");
+        }
+        JAGUAR_RETURN_IF_ERROR(PopExpect(&state, pc, LType::kInt, op_name));
+        falls_through = false;
+        break;
+      case Op::kAReturn: {
+        if (sig_.returns_void || sig_.return_type == VType::kInt) {
+          return Fail(pc, "areturn in a method that does not return an array");
+        }
+        JAGUAR_RETURN_IF_ERROR(PopExpect(
+            &state, pc, FromVType(sig_.return_type), op_name));
+        falls_through = false;
+        break;
+      }
+      case Op::kReturn:
+        if (!sig_.returns_void) {
+          return Fail(pc, "return in a non-void method");
+        }
+        falls_through = false;
+        break;
+      case Op::kDup: {
+        if (state.stack.empty()) return Fail(pc, "dup on empty stack");
+        state.stack.push_back(state.stack.back());
+        break;
+      }
+      case Op::kPop:
+        JAGUAR_RETURN_IF_ERROR(Pop(&state, pc).status());
+        break;
+      case Op::kSwap: {
+        if (state.stack.size() < 2) return Fail(pc, "swap needs two operands");
+        std::swap(state.stack[state.stack.size() - 1],
+                  state.stack[state.stack.size() - 2]);
+        break;
+      }
+    }
+
+    if (falls_through) {
+      if (pc + 1 >= code_.size()) {
+        return Fail(pc, "control falls off the end of the code");
+      }
+      JAGUAR_RETURN_IF_ERROR(MergeInto(pc + 1, state));
+    }
+    return Status::OK();
+  }
+
+  Status ApplyCall(VState* state, uint32_t pc, const Signature& callee) {
+    // Arguments are pushed left-to-right, so they pop right-to-left.
+    for (size_t i = callee.params.size(); i > 0; --i) {
+      JAGUAR_RETURN_IF_ERROR(
+          PopExpect(state, pc, FromVType(callee.params[i - 1]), "call"));
+    }
+    if (!callee.returns_void) {
+      state->stack.push_back(FromVType(callee.return_type));
+      if (state->stack.size() > kMaxStackLimit) {
+        return Fail(pc, "operand stack too deep");
+      }
+      if (state->stack.size() > max_stack_seen_) {
+        max_stack_seen_ = static_cast<uint16_t>(state->stack.size());
+      }
+    }
+    return Status::OK();
+  }
+
+  const ClassFile& cf_;
+  const MethodDef& def_;
+  std::string name_;
+  Signature sig_;
+  std::vector<Instr> code_;
+  std::vector<std::optional<VState>> states_;
+  std::deque<uint32_t> worklist_;
+  uint16_t max_stack_seen_ = 0;
+};
+
+}  // namespace
+
+Result<const VerifiedMethod*> VerifiedClass::FindMethod(
+    const std::string& method_name) const {
+  for (const VerifiedMethod& m : methods) {
+    if (m.name == method_name) return &m;
+  }
+  return NotFound("no method '" + method_name + "' in class " + name);
+}
+
+Result<VerifiedClass> Verify(const ClassFile& cf) {
+  if (cf.class_name.empty()) {
+    return VerificationError("class has no name");
+  }
+  if (cf.methods.size() > kMaxMethodsPerClass) {
+    return VerificationError("too many methods");
+  }
+  VerifiedClass out;
+  out.name = cf.class_name;
+  out.cf = cf;
+  for (const MethodDef& def : cf.methods) {
+    JAGUAR_ASSIGN_OR_RETURN(std::string name, cf.MethodName(def));
+    JAGUAR_ASSIGN_OR_RETURN(Signature sig, cf.MethodSignature(def));
+    for (const VerifiedMethod& existing : out.methods) {
+      if (existing.name == name) {
+        return VerificationError("duplicate method name '" + name + "'");
+      }
+    }
+    MethodVerifier verifier(cf, def, name, sig);
+    JAGUAR_ASSIGN_OR_RETURN(VerifiedMethod vm, verifier.Run());
+    out.methods.push_back(std::move(vm));
+  }
+  return out;
+}
+
+}  // namespace jvm
+}  // namespace jaguar

@@ -1,0 +1,70 @@
+#ifndef JAGUAR_JVM_VERIFIER_H_
+#define JAGUAR_JVM_VERIFIER_H_
+
+/// \file verifier.h
+/// Load-time bytecode verification — JagVM's analogue of the Java bytecode
+/// verifier (Section 6.1 of the paper). Verification proves, before a single
+/// instruction runs, that:
+///
+///   * every opcode and operand is well-formed, and branches land on
+///     instruction boundaries;
+///   * the operand stack never underflows and its depth never exceeds the
+///     computed max_stack (which must be within the declared bound);
+///   * every value is used at its static type: integers as integers,
+///     byte[] as byte[], int[] as int[] — no forging references from ints;
+///   * locals are written before they are read (so references are always
+///     initialized and the runtime needs no null checks);
+///   * calls match the referenced method signatures, and returns match the
+///     method's own signature;
+///   * execution cannot fall off the end of the code.
+///
+/// What verification deliberately does NOT bound is *resource usage*: a
+/// verified method can still loop forever or allocate aggressively. That is
+/// the runtime resource manager's job (Section 6.2) — the same division of
+/// labor the paper describes for the JVM.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "jvm/bytecode.h"
+#include "jvm/class_file.h"
+
+namespace jaguar {
+namespace jvm {
+
+/// Hard structural limits applied during verification (defense in depth
+/// against pathological uploads).
+inline constexpr uint16_t kMaxLocals = 256;
+inline constexpr uint16_t kMaxStackLimit = 1024;
+inline constexpr size_t kMaxCodeBytes = 1 << 20;
+inline constexpr size_t kMaxMethodsPerClass = 1024;
+
+/// A verified method: decoded instructions with branch targets converted to
+/// instruction indices, plus the verifier-computed stack bound.
+struct VerifiedMethod {
+  std::string name;
+  Signature sig;
+  uint16_t max_locals = 0;
+  uint16_t max_stack = 0;  ///< Computed by the verifier.
+  std::vector<Instr> code;
+};
+
+/// A verified class: safe to link and execute. Keeps the original class file
+/// for constant-pool resolution (method refs, native refs).
+struct VerifiedClass {
+  std::string name;
+  std::vector<VerifiedMethod> methods;
+  ClassFile cf;
+
+  Result<const VerifiedMethod*> FindMethod(const std::string& name) const;
+};
+
+/// Verifies all methods of `cf`. Any violation yields VerificationError with
+/// method name and instruction index in the message.
+Result<VerifiedClass> Verify(const ClassFile& cf);
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_VERIFIER_H_

@@ -1,0 +1,256 @@
+#include "jvm/vm.h"
+
+#include "common/string_util.h"
+#include "jvm/interpreter.h"
+#include "jvm/jit.h"
+
+namespace jaguar {
+namespace jvm {
+
+Status TrapToStatus(Trap trap, const Status& pending) {
+  switch (trap) {
+    case Trap::kNone:
+      return Status::OK();
+    case Trap::kDivByZero:
+      return RuntimeError("division by zero");
+    case Trap::kBounds:
+      return RuntimeError("array index out of bounds");
+    case Trap::kBudget:
+      return ResourceExhausted("UDF exceeded its instruction budget");
+    case Trap::kHeap:
+      return ResourceExhausted("UDF exceeded its heap quota");
+    case Trap::kDepth:
+      return ResourceExhausted("UDF exceeded the call-depth limit");
+    case Trap::kSecurity:
+      return pending.ok() ? SecurityViolation("permission denied") : pending;
+    case Trap::kNative:
+      return pending.ok() ? RuntimeError("native method failed") : pending;
+    case Trap::kInternal:
+      return Internal("JIT internal trap");
+  }
+  return Internal("unknown trap code");
+}
+
+Jvm::Jvm(JvmOptions options) : options_(options) {}
+Jvm::~Jvm() = default;
+
+Status Jvm::RegisterNative(NativeMethod method) {
+  if (natives_.count(method.name) != 0) {
+    return AlreadyExists("native method '" + method.name +
+                         "' already registered");
+  }
+  natives_[method.name] = std::move(method);
+  return Status::OK();
+}
+
+Result<const NativeMethod*> Jvm::FindNative(const std::string& name) const {
+  auto it = natives_.find(name);
+  if (it == natives_.end()) {
+    return NotFound("no native method named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const void*> Jvm::GetJitEntry(const LoadedClass& cls,
+                                     const VerifiedMethod& method) {
+  auto it = jit_cache_.find(&method);
+  if (it != jit_cache_.end()) {
+    return it->second ? static_cast<const void*>(
+                            reinterpret_cast<void*>(it->second->entry()))
+                      : nullptr;
+  }
+  Result<std::unique_ptr<JitArtifact>> compiled =
+      CompileMethod(cls, method, options_.jit_budget_checks);
+  if (!compiled.ok()) {
+    if (compiled.status().IsNotSupported()) {
+      // Remember the failure so we interpret without retrying every call.
+      jit_cache_[&method] = nullptr;
+      return nullptr;
+    }
+    return compiled.status();
+  }
+  ++stats_.methods_jitted;
+  JitArtifact* artifact = compiled->get();
+  jit_cache_[&method] = std::move(compiled).value();
+  return static_cast<const void*>(reinterpret_cast<void*>(artifact->entry()));
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------------
+
+Result<LoadedClass::ResolvedMethod> ResolveCall(const LoadedClass& cls,
+                                                uint32_t cpool_idx) {
+  if (cls.method_cache.size() <= cpool_idx) {
+    cls.method_cache.resize(cls.cls.cf.cpool.size());
+  }
+  if (cpool_idx < cls.method_cache.size() &&
+      cls.method_cache[cpool_idx].has_value()) {
+    return *cls.method_cache[cpool_idx];
+  }
+  const ClassFile& cf = cls.cls.cf;
+  JAGUAR_ASSIGN_OR_RETURN(
+      const ConstEntry* e,
+      cf.GetEntry(static_cast<uint16_t>(cpool_idx), ConstKind::kMethodRef));
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* class_name,
+                          cf.GetUtf8(e->class_idx));
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* method_name,
+                          cf.GetUtf8(e->name_idx));
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* sig_text, cf.GetUtf8(e->sig_idx));
+  JAGUAR_ASSIGN_OR_RETURN(Signature declared, Signature::Parse(*sig_text));
+
+  JAGUAR_ASSIGN_OR_RETURN(const LoadedClass* target,
+                          cls.loader->FindClass(*class_name));
+  JAGUAR_ASSIGN_OR_RETURN(const VerifiedMethod* method,
+                          target->cls.FindMethod(*method_name));
+  // Link-time signature check: the verifier trusted the declared signature;
+  // here we prove it matches the actual target.
+  if (!(method->sig == declared)) {
+    return VerificationError(StringPrintf(
+        "signature mismatch calling %s.%s: declared %s, actual %s",
+        class_name->c_str(), method_name->c_str(), sig_text->c_str(),
+        method->sig.ToString().c_str()));
+  }
+  LoadedClass::ResolvedMethod resolved{target, method};
+  cls.method_cache[cpool_idx] = resolved;
+  return resolved;
+}
+
+Result<const NativeMethod*> ResolveNative(Jvm* vm, const LoadedClass& cls,
+                                          uint32_t cpool_idx) {
+  if (cls.native_cache.size() <= cpool_idx) {
+    cls.native_cache.resize(cls.cls.cf.cpool.size(), nullptr);
+  }
+  if (cpool_idx < cls.native_cache.size() &&
+      cls.native_cache[cpool_idx] != nullptr) {
+    return cls.native_cache[cpool_idx];
+  }
+  const ClassFile& cf = cls.cls.cf;
+  JAGUAR_ASSIGN_OR_RETURN(
+      const ConstEntry* e,
+      cf.GetEntry(static_cast<uint16_t>(cpool_idx), ConstKind::kNativeRef));
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* name, cf.GetUtf8(e->name_idx));
+  JAGUAR_ASSIGN_OR_RETURN(const std::string* sig_text, cf.GetUtf8(e->sig_idx));
+  JAGUAR_ASSIGN_OR_RETURN(Signature declared, Signature::Parse(*sig_text));
+  JAGUAR_ASSIGN_OR_RETURN(const NativeMethod* native, vm->FindNative(*name));
+  if (!(native->sig == declared)) {
+    return VerificationError(StringPrintf(
+        "signature mismatch calling native %s: declared %s, actual %s",
+        name->c_str(), sig_text->c_str(), native->sig.ToString().c_str()));
+  }
+  cls.native_cache[cpool_idx] = native;
+  return native;
+}
+
+Result<int64_t> InvokeNative(ExecContext* ctx, const NativeMethod& native,
+                             const int64_t* args) {
+  // The security manager is consulted on *every* native call, exactly as the
+  // Java security manager is invoked per environment-affecting action.
+  JAGUAR_RETURN_IF_ERROR(ctx->security()->Check(native.permission));
+  ctx->count_native_call();
+  NativeCallInfo info;
+  info.ctx = ctx;
+  info.args = args;
+  JAGUAR_RETURN_IF_ERROR(native.fn(&info));
+  return info.result;
+}
+
+// ---------------------------------------------------------------------------
+// ExecContext
+// ---------------------------------------------------------------------------
+
+namespace {
+// "Unlimited" still uses a finite sentinel so `instructions_retired` works.
+constexpr int64_t kUnlimitedBudget = int64_t{1} << 62;
+}  // namespace
+
+ExecContext::ExecContext(Jvm* vm, const ClassLoader* loader,
+                         const SecurityManager* security,
+                         ResourceLimits limits, void* user_data)
+    : vm_(vm),
+      loader_(loader),
+      security_(security),
+      limits_(limits),
+      heap_(limits.heap_quota_bytes),
+      budget_(limits.instruction_budget > 0 ? limits.instruction_budget
+                                            : kUnlimitedBudget),
+      initial_budget_(budget_),
+      user_data_(user_data) {}
+
+Result<ArrayObject*> ExecContext::NewByteArray(Slice data) {
+  return heap_.NewByteArrayFrom(data);
+}
+
+Result<ArrayObject*> ExecContext::NewIntArray(const std::vector<int64_t>& data) {
+  JAGUAR_ASSIGN_OR_RETURN(ArrayObject* arr, heap_.NewIntArray(data.size()));
+  for (size_t i = 0; i < data.size(); ++i) arr->ints()[i] = data[i];
+  return arr;
+}
+
+std::vector<uint8_t> ExecContext::ReadByteArray(const ArrayObject* arr) {
+  return std::vector<uint8_t>(arr->bytes(), arr->bytes() + arr->length);
+}
+
+Status ExecContext::EnterCall() {
+  if (depth_ >= limits_.max_call_depth) {
+    return ResourceExhausted("UDF exceeded the call-depth limit");
+  }
+  ++depth_;
+  return Status::OK();
+}
+
+Result<int64_t> ExecContext::CallStatic(const std::string& cls_name,
+                                        const std::string& method_name,
+                                        const std::vector<int64_t>& args) {
+  JAGUAR_ASSIGN_OR_RETURN(const LoadedClass* cls, loader_->FindClass(cls_name));
+  JAGUAR_ASSIGN_OR_RETURN(const VerifiedMethod* method,
+                          cls->cls.FindMethod(method_name));
+  if (args.size() != method->sig.params.size()) {
+    return InvalidArgument(StringPrintf(
+        "%s.%s expects %zu arguments, got %zu", cls_name.c_str(),
+        method_name.c_str(), method->sig.params.size(), args.size()));
+  }
+  ++vm_->stats_.invocations;
+  return CallResolved(*cls, *method, args.data());
+}
+
+Result<int64_t> ExecContext::CallResolved(const LoadedClass& cls,
+                                          const VerifiedMethod& method,
+                                          const int64_t* args) {
+  if (vm_->options_.enable_jit) {
+    JAGUAR_ASSIGN_OR_RETURN(const void* entry, vm_->GetJitEntry(cls, method));
+    if (entry != nullptr) {
+      JAGUAR_RETURN_IF_ERROR(EnterCall());
+      struct CallGuard {
+        ExecContext* ctx;
+        ~CallGuard() { ctx->LeaveCall(); }
+      } guard{this};
+
+      int64_t locals[kMaxLocals];
+      int64_t spill[kMaxStackLimit];
+      for (size_t i = 0; i < method.sig.params.size(); ++i) {
+        locals[i] = args[i];
+      }
+      JitCallFrame frame;
+      frame.locals = locals;
+      frame.spill = spill;
+      frame.ctx = this;
+      frame.trap = 0;
+      frame.budget = &budget_;
+      frame.cls = &cls;
+      auto fn = reinterpret_cast<JitArtifact::Fn>(
+          reinterpret_cast<uintptr_t>(entry));
+      int64_t ret = fn(&frame);
+      if (frame.trap != 0) {
+        Status s = TrapToStatus(static_cast<Trap>(frame.trap), pending_error_);
+        pending_error_ = Status::OK();
+        return s;
+      }
+      return ret;
+    }
+  }
+  return Interpret(this, cls, method, args);
+}
+
+}  // namespace jvm
+}  // namespace jaguar

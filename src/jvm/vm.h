@@ -1,0 +1,226 @@
+#ifndef JAGUAR_JVM_VM_H_
+#define JAGUAR_JVM_VM_H_
+
+/// \file vm.h
+/// The JagVM virtual machine and its embedding interface.
+///
+/// `Jvm` is the heavyweight, create-once object — the paper creates "a single
+/// JVM when the database server starts up, used until shutdown" (Section
+/// 4.2); we do the same. It owns native-method registrations, the system
+/// class loader, and the JIT code cache.
+///
+/// `ExecContext` is the per-invocation boundary object, playing the role of a
+/// JNIEnv: it marshals arguments across the language boundary (byte arrays
+/// are *copied* into the VM heap — the paper's "impedance mismatch" cost),
+/// carries the security manager and resource quotas, and exposes the typed
+/// call API. Values cross the boundary as 64-bit slots; references are
+/// `ArrayObject*` within the VM.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "jvm/class_loader.h"
+#include "jvm/heap.h"
+#include "jvm/security.h"
+
+namespace jaguar {
+namespace jvm {
+
+class Jvm;
+class ExecContext;
+
+/// Arguments/result view for a native method implementation.
+struct NativeCallInfo {
+  ExecContext* ctx = nullptr;
+  /// One slot per declared parameter; integer slots hold the value,
+  /// reference slots hold an ArrayObject*.
+  const int64_t* args = nullptr;
+  /// Result slot (ignored for void signatures). For reference-returning
+  /// natives, store the ArrayObject* bit-cast to int64_t.
+  int64_t result = 0;
+};
+
+using NativeImpl = std::function<Status(NativeCallInfo*)>;
+
+/// A native ("intrinsic") method callable from bytecode via `callnative`.
+/// Every call is gated by the security manager on `permission`.
+struct NativeMethod {
+  std::string name;        ///< e.g. "Jaguar.callback".
+  Signature sig;
+  std::string permission;  ///< e.g. "udf.callback".
+  NativeImpl fn;
+};
+
+/// Runtime trap codes shared by the interpreter and the JIT.
+enum class Trap : int64_t {
+  kNone = 0,
+  kDivByZero = 1,
+  kBounds = 2,
+  kBudget = 3,
+  kHeap = 4,
+  kDepth = 5,
+  kSecurity = 6,
+  kNative = 7,   ///< Native method returned an error (see pending_error()).
+  kInternal = 8,
+};
+
+/// Maps a trap to a Status (kNative consults `pending`).
+Status TrapToStatus(Trap trap, const Status& pending);
+
+struct JvmOptions {
+  /// Compile verified methods to x86-64 machine code on first call. When
+  /// false, everything interprets (the ablation for the paper's JIT claim).
+  bool enable_jit = true;
+  /// Emit per-block instruction-budget checks in JIT code (Section 6.2
+  /// resource accounting). Disable only for the accounting-overhead
+  /// ablation: without it, runaway JIT-compiled loops cannot be stopped.
+  bool jit_budget_checks = true;
+  ResourceLimits default_limits;
+};
+
+/// Statistics counters (cumulative per Jvm).
+struct JvmStats {
+  uint64_t invocations = 0;
+  uint64_t methods_jitted = 0;
+  uint64_t native_calls = 0;
+};
+
+class Jvm {
+ public:
+  explicit Jvm(JvmOptions options = {});
+  ~Jvm();
+
+  Jvm(const Jvm&) = delete;
+  Jvm& operator=(const Jvm&) = delete;
+
+  /// Registers a native method; fails on duplicate name.
+  Status RegisterNative(NativeMethod method);
+  Result<const NativeMethod*> FindNative(const std::string& name) const;
+
+  /// The trusted root namespace (parent for UDF namespaces).
+  ClassLoader* system_loader() { return &system_loader_; }
+
+  const JvmOptions& options() const { return options_; }
+  void set_jit_enabled(bool enabled) { options_.enable_jit = enabled; }
+  const JvmStats& stats() const { return stats_; }
+
+  /// Server-wide security audit trail (Section 6.1's missing capability).
+  AuditLog* audit_log() { return &audit_log_; }
+
+  /// Internal: returns (compiling on demand) the JIT entry point for a
+  /// method, or null if JIT is disabled or the platform is unsupported.
+  Result<const void*> GetJitEntry(const LoadedClass& cls,
+                                  const VerifiedMethod& method);
+
+ private:
+  friend class ExecContext;
+
+  JvmOptions options_;
+  ClassLoader system_loader_;
+  AuditLog audit_log_;
+  std::map<std::string, NativeMethod> natives_;
+  /// JIT artifacts keyed by method identity; owns executable memory.
+  std::unordered_map<const VerifiedMethod*, std::unique_ptr<class JitArtifact>>
+      jit_cache_;
+  JvmStats stats_;
+};
+
+/// Frame structure passed to JIT-compiled code. Field offsets are part of
+/// the JIT ABI — do not reorder.
+struct JitCallFrame {
+  int64_t* locals;          // +0
+  int64_t* spill;           // +8   canonical operand-stack memory
+  ExecContext* ctx;         // +16
+  int64_t trap;             // +24  Trap code out
+  int64_t* budget;          // +32  instructions-remaining counter
+  const LoadedClass* cls;   // +40  for constant-pool resolution in helpers
+};
+
+/// One UDF invocation's execution context ("our JNIEnv").
+class ExecContext {
+ public:
+  /// \param user_data opaque pointer surfaced to native methods (the UDF
+  /// runner stores its UdfContext here so callbacks can reach the server).
+  ExecContext(Jvm* vm, const ClassLoader* loader,
+              const SecurityManager* security, ResourceLimits limits,
+              void* user_data = nullptr);
+
+  // -- Marshalling (the language-boundary copies) ---------------------------
+
+  /// Copies `data` into the VM heap (charged against the quota).
+  Result<ArrayObject*> NewByteArray(Slice data);
+  Result<ArrayObject*> NewIntArray(const std::vector<int64_t>& data);
+  /// Copies a VM byte array back out.
+  static std::vector<uint8_t> ReadByteArray(const ArrayObject* arr);
+
+  // -- Calls ----------------------------------------------------------------
+
+  /// Invokes `cls.method` with raw slots; returns the raw result slot
+  /// (undefined for void methods).
+  Result<int64_t> CallStatic(const std::string& cls, const std::string& method,
+                             const std::vector<int64_t>& args);
+
+  /// Internal: dispatches an already-resolved method (JIT or interpreter).
+  Result<int64_t> CallResolved(const LoadedClass& cls,
+                               const VerifiedMethod& method,
+                               const int64_t* args);
+
+  // -- State ----------------------------------------------------------------
+
+  Jvm* vm() { return vm_; }
+  VmHeap& heap() { return heap_; }
+  const ClassLoader* loader() const { return loader_; }
+  const SecurityManager* security() const { return security_; }
+  void* user_data() const { return user_data_; }
+
+  int64_t* budget_ptr() { return &budget_; }
+  uint64_t instructions_retired() const {
+    return static_cast<uint64_t>(initial_budget_ - budget_);
+  }
+  uint64_t native_calls() const { return native_calls_; }
+
+  /// Error stashed by a failing native method (picked up on Trap::kNative).
+  const Status& pending_error() const { return pending_error_; }
+  void set_pending_error(Status s) { pending_error_ = std::move(s); }
+  void count_native_call() { ++native_calls_; }
+
+  Status EnterCall();
+  void LeaveCall() { --depth_; }
+
+ private:
+  Jvm* vm_;
+  const ClassLoader* loader_;
+  const SecurityManager* security_;
+  ResourceLimits limits_;
+  VmHeap heap_;
+  int64_t budget_;
+  int64_t initial_budget_;
+  uint32_t depth_ = 0;
+  void* user_data_;
+  Status pending_error_;
+  uint64_t native_calls_ = 0;
+};
+
+/// Internal: resolves a `call` target through the defining loader, checking
+/// that the referenced signature matches the target (link-time check).
+Result<LoadedClass::ResolvedMethod> ResolveCall(const LoadedClass& cls,
+                                                uint32_t cpool_idx);
+/// Internal: resolves a `callnative` target, checking signature equality.
+Result<const NativeMethod*> ResolveNative(Jvm* vm, const LoadedClass& cls,
+                                          uint32_t cpool_idx);
+
+/// Internal: invokes a native method with security check + error plumbing.
+Result<int64_t> InvokeNative(ExecContext* ctx, const NativeMethod& native,
+                             const int64_t* args);
+
+}  // namespace jvm
+}  // namespace jaguar
+
+#endif  // JAGUAR_JVM_VM_H_

@@ -1,0 +1,147 @@
+#include "net/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace net {
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(StringPrintf("send failed: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n == 0) return IoError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(StringPrintf("recv failed: %s", std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, FrameType type, Slice payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return InvalidArgument("frame payload too large");
+  }
+  BufferWriter header;
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU8(static_cast<uint8_t>(type));
+  JAGUAR_RETURN_IF_ERROR(
+      WriteAll(fd, header.buffer().data(), header.size()));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::pair<FrameType, std::vector<uint8_t>>> ReadFrame(int fd) {
+  uint8_t header[5];
+  JAGUAR_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
+  uint32_t len = static_cast<uint32_t>(header[0]) |
+                 (static_cast<uint32_t>(header[1]) << 8) |
+                 (static_cast<uint32_t>(header[2]) << 16) |
+                 (static_cast<uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) return Corruption("oversized frame from peer");
+  std::vector<uint8_t> payload(len);
+  if (len > 0) {
+    JAGUAR_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+  }
+  return std::make_pair(static_cast<FrameType>(header[4]),
+                        std::move(payload));
+}
+
+void EncodeUdfInfo(const UdfInfo& info, BufferWriter* w) {
+  w->PutString(info.name);
+  w->PutU8(static_cast<uint8_t>(info.language));
+  w->PutU8(static_cast<uint8_t>(info.return_type));
+  w->PutU32(static_cast<uint32_t>(info.arg_types.size()));
+  for (TypeId t : info.arg_types) w->PutU8(static_cast<uint8_t>(t));
+  w->PutString(info.impl_name);
+  w->PutLengthPrefixed(Slice(info.payload));
+}
+
+Result<UdfInfo> DecodeUdfInfo(BufferReader* r) {
+  UdfInfo info;
+  JAGUAR_ASSIGN_OR_RETURN(info.name, r->ReadString());
+  JAGUAR_ASSIGN_OR_RETURN(uint8_t lang, r->ReadU8());
+  if (lang > static_cast<uint8_t>(UdfLanguage::kJJavaIsolated)) {
+    return Corruption("bad UDF language in frame");
+  }
+  info.language = static_cast<UdfLanguage>(lang);
+  JAGUAR_ASSIGN_OR_RETURN(uint8_t ret, r->ReadU8());
+  if (ret > static_cast<uint8_t>(TypeId::kBytes)) {
+    return Corruption("bad return type in frame");
+  }
+  info.return_type = static_cast<TypeId>(ret);
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r->ReadU32());
+  if (nargs > 256) return Corruption("implausible UDF arity in frame");
+  for (uint32_t i = 0; i < nargs; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t t, r->ReadU8());
+    if (t > static_cast<uint8_t>(TypeId::kBytes)) {
+      return Corruption("bad arg type in frame");
+    }
+    info.arg_types.push_back(static_cast<TypeId>(t));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(info.impl_name, r->ReadString());
+  JAGUAR_ASSIGN_OR_RETURN(Slice payload, r->ReadLengthPrefixed());
+  info.payload = payload.ToVector();
+  return info;
+}
+
+void EncodeQueryResult(const QueryResult& result, BufferWriter* w) {
+  result.schema.WriteTo(w);
+  w->PutU64(result.rows_affected);
+  w->PutString(result.message);
+  w->PutU32(static_cast<uint32_t>(result.rows.size()));
+  for (const Tuple& t : result.rows) t.WriteTo(w);
+}
+
+Result<QueryResult> DecodeQueryResult(BufferReader* r) {
+  QueryResult result;
+  JAGUAR_ASSIGN_OR_RETURN(result.schema, Schema::ReadFrom(r));
+  JAGUAR_ASSIGN_OR_RETURN(result.rows_affected, r->ReadU64());
+  JAGUAR_ASSIGN_OR_RETURN(result.message, r->ReadString());
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nrows, r->ReadU32());
+  result.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::ReadFrom(r));
+    result.rows.push_back(std::move(t));
+  }
+  return result;
+}
+
+void EncodeStatusPayload(const Status& status, BufferWriter* w) {
+  w->PutU8(static_cast<uint8_t>(status.code()));
+  w->PutString(status.message());
+}
+
+Status DecodeStatusPayload(BufferReader* r) {
+  Result<uint8_t> code = r->ReadU8();
+  if (!code.ok()) return Corruption("malformed status frame");
+  Result<std::string> message = r->ReadString();
+  if (!message.ok()) return Corruption("malformed status frame");
+  return Status(static_cast<StatusCode>(*code), std::move(*message));
+}
+
+}  // namespace net
+}  // namespace jaguar

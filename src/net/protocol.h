@@ -1,0 +1,69 @@
+#ifndef JAGUAR_NET_PROTOCOL_H_
+#define JAGUAR_NET_PROTOCOL_H_
+
+/// \file protocol.h
+/// The two-tier wire protocol (Section 2.1): clients connect directly to the
+/// database server, send requests, and receive results. Frames are
+/// `u32 length | u8 type | payload`; payloads reuse the ADT stream encodings
+/// shared by storage and IPC — the same bytes that live on disk travel over
+/// the wire, which is what makes client-side and server-side UDF execution
+/// interchangeable.
+///
+/// Requests:
+///   kExecuteSql   sql text
+///   kRegisterUdf  UdfInfo (JJava payloads are verified server-side on upload
+///                 — this is the "migrate the UDF to the server" step of §6.4)
+///   kDropUdf      name
+///   kStoreLob     bytes                         -> kLobHandle
+///   kFetchLob     handle, offset, len           -> kLobData
+///   kPing                                       -> kPong
+/// Responses:
+///   kResultSet | kAck | kError | kLobHandle | kLobData | kPong
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "engine/query_result.h"
+
+namespace jaguar {
+namespace net {
+
+enum class FrameType : uint8_t {
+  kExecuteSql = 1,
+  kRegisterUdf = 2,
+  kDropUdf = 3,
+  kStoreLob = 4,
+  kFetchLob = 5,
+  kPing = 6,
+  kResultSet = 32,
+  kAck = 33,
+  kError = 34,
+  kLobHandle = 35,
+  kLobData = 36,
+  kPong = 37,
+};
+
+/// Hard cap on frame payloads (defense against hostile lengths).
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Reads/writes one full frame on a connected socket fd. Blocking; returns
+/// IoError on EOF or socket failure.
+Status WriteFrame(int fd, FrameType type, Slice payload);
+Result<std::pair<FrameType, std::vector<uint8_t>>> ReadFrame(int fd);
+
+/// Payload encodings.
+void EncodeUdfInfo(const UdfInfo& info, BufferWriter* w);
+Result<UdfInfo> DecodeUdfInfo(BufferReader* r);
+void EncodeQueryResult(const QueryResult& result, BufferWriter* w);
+Result<QueryResult> DecodeQueryResult(BufferReader* r);
+void EncodeStatusPayload(const Status& status, BufferWriter* w);
+Status DecodeStatusPayload(BufferReader* r);
+
+}  // namespace net
+}  // namespace jaguar
+
+#endif  // JAGUAR_NET_PROTOCOL_H_

@@ -1,0 +1,151 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace net {
+
+Server::~Server() { Stop(); }
+
+Status Server::Start(uint16_t port) {
+  if (running_.load()) return Internal("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError(StringPrintf("bind failed: %s", std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return IoError("listen failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (running_.load()) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, client] { ServeClient(client); });
+  }
+}
+
+void Server::ServeClient(int client_fd) {
+  while (running_.load()) {
+    Result<std::pair<FrameType, std::vector<uint8_t>>> frame =
+        ReadFrame(client_fd);
+    if (!frame.ok()) break;  // disconnect
+    ++requests_served_;
+    auto [type, response] = HandleRequest(frame->first, Slice(frame->second));
+    if (!WriteFrame(client_fd, type, Slice(response)).ok()) break;
+  }
+  ::close(client_fd);
+}
+
+std::pair<FrameType, std::vector<uint8_t>> Server::HandleRequest(
+    FrameType type, Slice payload) {
+  auto error = [](const Status& status) {
+    BufferWriter w;
+    EncodeStatusPayload(status, &w);
+    return std::make_pair(FrameType::kError, w.Release());
+  };
+
+  std::lock_guard<std::mutex> lock(db_mutex_);
+  switch (type) {
+    case FrameType::kPing:
+      return {FrameType::kPong, {}};
+    case FrameType::kExecuteSql: {
+      Result<QueryResult> result = db_->Execute(payload.ToString());
+      if (!result.ok()) return error(result.status());
+      BufferWriter w;
+      EncodeQueryResult(*result, &w);
+      return {FrameType::kResultSet, w.Release()};
+    }
+    case FrameType::kRegisterUdf: {
+      BufferReader r(payload);
+      Result<UdfInfo> info = DecodeUdfInfo(&r);
+      if (!info.ok()) return error(info.status());
+      // Registration verifies JJava payloads before they touch the catalog.
+      Status s = db_->RegisterUdf(std::move(*info));
+      if (!s.ok()) return error(s);
+      return {FrameType::kAck, {}};
+    }
+    case FrameType::kDropUdf: {
+      Status s = db_->DropUdf(payload.ToString());
+      if (!s.ok()) return error(s);
+      return {FrameType::kAck, {}};
+    }
+    case FrameType::kStoreLob: {
+      Result<int64_t> handle = db_->StoreLob(payload.ToVector());
+      if (!handle.ok()) return error(handle.status());
+      BufferWriter w;
+      w.PutI64(*handle);
+      return {FrameType::kLobHandle, w.Release()};
+    }
+    case FrameType::kFetchLob: {
+      BufferReader r(payload);
+      Result<int64_t> handle = r.ReadI64();
+      Result<uint64_t> offset = r.ReadU64();
+      Result<uint64_t> len = r.ReadU64();
+      if (!handle.ok() || !offset.ok() || !len.ok()) {
+        return error(Corruption("malformed kFetchLob"));
+      }
+      Result<std::vector<uint8_t>> data =
+          db_->FetchLob(*handle, *offset, *len);
+      if (!data.ok()) return error(data.status());
+      return {FrameType::kLobData, std::move(*data)};
+    }
+    default:
+      return error(InvalidArgument("unknown request frame type"));
+  }
+}
+
+}  // namespace net
+}  // namespace jaguar

@@ -1,0 +1,68 @@
+#ifndef JAGUAR_NET_SERVER_H_
+#define JAGUAR_NET_SERVER_H_
+
+/// \file server.h
+/// The jaguar network server: accepts direct client connections (the
+/// two-tier architecture of Section 2.1) and serves SQL, UDF registration
+/// ("migration"), and large-object requests.
+///
+/// Like PREDATOR, the server is "a single multi-threaded process, with at
+/// least one thread per connected client"; query execution itself is
+/// serialized by a database mutex (PREDATOR evaluates all expressions
+/// serially).
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "net/protocol.h"
+
+namespace jaguar {
+namespace net {
+
+class Server {
+ public:
+  /// \param db the engine to serve (not owned; must outlive the server).
+  explicit Server(Database* db) : db_(db) {}
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  Status Start(uint16_t port);
+
+  /// Port actually bound (after Start).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes connections, joins all threads. Idempotent.
+  void Stop();
+
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeClient(int client_fd);
+  /// Handles one request frame; returns the response frame.
+  std::pair<FrameType, std::vector<uint8_t>> HandleRequest(
+      FrameType type, Slice payload);
+
+  Database* db_;
+  std::mutex db_mutex_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace jaguar
+
+#endif  // JAGUAR_NET_SERVER_H_

@@ -1,0 +1,72 @@
+#include "sfi/sfi.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace sfi {
+
+Result<SfiRegion> SfiRegion::Create(unsigned size_log2) {
+  if (size_log2 < 12 || size_log2 > 32) {
+    return InvalidArgument("SFI region size must be 2^12..2^32 bytes");
+  }
+  const size_t size = size_t{1} << size_log2;
+  // Over-map by `size` so an aligned sub-range always exists, then keep the
+  // whole mapping and use the aligned pointer inside it (simple and
+  // portable; the extra address space costs nothing until touched).
+  const size_t map_size = size * 2;
+  void* mem = ::mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return IoError("mmap for SFI region failed");
+  uintptr_t raw = reinterpret_cast<uintptr_t>(mem);
+  uintptr_t aligned = (raw + size - 1) & ~(uintptr_t{size} - 1);
+  SfiRegion region;
+  region.map_base_ = mem;
+  region.map_size_ = map_size;
+  region.base_ = reinterpret_cast<uint8_t*>(aligned);
+  region.mask_ = size - 1;
+  return region;
+}
+
+SfiRegion::~SfiRegion() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+}
+
+SfiRegion& SfiRegion::operator=(SfiRegion&& o) noexcept {
+  if (this != &o) {
+    if (map_base_ != nullptr) ::munmap(map_base_, map_size_);
+    base_ = o.base_;
+    mask_ = o.mask_;
+    map_base_ = o.map_base_;
+    map_size_ = o.map_size_;
+    o.base_ = nullptr;
+    o.mask_ = 0;
+    o.map_base_ = nullptr;
+    o.map_size_ = 0;
+  }
+  return *this;
+}
+
+Status SfiRegion::CopyIn(uint64_t addr, const uint8_t* src, size_t len) {
+  if (addr > size() || len > size() - addr) {
+    return InvalidArgument(StringPrintf(
+        "CopyIn of %zu bytes at %llu exceeds SFI region of %zu bytes", len,
+        static_cast<unsigned long long>(addr), size()));
+  }
+  std::memcpy(base_ + addr, src, len);
+  return Status::OK();
+}
+
+Status SfiRegion::CopyOut(uint64_t addr, uint8_t* dst, size_t len) const {
+  if (addr > size() || len > size() - addr) {
+    return InvalidArgument("CopyOut exceeds SFI region");
+  }
+  std::memcpy(dst, base_ + addr, len);
+  return Status::OK();
+}
+
+}  // namespace sfi
+}  // namespace jaguar

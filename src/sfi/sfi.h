@@ -1,0 +1,73 @@
+#ifndef JAGUAR_SFI_SFI_H_
+#define JAGUAR_SFI_SFI_H_
+
+/// \file sfi.h
+/// Software Fault Isolation (Wahbe et al., SOSP'93 — reference [WLAG93] in
+/// the paper) for native UDFs.
+///
+/// The original technique rewrites untrusted machine code so that "the higher
+/// order bits of each address ... lie within a specific range". We apply the
+/// same address-masking discipline at the source level: UDF data lives inside
+/// a power-of-two-sized, alignment-matched region, and every load/store goes
+/// through accessors that mask the address into the region. A wild address
+/// therefore cannot reach server memory — it wraps inside the sandbox. The
+/// paper expects "an overhead of approximately 25%" from this mechanism
+/// (Section 4); `bench_ablation_sfi` measures it.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace jaguar {
+namespace sfi {
+
+/// A 2^k-byte sandbox region whose base is 2^k-aligned, so that
+/// `base | (addr & mask)` confines any 64-bit address into the region with a
+/// single AND (the SFI sandboxing operation).
+class SfiRegion {
+ public:
+  /// Allocates a region of `1 << size_log2` bytes (zeroed).
+  static Result<SfiRegion> Create(unsigned size_log2);
+
+  SfiRegion() = default;
+  ~SfiRegion();
+  SfiRegion(SfiRegion&& o) noexcept { *this = std::move(o); }
+  SfiRegion& operator=(SfiRegion&& o) noexcept;
+  SfiRegion(const SfiRegion&) = delete;
+  SfiRegion& operator=(const SfiRegion&) = delete;
+
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+  size_t size() const { return mask_ + 1; }
+  uint64_t mask() const { return mask_; }
+
+  /// Sandboxed accessors: any 64-bit "address" (an offset as far as the UDF
+  /// is concerned) is masked into the region. These compile to a single AND
+  /// plus the access — the per-access cost the ablation bench measures.
+  inline uint8_t LoadByte(uint64_t addr) const { return base_[addr & mask_]; }
+  inline void StoreByte(uint64_t addr, uint8_t v) { base_[addr & mask_] = v; }
+  inline int64_t LoadWord(uint64_t addr) const {
+    int64_t v;
+    __builtin_memcpy(&v, base_ + (addr & mask_ & ~uint64_t{7}), 8);
+    return v;
+  }
+  inline void StoreWord(uint64_t addr, int64_t v) {
+    __builtin_memcpy(base_ + (addr & mask_ & ~uint64_t{7}), &v, 8);
+  }
+
+  /// Copies data into / out of the sandbox (the trusted crossing).
+  Status CopyIn(uint64_t addr, const uint8_t* src, size_t len);
+  Status CopyOut(uint64_t addr, uint8_t* dst, size_t len) const;
+
+ private:
+  uint8_t* base_ = nullptr;
+  uint64_t mask_ = 0;       // size - 1
+  void* map_base_ = nullptr;
+  size_t map_size_ = 0;
+};
+
+}  // namespace sfi
+}  // namespace jaguar
+
+#endif  // JAGUAR_SFI_SFI_H_

@@ -1,0 +1,156 @@
+#ifndef JAGUAR_SQL_AST_H_
+#define JAGUAR_SQL_AST_H_
+
+/// \file ast.h
+/// Abstract syntax trees for the SQL subset jaguar supports:
+///
+///   SELECT <exprs|*> FROM <table> [<alias>] [WHERE <expr>]
+///       [GROUP BY <expr>, ...] [ORDER BY <expr> [ASC|DESC]] [LIMIT n]
+///   SELECT COUNT(*)|COUNT(e)|SUM(e)|AVG(e)|MIN(e)|MAX(e), ... FROM ...
+///   CREATE TABLE <name> (<col> <type>, ...)
+///   INSERT INTO <name> VALUES (<expr>, ...), ...
+///   UPDATE <name> SET <col> = <expr>, ... [WHERE <expr>]
+///   DELETE FROM <name> [WHERE <expr>]
+///   DROP TABLE <name>
+///
+/// Expressions cover the paper's queries: comparisons, boolean logic,
+/// arithmetic, column references (optionally qualified: `S.history`), and
+/// function calls (`InvestVal(S.history) > 5`).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace jaguar {
+namespace sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kNot };
+
+const char* BinaryOpToString(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFunctionCall,
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  ///< Optional table alias ("S" in S.history).
+  std::string column;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;   ///< Also the operand of unary expressions.
+  ExprPtr right;
+
+  // kFunctionCall
+  std::string function;
+  std::vector<ExprPtr> args;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(std::string qualifier, std::string column);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+
+  /// Unparses for error messages and tests.
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind : uint8_t {
+  kSelect,
+  kCreateTable,
+  kInsert,
+  kDropTable,
+  kDelete,
+  kUpdate,
+};
+
+/// One SELECT output item: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;  ///< Null for `*`.
+  std::string alias;
+  bool is_star = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::string table_alias;  ///< Empty if none.
+  ExprPtr where;            ///< Null if none.
+  std::vector<ExprPtr> group_by;  ///< Empty if none.
+  ExprPtr order_by;         ///< Null if none.
+  bool order_desc = false;
+  int64_t limit = -1;       ///< -1 == no limit.
+};
+
+struct CreateTableStmt {
+  std::string table;
+  Schema schema;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;  ///< Constant expressions.
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  ///< Null deletes every row.
+};
+
+struct UpdateStmt {
+  std::string table;
+  /// Column-name/value-expression assignments, applied left to right; value
+  /// expressions see the row's *old* values.
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< Null updates every row.
+};
+
+struct Statement {
+  StatementKind kind;
+  SelectStmt select;
+  CreateTableStmt create_table;
+  InsertStmt insert;
+  DropTableStmt drop_table;
+  DeleteStmt delete_stmt;
+  UpdateStmt update;
+};
+
+}  // namespace sql
+}  // namespace jaguar
+
+#endif  // JAGUAR_SQL_AST_H_

@@ -1,0 +1,123 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+namespace sql {
+
+bool Token::IsSymbol(const char* s) const {
+  return kind == TokenKind::kSymbol && text == s;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t k) -> char {
+    return i + k < n ? input[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kIdentifier, input.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;  // 'e' belongs to a following identifier, not the number
+        }
+      }
+      tokens.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                        input.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return InvalidArgument(StringPrintf(
+            "unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-character operators first.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "=="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        tokens.push_back({TokenKind::kSymbol, op, start});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOneChar = "()+-*/%,.<>=;";
+    if (kOneChar.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return InvalidArgument(
+        StringPrintf("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace jaguar

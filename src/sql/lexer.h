@@ -1,0 +1,44 @@
+#ifndef JAGUAR_SQL_LEXER_H_
+#define JAGUAR_SQL_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for the SQL subset. Identifiers and keywords are
+/// case-insensitive; strings use single quotes with '' as the escape.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jaguar {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  ///< Bare name (may be a keyword; parser decides by context).
+  kInteger,     ///< Integer literal.
+  kFloat,       ///< Floating-point literal.
+  kString,      ///< 'quoted string' (text holds the unescaped contents).
+  kSymbol,      ///< Punctuation/operator; text holds it, e.g. "<=", "(", ",".
+  kEnd,         ///< End of input.
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< Identifier name, literal spelling, or symbol.
+  size_t offset = 0;  ///< Byte offset in the input, for error messages.
+
+  bool IsSymbol(const char* s) const;
+  /// Case-insensitive keyword match (only meaningful for identifiers).
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `input`; returns the token list ending with a kEnd token, or
+/// InvalidArgument with position info for malformed input (unterminated
+/// string, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace jaguar
+
+#endif  // JAGUAR_SQL_LEXER_H_

@@ -1,0 +1,446 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace jaguar {
+namespace sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (PeekKeyword("SELECT")) {
+      stmt.kind = StatementKind::kSelect;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else if (PeekKeyword("CREATE")) {
+      stmt.kind = StatementKind::kCreateTable;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+    } else if (PeekKeyword("INSERT")) {
+      stmt.kind = StatementKind::kInsert;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else if (PeekKeyword("DROP")) {
+      stmt.kind = StatementKind::kDropTable;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+    } else if (PeekKeyword("DELETE")) {
+      stmt.kind = StatementKind::kDelete;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.delete_stmt, ParseDelete());
+    } else if (PeekKeyword("UPDATE")) {
+      stmt.kind = StatementKind::kUpdate;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+    } else {
+      return Error("expected SELECT, CREATE, INSERT, UPDATE, DELETE or DROP");
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseBareExpression() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool PeekKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+  Status Error(const std::string& msg) const {
+    return InvalidArgument(StringPrintf("%s (near offset %zu, got '%s')",
+                                        msg.c_str(), Peek().offset,
+                                        Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return Error(std::string("expected ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!Peek().IsSymbol(s)) {
+      return Error(std::string("expected '") + s + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM", "WHERE",  "AND", "OR",  "NOT",    "AS",   "CREATE",
+        "TABLE",  "INSERT", "INTO", "VALUES", "DROP", "LIMIT", "NULL",
+        "TRUE",   "FALSE", "ORDER", "BY", "ASC", "DESC", "DELETE", "GROUP",
+        "UPDATE", "SET"};
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(word, kw)) return true;
+    }
+    return false;
+  }
+
+  // -- SELECT ---------------------------------------------------------------
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        JAGUAR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("AS")) {
+          Advance();
+          JAGUAR_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    // Optional table alias: `FROM Stocks S`.
+    if (Peek().kind == TokenKind::kIdentifier && !IsReserved(Peek().text)) {
+      stmt.table_alias = Advance().text;
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      JAGUAR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        JAGUAR_ASSIGN_OR_RETURN(ExprPtr key, ParseExpr());
+        stmt.group_by.push_back(std::move(key));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      JAGUAR_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      JAGUAR_ASSIGN_OR_RETURN(stmt.order_by, ParseExpr());
+      if (PeekKeyword("ASC")) {
+        Advance();
+      } else if (PeekKeyword("DESC")) {
+        Advance();
+        stmt.order_desc = true;
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokenKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  // -- CREATE TABLE ---------------------------------------------------------
+
+  Result<CreateTableStmt> ParseCreateTable() {
+    CreateTableStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<Column> cols;
+    while (true) {
+      Column col;
+      JAGUAR_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+      JAGUAR_ASSIGN_OR_RETURN(std::string type_name,
+                              ExpectIdentifier("column type"));
+      JAGUAR_ASSIGN_OR_RETURN(col.type, TypeIdFromString(type_name));
+      cols.push_back(std::move(col));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.schema = Schema(std::move(cols));
+    return stmt;
+  }
+
+  // -- INSERT ---------------------------------------------------------------
+
+  Result<InsertStmt> ParseInsert() {
+    InsertStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      JAGUAR_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (Peek().IsSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return stmt;
+  }
+
+  Result<DeleteStmt> ParseDelete() {
+    DeleteStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<UpdateStmt> ParseUpdate() {
+    UpdateStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(std::string col,
+                              ExpectIdentifier("column name"));
+      JAGUAR_RETURN_IF_ERROR(ExpectSymbol("="));
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(value));
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<DropTableStmt> ParseDropTable() {
+    DropTableStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  // -- Expressions (precedence climbing) -------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    struct CmpOp {
+      const char* sym;
+      BinaryOp op;
+    };
+    static const CmpOp kOps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+        {"!=", BinaryOp::kNe}, {"==", BinaryOp::kEq}, {"=", BinaryOp::kEq},
+        {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const CmpOp& c : kOps) {
+      if (Peek().IsSymbol(c.sym)) {
+        Advance();
+        JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Binary(c.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      BinaryOp op = Advance().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    JAGUAR_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      const std::string sym = Advance().text;
+      BinaryOp op = sym == "*"   ? BinaryOp::kMul
+                    : sym == "/" ? BinaryOp::kDiv
+                                 : BinaryOp::kMod;
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = Expr::Binary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      JAGUAR_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger: {
+        Advance();
+        return Expr::Literal(
+            Value::Int(std::strtoll(tok.text.c_str(), nullptr, 10)));
+      }
+      case TokenKind::kFloat: {
+        Advance();
+        return Expr::Literal(Value::Double(std::strtod(tok.text.c_str(),
+                                                       nullptr)));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Expr::Literal(Value::String(tok.text));
+      }
+      case TokenKind::kSymbol: {
+        if (tok.IsSymbol("(")) {
+          Advance();
+          JAGUAR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
+        return Error("expected expression");
+      }
+      case TokenKind::kIdentifier: {
+        if (tok.IsKeyword("NULL")) {
+          Advance();
+          return Expr::Literal(Value::Null());
+        }
+        if (tok.IsKeyword("TRUE")) {
+          Advance();
+          return Expr::Literal(Value::Bool(true));
+        }
+        if (tok.IsKeyword("FALSE")) {
+          Advance();
+          return Expr::Literal(Value::Bool(false));
+        }
+        std::string name = Advance().text;
+        if (Peek().IsSymbol("(")) {  // function call
+          Advance();
+          // COUNT(*) is canonicalized to a zero-argument "count_star" call.
+          if (Peek().IsSymbol("*") && EqualsIgnoreCase(name, "count")) {
+            Advance();
+            JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+            return Expr::Call("count_star", {});
+          }
+          std::vector<ExprPtr> args;
+          if (!Peek().IsSymbol(")")) {
+            while (true) {
+              JAGUAR_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (Peek().IsSymbol(",")) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        if (Peek().IsSymbol(".")) {  // qualified column: S.history
+          Advance();
+          JAGUAR_ASSIGN_OR_RETURN(std::string col,
+                                  ExpectIdentifier("column name"));
+          return Expr::Column(std::move(name), std::move(col));
+        }
+        return Expr::Column("", std::move(name));
+      }
+      case TokenKind::kEnd:
+        return Error("unexpected end of input");
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& input) {
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& input) {
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareExpression();
+}
+
+}  // namespace sql
+}  // namespace jaguar

@@ -1,0 +1,25 @@
+#ifndef JAGUAR_SQL_PARSER_H_
+#define JAGUAR_SQL_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser producing the AST of ast.h. All errors are
+/// reported as InvalidArgument with the offending token's offset.
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace jaguar {
+namespace sql {
+
+/// Parses a single SQL statement (optionally terminated by ';').
+Result<Statement> Parse(const std::string& input);
+
+/// Parses a standalone expression (used by tests and the binder).
+Result<ExprPtr> ParseExpression(const std::string& input);
+
+}  // namespace sql
+}  // namespace jaguar
+
+#endif  // JAGUAR_SQL_PARSER_H_

@@ -1,0 +1,144 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace jaguar {
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr) pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, /*dirty=*/false);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  JAGUAR_CHECK(capacity > 0);
+  frames_.resize(capacity);
+  free_frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
+    free_frames_.push_back(capacity - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return ResourceExhausted("buffer pool exhausted: all frames pinned");
+  }
+  size_t f = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[f];
+  frame.in_lru = false;
+  if (frame.dirty) {
+    JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.id);
+  frame.id = kInvalidPageId;
+  return f;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    size_t f = it->second;
+    Frame& frame = frames_[f];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, f, id, frame.data.get());
+  }
+  ++misses_;
+  JAGUAR_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
+  Frame& frame = frames_[f];
+  Status s = disk_->ReadPage(id, frame.data.get());
+  if (!s.ok()) {
+    free_frames_.push_back(f);
+    return s;
+  }
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = f;
+  return PageGuard(this, f, id, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  JAGUAR_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  JAGUAR_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
+  Frame& frame = frames_[f];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  page_table_[id] = f;
+  return PageGuard(this, f, id, frame.data.get());
+}
+
+void BufferPool::Unpin(size_t f, bool dirty) {
+  Frame& frame = frames_[f];
+  JAGUAR_CHECK(frame.pin_count > 0);
+  if (dirty) frame.dirty = true;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(f);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+Status BufferPool::Discard(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count > 0) {
+    return Internal(StringPrintf("discard of pinned page %u", id));
+  }
+  if (frame.in_lru) {
+    lru_.erase(frame.lru_pos);
+    frame.in_lru = false;
+  }
+  frame.id = kInvalidPageId;
+  frame.dirty = false;
+  free_frames_.push_back(it->second);
+  page_table_.erase(it);
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,123 @@
+#ifndef JAGUAR_STORAGE_BUFFER_POOL_H_
+#define JAGUAR_STORAGE_BUFFER_POOL_H_
+
+/// \file buffer_pool.h
+/// A fixed-capacity page cache with LRU replacement and pin counting.
+///
+/// Callers obtain pages through RAII `PageGuard`s: a guard pins its frame for
+/// its lifetime, so forgetting to unpin is impossible by construction. Dirty
+/// pages are written back on eviction and on `FlushAll`.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace jaguar {
+
+class BufferPool;
+
+/// Pins one page frame for the guard's lifetime. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, PageId id, uint8_t* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      id_ = o.id_;
+      data_ = o.data_;
+      o.pool_ = nullptr;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return data_ != nullptr; }
+  PageId id() const { return id_; }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+  /// Marks the page dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Explicit early unpin.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  uint8_t* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  /// \param disk backing store (must outlive the pool).
+  /// \param capacity number of frames.
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and pins it (contents zeroed).
+  Result<PageGuard> NewPage();
+
+  /// Writes back all dirty pages (pinned ones included) and syncs.
+  Status FlushAll();
+
+  /// Drops page `id` from the cache without writing it back. The page must be
+  /// unpinned. Used when a page is freed.
+  Status Discard(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  /// Number of currently pinned frames (for leak tests).
+  size_t pinned_frames() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<uint8_t[]> data;
+    std::list<size_t>::iterator lru_pos;  // valid only when pin_count == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame, bool dirty);
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front == least recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,89 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+namespace {
+std::string Errno(const char* op) {
+  return StringPrintf("%s failed: %s", op, std::strerror(errno));
+}
+}  // namespace
+
+DiskManager::~DiskManager() { Close().ok(); }
+
+Status DiskManager::Open(const std::string& path) {
+  if (is_open()) return Internal("disk manager already open");
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return IoError(Errno("open"));
+  path_ = path;
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) return IoError(Errno("lseek"));
+  if (size % kPageSize != 0) {
+    return Corruption(StringPrintf("file size %lld is not page aligned",
+                                   static_cast<long long>(size)));
+  }
+  num_pages_ = static_cast<uint32_t>(size / kPageSize);
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (!is_open()) return Status::OK();
+  Status s = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  return s;
+}
+
+Status DiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (!is_open()) return Internal("disk manager not open");
+  if (id >= num_pages_) {
+    return InvalidArgument(StringPrintf("read of unallocated page %u", id));
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n < 0) return IoError(Errno("pread"));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return IoError(StringPrintf("short read of page %u (%zd bytes)", id, n));
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (!is_open()) return Internal("disk manager not open");
+  if (id >= num_pages_) {
+    return InvalidArgument(StringPrintf("write of unallocated page %u", id));
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
+  ++writes_;
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (!is_open()) return Internal("disk manager not open");
+  std::vector<uint8_t> zero(kPageSize, 0);
+  PageId id = num_pages_;
+  ssize_t n = ::pwrite(fd_, zero.data(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
+  ++num_pages_;
+  return id;
+}
+
+Status DiskManager::Sync() {
+  if (!is_open()) return Status::OK();
+  if (::fsync(fd_) != 0) return IoError(Errno("fsync"));
+  return Status::OK();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,60 @@
+#ifndef JAGUAR_STORAGE_DISK_MANAGER_H_
+#define JAGUAR_STORAGE_DISK_MANAGER_H_
+
+/// \file disk_manager.h
+/// Raw page-granularity file I/O. One database == one file; pages are
+/// addressed by index. Allocation policy (free lists) lives a layer up in
+/// `StorageEngine`; the disk manager only extends the file and moves bytes.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace jaguar {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if necessary) the database file at `path`.
+  Status Open(const std::string& path);
+  /// Flushes and closes the file. Idempotent.
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Number of pages currently in the file.
+  uint32_t num_pages() const { return num_pages_; }
+
+  /// Reads page `id` into `out` (which must hold kPageSize bytes).
+  Status ReadPage(PageId id, uint8_t* out);
+  /// Writes kPageSize bytes from `data` to page `id`. The page must already
+  /// be allocated (id < num_pages()).
+  Status WritePage(PageId id, const uint8_t* data);
+
+  /// Extends the file by one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// fsync()s the file.
+  Status Sync();
+
+  /// Cumulative I/O counters (used by tests and the calibration bench).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,33 @@
+#ifndef JAGUAR_STORAGE_PAGE_H_
+#define JAGUAR_STORAGE_PAGE_H_
+
+/// \file page.h
+/// Fixed-size page constants and ids for the storage layer.
+
+#include <cstdint>
+
+namespace jaguar {
+
+/// All on-disk I/O happens in units of this many bytes.
+inline constexpr uint32_t kPageSize = 8192;
+
+/// Page identifier == page index within the database file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (end of chains, unallocated references).
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// A record's physical address: page + slot within the page.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const RecordId& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_PAGE_H_

@@ -1,0 +1,91 @@
+#ifndef JAGUAR_STORAGE_SLOTTED_PAGE_H_
+#define JAGUAR_STORAGE_SLOTTED_PAGE_H_
+
+/// \file slotted_page.h
+/// Classic slotted-page record organization over a raw kPageSize buffer.
+///
+/// Layout:
+///
+///     [ header | slot array --> ...free... <-- cell data ]
+///
+/// * header (12 bytes): next_page_id (u32, heap-file chain), num_slots (u16),
+///   cell_start (u16, offset of the lowest cell byte), reserved (u32).
+/// * slot array: per slot, offset (u16) and size (u16). A slot with
+///   offset == 0 is a tombstone (cell space reclaimable by Compact()).
+/// * cells grow downward from the page end.
+///
+/// `SlottedPage` is a *view*: it does not own the buffer. The buffer pool owns
+/// frames; callers construct a view over a pinned frame.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace jaguar {
+
+class SlottedPage {
+ public:
+  /// Wraps (does not initialize) an existing page buffer of kPageSize bytes.
+  explicit SlottedPage(uint8_t* data) : data_(data) {}
+
+  /// Formats the buffer as an empty slotted page.
+  void Init();
+
+  /// Heap-file chain pointer.
+  PageId next_page_id() const;
+  void set_next_page_id(PageId id);
+
+  uint16_t num_slots() const;
+
+  /// Bytes available for a new record (including its 4-byte slot), taking
+  /// tombstone slot reuse into account for the slot bytes only.
+  uint32_t FreeSpace() const;
+
+  /// Maximum record payload a freshly initialized page can hold.
+  static uint32_t MaxRecordSize();
+
+  /// Inserts `record`; returns the slot index or ResourceExhausted if it does
+  /// not fit (caller moves on to another page).
+  Result<uint16_t> Insert(Slice record);
+
+  /// \return View of the record in `slot`, or NotFound for tombstones /
+  /// out-of-range slots.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Tombstones `slot`. Space is reclaimed lazily by Compact().
+  Status Delete(uint16_t slot);
+
+  /// Rewrites live cells to eliminate holes left by deletions; slot indices
+  /// are stable.
+  void Compact();
+
+  /// Validates internal invariants (used by property tests): slots in range,
+  /// cells non-overlapping, cell_start consistent.
+  Status CheckInvariants() const;
+
+ private:
+  static constexpr uint32_t kHeaderSize = 12;
+  static constexpr uint32_t kSlotSize = 4;
+
+  uint16_t GetU16(uint32_t off) const;
+  void PutU16(uint32_t off, uint16_t v);
+  uint32_t GetU32(uint32_t off) const;
+  void PutU32(uint32_t off, uint32_t v);
+
+  uint16_t cell_start() const { return GetU16(6); }
+  void set_cell_start(uint16_t v) { PutU16(6, v); }
+  void set_num_slots(uint16_t v) { PutU16(4, v); }
+
+  uint32_t SlotOffsetPos(uint16_t slot) const {
+    return kHeaderSize + slot * kSlotSize;
+  }
+
+  uint8_t* data_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,127 @@
+#include "storage/storage_engine.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+namespace {
+// Header page field offsets (all u32, little endian).
+constexpr uint32_t kOffMagic = 0;
+constexpr uint32_t kOffVersion = 4;
+constexpr uint32_t kOffFreeListHead = 8;
+constexpr uint32_t kOffCatalogRoot = 12;
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+}  // namespace
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const std::string& path, size_t pool_pages) {
+  auto engine = std::unique_ptr<StorageEngine>(new StorageEngine());
+  JAGUAR_RETURN_IF_ERROR(engine->disk_.Open(path));
+  engine->pool_ = std::make_unique<BufferPool>(&engine->disk_, pool_pages);
+  if (engine->disk_.num_pages() == 0) {
+    JAGUAR_RETURN_IF_ERROR(engine->InitHeader());
+  } else {
+    JAGUAR_ASSIGN_OR_RETURN(uint32_t magic, engine->ReadHeaderField(kOffMagic));
+    if (magic != kMagic) {
+      return Corruption("not a jaguar database file: " + path);
+    }
+    JAGUAR_ASSIGN_OR_RETURN(uint32_t version,
+                            engine->ReadHeaderField(kOffVersion));
+    if (version != kVersion) {
+      return NotSupported(StringPrintf("database version %u (want %u)",
+                                       version, kVersion));
+    }
+  }
+  return engine;
+}
+
+Status StorageEngine::InitHeader() {
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  if (page.id() != 0) return Internal("header page is not page 0");
+  StoreU32(page.data() + kOffMagic, kMagic);
+  StoreU32(page.data() + kOffVersion, kVersion);
+  StoreU32(page.data() + kOffFreeListHead, kInvalidPageId);
+  StoreU32(page.data() + kOffCatalogRoot, kInvalidPageId);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Result<uint32_t> StorageEngine::ReadHeaderField(uint32_t offset) {
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(0));
+  return LoadU32(page.data() + offset);
+}
+
+Status StorageEngine::WriteHeaderField(uint32_t offset, uint32_t value) {
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(0));
+  StoreU32(page.data() + offset, value);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Result<PageId> StorageEngine::AllocatePage() {
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t head, ReadHeaderField(kOffFreeListHead));
+  if (head == kInvalidPageId) {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+    return page.id();
+  }
+  // Pop the free list: the first 4 bytes of a free page hold the next link.
+  PageId next;
+  {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(head));
+    next = LoadU32(page.data());
+    std::memset(page.data(), 0, kPageSize);
+    page.MarkDirty();
+  }
+  JAGUAR_RETURN_IF_ERROR(WriteHeaderField(kOffFreeListHead, next));
+  return head;
+}
+
+Status StorageEngine::FreePage(PageId id) {
+  if (id == 0 || id == kInvalidPageId || id >= disk_.num_pages()) {
+    return InvalidArgument(StringPrintf("cannot free page %u", id));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t head, ReadHeaderField(kOffFreeListHead));
+  {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(id));
+    std::memset(page.data(), 0, kPageSize);
+    StoreU32(page.data(), head);
+    page.MarkDirty();
+  }
+  return WriteHeaderField(kOffFreeListHead, id);
+}
+
+Result<PageId> StorageEngine::GetCatalogRoot() {
+  return ReadHeaderField(kOffCatalogRoot);
+}
+
+Status StorageEngine::SetCatalogRoot(PageId id) {
+  return WriteHeaderField(kOffCatalogRoot, id);
+}
+
+Result<uint32_t> StorageEngine::CountFreePages() {
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t head, ReadHeaderField(kOffFreeListHead));
+  uint32_t n = 0;
+  while (head != kInvalidPageId) {
+    if (++n > disk_.num_pages()) return Corruption("free list cycle");
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page, pool_->FetchPage(head));
+    head = LoadU32(page.data());
+  }
+  return n;
+}
+
+Status StorageEngine::Close() {
+  if (pool_ != nullptr) {
+    JAGUAR_RETURN_IF_ERROR(pool_->FlushAll());
+  }
+  return disk_.Close();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,62 @@
+#ifndef JAGUAR_STORAGE_STORAGE_ENGINE_H_
+#define JAGUAR_STORAGE_STORAGE_ENGINE_H_
+
+/// \file storage_engine.h
+/// Ties the disk manager and buffer pool together and owns database-level
+/// page allocation: a header page (page 0) stores a magic number, the head of
+/// the free-page list, and the catalog root. Freed pages are chained through
+/// their first four bytes and reused before the file grows.
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace jaguar {
+
+class StorageEngine {
+ public:
+  static constexpr uint32_t kMagic = 0x4A414744;  // "JAGD"
+  static constexpr uint32_t kVersion = 1;
+
+  /// Opens or creates the database file at `path`.
+  /// \param pool_pages buffer pool capacity in pages.
+  static Result<std::unique_ptr<StorageEngine>> Open(const std::string& path,
+                                                     size_t pool_pages = 256);
+
+  /// Flushes everything and closes the file.
+  Status Close();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+
+  /// Allocates a page, preferring the free list over growing the file.
+  Result<PageId> AllocatePage();
+
+  /// Returns `id` to the free list. The page must be unpinned.
+  Status FreePage(PageId id);
+
+  /// Root page of the serialized system catalog (kInvalidPageId when absent).
+  Result<PageId> GetCatalogRoot();
+  Status SetCatalogRoot(PageId id);
+
+  /// Number of pages on the free list (walks the chain; test/debug use).
+  Result<uint32_t> CountFreePages();
+
+ private:
+  StorageEngine() = default;
+
+  Status InitHeader();
+  Result<uint32_t> ReadHeaderField(uint32_t offset);
+  Status WriteHeaderField(uint32_t offset, uint32_t value);
+
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_STORAGE_ENGINE_H_

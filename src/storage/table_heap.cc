@@ -1,0 +1,265 @@
+#include "storage/table_heap.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+#include "storage/slotted_page.h"
+
+namespace jaguar {
+
+namespace {
+constexpr uint8_t kInlineTag = 0x00;
+constexpr uint8_t kOverflowTag = 0x01;
+constexpr uint32_t kOverflowHeader = 8;  // next (u32) + chunk_len (u32)
+constexpr uint32_t kOverflowCapacity = kPageSize - kOverflowHeader;
+// Slot payload for an overflow record: tag + total_len + first_page.
+constexpr uint32_t kOverflowStubSize = 1 + 8 + 4;
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+}  // namespace
+
+TableHeap::TableHeap(StorageEngine* engine, PageId first_page)
+    : engine_(engine), first_page_(first_page), last_page_hint_(first_page) {}
+
+Result<PageId> TableHeap::Create(StorageEngine* engine) {
+  JAGUAR_ASSIGN_OR_RETURN(PageId id, engine->AllocatePage());
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page, engine->buffer_pool()->FetchPage(id));
+  SlottedPage sp(page.data());
+  sp.Init();
+  page.MarkDirty();
+  return id;
+}
+
+Result<RecordId> TableHeap::Insert(Slice record) {
+  // Decide inline vs overflow. Inline records need 1 tag byte of headroom.
+  const bool overflow = record.size() + 1 > SlottedPage::MaxRecordSize();
+
+  BufferWriter stub;
+  if (overflow) {
+    JAGUAR_ASSIGN_OR_RETURN(PageId first, WriteOverflow(record));
+    stub.PutU8(kOverflowTag);
+    stub.PutU64(record.size());
+    stub.PutU32(first);
+  } else {
+    stub.PutU8(kInlineTag);
+    stub.PutBytes(record);
+  }
+  Slice payload = stub.AsSlice();
+
+  // Append into the last page of the chain, extending the chain when full.
+  PageId pid = last_page_hint_;
+  while (true) {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            engine_->buffer_pool()->FetchPage(pid));
+    SlottedPage sp(page.data());
+    Result<uint16_t> slot = sp.Insert(payload);
+    if (slot.ok()) {
+      page.MarkDirty();
+      last_page_hint_ = pid;
+      return RecordId{pid, slot.value()};
+    }
+    if (slot.status().code() != StatusCode::kResourceExhausted) {
+      return slot.status();
+    }
+    PageId next = sp.next_page_id();
+    if (next == kInvalidPageId) {
+      JAGUAR_ASSIGN_OR_RETURN(PageId fresh, engine_->AllocatePage());
+      {
+        JAGUAR_ASSIGN_OR_RETURN(PageGuard fresh_page,
+                                engine_->buffer_pool()->FetchPage(fresh));
+        SlottedPage fresh_sp(fresh_page.data());
+        fresh_sp.Init();
+        fresh_page.MarkDirty();
+      }
+      sp.set_next_page_id(fresh);
+      page.MarkDirty();
+      next = fresh;
+    }
+    pid = next;
+  }
+}
+
+Result<std::vector<uint8_t>> TableHeap::Get(RecordId rid) {
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                          engine_->buffer_pool()->FetchPage(rid.page_id));
+  SlottedPage sp(page.data());
+  JAGUAR_ASSIGN_OR_RETURN(Slice payload, sp.Get(rid.slot));
+  if (payload.empty()) return Corruption("empty record payload");
+  if (payload[0] == kInlineTag) {
+    return payload.SubSlice(1, payload.size() - 1).ToVector();
+  }
+  if (payload[0] != kOverflowTag || payload.size() != kOverflowStubSize) {
+    return Corruption("bad record tag");
+  }
+  uint64_t total_len = LoadU64(payload.data() + 1);
+  PageId first = LoadU32(payload.data() + 9);
+  page.Release();  // don't hold the pin while walking the overflow chain
+  return ReadOverflow(total_len, first);
+}
+
+Result<PageId> TableHeap::WriteOverflow(Slice payload) {
+  PageId first = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t off = 0;
+  while (off < payload.size()) {
+    size_t chunk = std::min<size_t>(kOverflowCapacity, payload.size() - off);
+    JAGUAR_ASSIGN_OR_RETURN(PageId pid, engine_->AllocatePage());
+    {
+      JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                              engine_->buffer_pool()->FetchPage(pid));
+      StoreU32(page.data(), kInvalidPageId);
+      StoreU32(page.data() + 4, static_cast<uint32_t>(chunk));
+      std::memcpy(page.data() + kOverflowHeader, payload.data() + off, chunk);
+      page.MarkDirty();
+    }
+    if (prev != kInvalidPageId) {
+      JAGUAR_ASSIGN_OR_RETURN(PageGuard prev_page,
+                              engine_->buffer_pool()->FetchPage(prev));
+      StoreU32(prev_page.data(), pid);
+      prev_page.MarkDirty();
+    } else {
+      first = pid;
+    }
+    prev = pid;
+    off += chunk;
+  }
+  if (first == kInvalidPageId) {
+    // Zero-length payloads still get one (empty) overflow page so the stub
+    // has a valid chain to point at.
+    JAGUAR_ASSIGN_OR_RETURN(first, engine_->AllocatePage());
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            engine_->buffer_pool()->FetchPage(first));
+    StoreU32(page.data(), kInvalidPageId);
+    StoreU32(page.data() + 4, 0);
+    page.MarkDirty();
+  }
+  return first;
+}
+
+Result<std::vector<uint8_t>> TableHeap::ReadOverflow(uint64_t total_len,
+                                                     PageId first) {
+  std::vector<uint8_t> out;
+  out.reserve(total_len);
+  PageId pid = first;
+  while (pid != kInvalidPageId) {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            engine_->buffer_pool()->FetchPage(pid));
+    uint32_t chunk = LoadU32(page.data() + 4);
+    if (chunk > kOverflowCapacity) return Corruption("bad overflow chunk size");
+    out.insert(out.end(), page.data() + kOverflowHeader,
+               page.data() + kOverflowHeader + chunk);
+    pid = LoadU32(page.data());
+    if (out.size() > total_len) return Corruption("overflow chain too long");
+  }
+  if (out.size() != total_len) return Corruption("overflow chain truncated");
+  return out;
+}
+
+Status TableHeap::FreeOverflow(PageId first) {
+  PageId pid = first;
+  while (pid != kInvalidPageId) {
+    PageId next;
+    {
+      JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                              engine_->buffer_pool()->FetchPage(pid));
+      next = LoadU32(page.data());
+    }
+    JAGUAR_RETURN_IF_ERROR(engine_->FreePage(pid));
+    pid = next;
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Delete(RecordId rid) {
+  PageId overflow_first = kInvalidPageId;
+  {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            engine_->buffer_pool()->FetchPage(rid.page_id));
+    SlottedPage sp(page.data());
+    JAGUAR_ASSIGN_OR_RETURN(Slice payload, sp.Get(rid.slot));
+    if (!payload.empty() && payload[0] == kOverflowTag &&
+        payload.size() == kOverflowStubSize) {
+      overflow_first = LoadU32(payload.data() + 9);
+    }
+    JAGUAR_RETURN_IF_ERROR(sp.Delete(rid.slot));
+    page.MarkDirty();
+  }
+  if (overflow_first != kInvalidPageId) {
+    JAGUAR_RETURN_IF_ERROR(FreeOverflow(overflow_first));
+  }
+  return Status::OK();
+}
+
+Status TableHeap::DropAll() {
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    PageId next;
+    std::vector<PageId> overflows;
+    {
+      JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                              engine_->buffer_pool()->FetchPage(pid));
+      SlottedPage sp(page.data());
+      next = sp.next_page_id();
+      for (uint16_t s = 0; s < sp.num_slots(); ++s) {
+        Result<Slice> payload = sp.Get(s);
+        if (!payload.ok()) continue;
+        if (!payload->empty() && (*payload)[0] == kOverflowTag &&
+            payload->size() == kOverflowStubSize) {
+          overflows.push_back(LoadU32(payload->data() + 9));
+        }
+      }
+    }
+    for (PageId of : overflows) {
+      JAGUAR_RETURN_IF_ERROR(FreeOverflow(of));
+    }
+    JAGUAR_RETURN_IF_ERROR(engine_->FreePage(pid));
+    pid = next;
+  }
+  first_page_ = kInvalidPageId;
+  return Status::OK();
+}
+
+Result<uint64_t> TableHeap::CountRecords() {
+  uint64_t n = 0;
+  Iterator it = Scan();
+  while (true) {
+    JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+    if (!rec.has_value()) break;
+    ++n;
+  }
+  return n;
+}
+
+Result<std::optional<std::pair<RecordId, std::vector<uint8_t>>>>
+TableHeap::Iterator::Next() {
+  while (page_ != kInvalidPageId) {
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            heap_->engine_->buffer_pool()->FetchPage(page_));
+    SlottedPage sp(page.data());
+    while (slot_ < sp.num_slots()) {
+      uint16_t s = slot_++;
+      Result<Slice> payload = sp.Get(s);
+      if (!payload.ok()) continue;  // tombstone
+      RecordId rid{page_, s};
+      page.Release();
+      JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, heap_->Get(rid));
+      return std::make_optional(std::make_pair(rid, std::move(bytes)));
+    }
+    page_ = sp.next_page_id();
+    slot_ = 0;
+  }
+  return std::optional<std::pair<RecordId, std::vector<uint8_t>>>();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,80 @@
+#ifndef JAGUAR_STORAGE_TABLE_HEAP_H_
+#define JAGUAR_STORAGE_TABLE_HEAP_H_
+
+/// \file table_heap.h
+/// An unordered collection of variable-length records stored in a chain of
+/// slotted pages, with transparent **overflow chains** for records larger
+/// than a page — the paper's `Rel10000` relation stores ~10 KB byte arrays
+/// per tuple, larger than our 8 KB pages.
+///
+/// Record encoding inside a slot:
+///   * inline:   [0x00] [payload...]
+///   * overflow: [0x01] [u64 total_len] [u32 first_overflow_page]
+/// Overflow pages: [u32 next_page] [u32 chunk_len] [chunk bytes...].
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/storage_engine.h"
+
+namespace jaguar {
+
+class TableHeap {
+ public:
+  /// Attaches to an existing heap whose first page is `first_page`.
+  TableHeap(StorageEngine* engine, PageId first_page);
+
+  /// Allocates and formats a new, empty heap; returns its first page id.
+  static Result<PageId> Create(StorageEngine* engine);
+
+  PageId first_page() const { return first_page_; }
+
+  /// Appends a record; returns its id.
+  Result<RecordId> Insert(Slice record);
+
+  /// Reads the full record bytes (reassembling overflow chains).
+  Result<std::vector<uint8_t>> Get(RecordId rid);
+
+  /// Deletes a record, freeing any overflow pages.
+  Status Delete(RecordId rid);
+
+  /// Frees every page belonging to this heap (data, chain and overflow).
+  /// The TableHeap must not be used afterwards.
+  Status DropAll();
+
+  /// Number of live records (scans; test/debug use).
+  Result<uint64_t> CountRecords();
+
+  /// Forward scan over live records.
+  class Iterator {
+   public:
+    /// \return The next record, or std::nullopt at end of heap.
+    Result<std::optional<std::pair<RecordId, std::vector<uint8_t>>>> Next();
+
+   private:
+    friend class TableHeap;
+    Iterator(TableHeap* heap, PageId page) : heap_(heap), page_(page) {}
+    TableHeap* heap_;
+    PageId page_;
+    uint16_t slot_ = 0;
+  };
+
+  Iterator Scan() { return Iterator(this, first_page_); }
+
+ private:
+  Result<std::vector<uint8_t>> ReadOverflow(uint64_t total_len, PageId first);
+  Result<PageId> WriteOverflow(Slice payload);
+  Status FreeOverflow(PageId first);
+
+  StorageEngine* engine_;
+  PageId first_page_;
+  PageId last_page_hint_;  // cached append target; validated on use
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_STORAGE_TABLE_HEAP_H_

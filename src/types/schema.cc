@@ -1,0 +1,52 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return NotFound("no column named '" + name + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeIdToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+void Schema::WriteTo(BufferWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Result<Schema> Schema::ReadFrom(BufferReader* r) {
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  if (n > 1u << 16) return Corruption("implausible column count");
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column c;
+    JAGUAR_ASSIGN_OR_RETURN(c.name, r->ReadString());
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t t, r->ReadU8());
+    if (t > static_cast<uint8_t>(TypeId::kBytes)) {
+      return Corruption("bad type tag in schema");
+    }
+    c.type = static_cast<TypeId>(t);
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace jaguar

@@ -1,0 +1,61 @@
+#ifndef JAGUAR_TYPES_SCHEMA_H_
+#define JAGUAR_TYPES_SCHEMA_H_
+
+/// \file schema.h
+/// Relation schemas: ordered, named, typed columns.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace jaguar {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  TypeId type;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of columns. Column name lookup is case-insensitive, as in
+/// SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \return Index of the named column, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// \return true if `name` resolves to a column.
+  bool Contains(const std::string& name) const { return IndexOf(name).ok(); }
+
+  /// \return "(name TYPE, ...)" for error messages and catalog dumps.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// Serialization for the system catalog and the wire protocol.
+  void WriteTo(BufferWriter* w) const;
+  static Result<Schema> ReadFrom(BufferReader* r);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_TYPES_SCHEMA_H_

@@ -1,0 +1,83 @@
+#include "udf/builtins.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "udf/udf.h"
+
+namespace jaguar {
+
+namespace {
+
+Status LengthUdf(const std::vector<Value>& args, UdfContext* ctx, Value* out) {
+  *out = Value::Int(static_cast<int64_t>(args[0].AsBytes().size()));
+  return Status::OK();
+}
+
+Status StrlenUdf(const std::vector<Value>& args, UdfContext* ctx, Value* out) {
+  *out = Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+  return Status::OK();
+}
+
+Status ByteAtUdf(const std::vector<Value>& args, UdfContext* ctx, Value* out) {
+  const std::vector<uint8_t>& data = args[0].AsBytes();
+  int64_t idx = args[1].AsInt();
+  if (idx < 0 || static_cast<uint64_t>(idx) >= data.size()) {
+    return RuntimeError(StringPrintf(
+        "byte_at index %lld out of bounds for %zu-byte array",
+        static_cast<long long>(idx), data.size()));
+  }
+  *out = Value::Int(data[static_cast<size_t>(idx)]);
+  return Status::OK();
+}
+
+Status RandBytesUdf(const std::vector<Value>& args, UdfContext* ctx,
+                    Value* out) {
+  int64_t n = args[0].AsInt();
+  int64_t seed = args[1].AsInt();
+  if (n < 0 || n > (1 << 28)) {
+    return InvalidArgument("randbytes size out of range");
+  }
+  Random rng(static_cast<uint64_t>(seed));
+  *out = Value::Bytes(rng.Bytes(static_cast<size_t>(n)));
+  return Status::OK();
+}
+
+Status ZeroBytesUdf(const std::vector<Value>& args, UdfContext* ctx,
+                    Value* out) {
+  int64_t n = args[0].AsInt();
+  if (n < 0 || n > (1 << 28)) {
+    return InvalidArgument("zerobytes size out of range");
+  }
+  *out = Value::Bytes(std::vector<uint8_t>(static_cast<size_t>(n), 0));
+  return Status::OK();
+}
+
+Status AbsIntUdf(const std::vector<Value>& args, UdfContext* ctx, Value* out) {
+  int64_t v = args[0].AsInt();
+  *out = Value::Int(v < 0 ? -v : v);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterBuiltinUdfs() {
+  static const bool registered = [] {
+    NativeUdfRegistry* reg = NativeUdfRegistry::Global();
+    reg->Register({"length", TypeId::kInt, {TypeId::kBytes}, &LengthUdf}).ok();
+    reg->Register({"strlen", TypeId::kInt, {TypeId::kString}, &StrlenUdf})
+        .ok();
+    reg->Register({"byte_at", TypeId::kInt, {TypeId::kBytes, TypeId::kInt},
+                   &ByteAtUdf})
+        .ok();
+    reg->Register({"randbytes", TypeId::kBytes, {TypeId::kInt, TypeId::kInt},
+                   &RandBytesUdf})
+        .ok();
+    reg->Register({"zerobytes", TypeId::kBytes, {TypeId::kInt}, &ZeroBytesUdf})
+        .ok();
+    reg->Register({"abs_int", TypeId::kInt, {TypeId::kInt}, &AbsIntUdf}).ok();
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace jaguar

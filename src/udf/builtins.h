@@ -1,0 +1,24 @@
+#ifndef JAGUAR_UDF_BUILTINS_H_
+#define JAGUAR_UDF_BUILTINS_H_
+
+/// \file builtins.h
+/// Built-in scalar functions, registered as ordinary native UDFs so that the
+/// whole function machinery has a single code path:
+///
+///   * `length(BYTEARRAY) -> INT`        — byte-array length
+///   * `strlen(STRING) -> INT`           — string length
+///   * `byte_at(BYTEARRAY, INT) -> INT`  — one (bounds-checked) byte
+///   * `randbytes(INT, INT) -> BYTEARRAY`— n deterministic pseudo-random
+///     bytes from a seed; this is how SQL INSERT statements materialize the
+///     paper's ByteArray attributes, which have no literal syntax
+///   * `zerobytes(INT) -> BYTEARRAY`     — n zero bytes
+///   * `abs_int(INT) -> INT`
+
+namespace jaguar {
+
+/// Registers all builtins in the global native registry. Idempotent.
+void RegisterBuiltinUdfs();
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_BUILTINS_H_

@@ -1,0 +1,61 @@
+#ifndef JAGUAR_UDF_GENERIC_UDF_H_
+#define JAGUAR_UDF_GENERIC_UDF_H_
+
+/// \file generic_udf.h
+/// The paper's "generic" benchmark UDF (Section 5.1):
+///
+///     UDF(ByteArray, NumDataIndepComps, NumDataDepComps, NumCallbacks) -> INT
+///
+/// * a data-independent loop doing `NumDataIndepComps` integer additions,
+/// * a data-dependent loop making `NumDataDepComps` full passes over the
+///   byte array,
+/// * `NumCallbacks` callbacks to the server (no bulk data transferred).
+///
+/// The result is a deterministic checksum so that every implementation —
+/// native, bounds-checked native, SFI native, isolated native, and the JJava
+/// bytecode version — must agree bit-for-bit; the test suite exploits this to
+/// differentially test every design against every other.
+///
+/// Each loop iteration passes through an opaque compiler barrier. Without it,
+/// the C++ optimizer would reduce the computation loops to closed forms and
+/// the comparison with interpreted/JIT-compiled bytecode (which performs the
+/// real iterations) would be meaningless.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "udf/udf.h"
+
+namespace jaguar {
+
+/// Reference semantics of the generic UDF, shared by every implementation.
+/// Callbacks are routed through `ctx` (`Callback(0, i)` must return a value
+/// that is added to the accumulator; the standard handler returns `i`).
+Result<int64_t> GenericUdfCompute(const std::vector<uint8_t>& data,
+                                  int64_t indep_comps, int64_t dep_comps,
+                                  int64_t callbacks, UdfContext* ctx,
+                                  bool bounds_checked);
+
+/// Pure function: what the generic UDF returns when every callback `i`
+/// yields `i` (the standard benchmark handler). Used as the expected value in
+/// differential tests.
+int64_t GenericUdfExpected(const std::vector<uint8_t>& data,
+                           int64_t indep_comps, int64_t dep_comps,
+                           int64_t callbacks);
+
+/// Registers the native implementations in the global registry:
+///   * `generic_udf`          — unchecked C++ (the paper's "C++")
+///   * `generic_udf_checked`  — C++ with explicit array bounds checks
+///     (the fairness variant of Section 5.4)
+///   * `noop_udf`             — returns 0, for the calibration experiments
+/// Idempotent: re-registration attempts are ignored.
+void RegisterGenericUdfs();
+
+/// JJava source code for the generic UDF (compiled by jjc in benches, tests
+/// and examples; also what a client would upload in the migration workflow).
+const char* GenericUdfJJavaSource();
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_GENERIC_UDF_H_

@@ -1,0 +1,322 @@
+#include "udf/isolated_udf_runner.h"
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+#include "jvm/vm.h"
+#include "udf/jvm_udf_runner.h"
+
+namespace jaguar {
+
+namespace {
+
+// Callback wire format (child → parent payloads):
+//   op 0 (Callback):  u8 0 | i64 kind | i64 arg        reply: i64
+//   op 1 (FetchBytes): u8 1 | i64 handle | u64 off | u64 len
+//                                                      reply: len-prefixed
+constexpr uint8_t kOpCallback = 0;
+constexpr uint8_t kOpFetch = 1;
+
+/// Child-side handler that forwards UDF callbacks to the parent process over
+/// the channel (each callback is a full round trip — the cost Figure 8
+/// shows dominating IC++).
+class ForwardingCallbackHandler : public UdfCallbackHandler {
+ public:
+  explicit ForwardingCallbackHandler(ipc::ShmChannel* channel)
+      : channel_(channel) {}
+
+  Result<int64_t> Callback(int64_t kind, int64_t arg) override {
+    BufferWriter w;
+    w.PutU8(kOpCallback);
+    w.PutI64(kind);
+    w.PutI64(arg);
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, RoundTrip(w.AsSlice()));
+    BufferReader r((Slice(reply)));
+    return r.ReadI64();
+  }
+
+  Result<std::vector<uint8_t>> FetchBytes(int64_t handle, uint64_t offset,
+                                          uint64_t len) override {
+    BufferWriter w;
+    w.PutU8(kOpFetch);
+    w.PutI64(handle);
+    w.PutU64(offset);
+    w.PutU64(len);
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, RoundTrip(w.AsSlice()));
+    BufferReader r((Slice(reply)));
+    JAGUAR_ASSIGN_OR_RETURN(Slice bytes, r.ReadLengthPrefixed());
+    return bytes.ToVector();
+  }
+
+ private:
+  Result<std::vector<uint8_t>> RoundTrip(Slice payload) {
+    JAGUAR_RETURN_IF_ERROR(
+        channel_->SendToParent(ipc::MsgType::kCallbackRequest, payload));
+    JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveInChild());
+    if (msg.first == ipc::MsgType::kError) {
+      return ipc::DecodeStatus(Slice(msg.second));
+    }
+    if (msg.first != ipc::MsgType::kCallbackReply) {
+      return Internal("unexpected message type for callback reply");
+    }
+    return std::move(msg.second);
+  }
+
+  ipc::ShmChannel* channel_;
+};
+
+/// Parent-side bridge: decodes a child's callback payload and services it
+/// through the invoking UdfContext (shared by Designs 2 and 4).
+ipc::RemoteExecutor::CallbackHandler MakeParentCallbackBridge(
+    UdfContext* ctx) {
+  return [ctx](Slice payload) -> Result<std::vector<uint8_t>> {
+    BufferReader r(payload);
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t op, r.ReadU8());
+    if (op == kOpCallback) {
+      JAGUAR_ASSIGN_OR_RETURN(int64_t kind, r.ReadI64());
+      JAGUAR_ASSIGN_OR_RETURN(int64_t arg, r.ReadI64());
+      JAGUAR_ASSIGN_OR_RETURN(int64_t result, ctx->Callback(kind, arg));
+      BufferWriter reply;
+      reply.PutI64(result);
+      return reply.Release();
+    }
+    if (op == kOpFetch) {
+      JAGUAR_ASSIGN_OR_RETURN(int64_t handle, r.ReadI64());
+      JAGUAR_ASSIGN_OR_RETURN(uint64_t offset, r.ReadU64());
+      JAGUAR_ASSIGN_OR_RETURN(uint64_t len, r.ReadU64());
+      JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                              ctx->FetchBytes(handle, offset, len));
+      BufferWriter reply;
+      reply.PutLengthPrefixed(Slice(bytes));
+      return reply.Release();
+    }
+    return Corruption("unknown callback op from executor child");
+  };
+}
+
+/// Runs inside the executor child for each request.
+Result<std::vector<uint8_t>> ChildHandleRequest(Slice request,
+                                                ipc::ShmChannel* channel) {
+  BufferReader r(request);
+  JAGUAR_ASSIGN_OR_RETURN(std::string impl_name, r.ReadString());
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r.ReadU32());
+  std::vector<Value> args;
+  args.reserve(nargs);
+  for (uint32_t i = 0; i < nargs; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(&r));
+    args.push_back(std::move(v));
+  }
+  // Resolve in the child's (fork-inherited) registry.
+  JAGUAR_ASSIGN_OR_RETURN(const NativeUdfEntry* entry,
+                          NativeUdfRegistry::Global()->Lookup(impl_name));
+  ForwardingCallbackHandler callbacks(channel);
+  UdfContext ctx(&callbacks);
+  Value out;
+  JAGUAR_RETURN_IF_ERROR(entry->fn(args, &ctx, &out));
+  BufferWriter w;
+  out.WriteTo(&w);
+  return w.Release();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
+    const std::string& impl_name, TypeId return_type,
+    std::vector<TypeId> arg_types, size_t shm_capacity) {
+  // Fail fast in the parent if the function does not exist (the child would
+  // only discover it at first request).
+  JAGUAR_RETURN_IF_ERROR(
+      NativeUdfRegistry::Global()->Lookup(impl_name).status());
+  auto runner = std::unique_ptr<IsolatedNativeRunner>(
+      new IsolatedNativeRunner());
+  runner->impl_name_ = impl_name;
+  runner->return_type_ = return_type;
+  runner->arg_types_ = std::move(arg_types);
+  JAGUAR_ASSIGN_OR_RETURN(
+      runner->executor_,
+      ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest));
+  return runner;
+}
+
+Result<Value> IsolatedNativeRunner::Invoke(const std::vector<Value>& args,
+                                           UdfContext* ctx) {
+  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(impl_name_, arg_types_, args));
+
+  BufferWriter w;
+  w.PutString(impl_name_);
+  w.PutU32(static_cast<uint32_t>(args.size()));
+  for (const Value& v : args) v.WriteTo(&w);
+
+  JAGUAR_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> result,
+      executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx)));
+  BufferReader r((Slice(result)));
+  JAGUAR_ASSIGN_OR_RETURN(Value out, Value::ReadFrom(&r));
+  return out;
+}
+
+UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity) {
+  return [shm_capacity](const UdfInfo& info)
+             -> Result<std::unique_ptr<UdfRunner>> {
+    JAGUAR_ASSIGN_OR_RETURN(
+        std::unique_ptr<IsolatedNativeRunner> runner,
+        IsolatedNativeRunner::Spawn(info.impl_name, info.return_type,
+                                    info.arg_types, shm_capacity));
+    return std::unique_ptr<UdfRunner>(std::move(runner));
+  };
+}
+
+}  // namespace jaguar
+
+// ---------------------------------------------------------------------------
+// Design 4: isolated JagVM (IJNI)
+// ---------------------------------------------------------------------------
+
+namespace jaguar {
+
+namespace {
+
+/// Everything the executor child needs to run the UDF. Constructed in the
+/// parent before fork(); the child inherits it (including the loaded,
+/// verified class — JIT compilation happens lazily in the child).
+struct IsolatedVmState {
+  jvm::Jvm vm;
+  std::unique_ptr<jvm::ClassLoader> loader;
+  std::string class_name;
+  std::string method_name;
+  TypeId return_type;
+  std::vector<TypeId> arg_types;
+  jvm::ResourceLimits limits;
+  jvm::SecurityManager security;
+};
+
+/// Runs one Design-4 request inside the executor child: unmarshal args into
+/// a fresh ExecContext, call the method, marshal the result. Callbacks flow
+/// UDF -> Jaguar.* native -> UdfContext -> ForwardingCallbackHandler -> shm
+/// channel -> server: the VM boundary *and* the process boundary.
+Result<std::vector<uint8_t>> ChildHandleVmRequest(
+    IsolatedVmState* state, Slice request, ipc::ShmChannel* channel) {
+  BufferReader r(request);
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r.ReadU32());
+  std::vector<Value> args;
+  args.reserve(nargs);
+  for (uint32_t i = 0; i < nargs; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(&r));
+    args.push_back(std::move(v));
+  }
+
+  ForwardingCallbackHandler callbacks(channel);
+  UdfContext udf_ctx(&callbacks);
+  jvm::ExecContext exec(&state->vm, state->loader.get(), &state->security,
+                        state->limits, &udf_ctx);
+
+  std::vector<int64_t> slots;
+  slots.reserve(args.size());
+  for (const Value& v : args) {
+    switch (v.type()) {
+      case TypeId::kInt:
+        slots.push_back(v.AsInt());
+        break;
+      case TypeId::kBool:
+        slots.push_back(v.AsBool() ? 1 : 0);
+        break;
+      case TypeId::kBytes: {
+        JAGUAR_ASSIGN_OR_RETURN(jvm::ArrayObject * arr,
+                                exec.NewByteArray(Slice(v.AsBytes())));
+        slots.push_back(reinterpret_cast<int64_t>(arr));
+        break;
+      }
+      default:
+        return NotSupported("unsupported Design-4 UDF argument type");
+    }
+  }
+  JAGUAR_ASSIGN_OR_RETURN(
+      int64_t raw,
+      exec.CallStatic(state->class_name, state->method_name, slots));
+
+  Value out;
+  switch (state->return_type) {
+    case TypeId::kInt:
+      out = Value::Int(raw);
+      break;
+    case TypeId::kBool:
+      out = Value::Bool(raw != 0);
+      break;
+    case TypeId::kBytes:
+      out = Value::Bytes(jvm::ExecContext::ReadByteArray(
+          reinterpret_cast<const jvm::ArrayObject*>(raw)));
+      break;
+    default:
+      return Internal("unexpected Design-4 UDF return type");
+  }
+  BufferWriter w;
+  out.WriteTo(&w);
+  return w.Release();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
+    const UdfInfo& info, jvm::ResourceLimits limits, size_t shm_capacity) {
+  size_t dot = info.impl_name.find('.');
+  if (dot == std::string::npos) {
+    return InvalidArgument("Design-4 UDF entry point must be 'Class.method'");
+  }
+
+  auto state = std::make_shared<IsolatedVmState>();
+  JAGUAR_RETURN_IF_ERROR(InstallJaguarNatives(&state->vm));
+  state->loader =
+      std::make_unique<jvm::ClassLoader>(state->vm.system_loader());
+  JAGUAR_RETURN_IF_ERROR(state->loader->LoadClass(Slice(info.payload)).status());
+  state->class_name = info.impl_name.substr(0, dot);
+  state->method_name = info.impl_name.substr(dot + 1);
+  state->return_type = info.return_type;
+  state->arg_types = info.arg_types;
+  state->limits = limits;
+  state->security.Grant("udf.callback");
+  state->security.Grant("udf.fetch");
+
+  // Validate the entry point + declared signature (parent side, before any
+  // query can hit a broken child). JvmUdfRunner::Create applies exactly the
+  // checks we need; it also confirms the class loads into a namespace.
+  JAGUAR_RETURN_IF_ERROR(
+      JvmUdfRunner::Create(&state->vm, info, limits).status());
+
+  auto runner = std::unique_ptr<IsolatedJvmRunner>(new IsolatedJvmRunner());
+  runner->return_type_ = info.return_type;
+  runner->arg_types_ = info.arg_types;
+  JAGUAR_ASSIGN_OR_RETURN(
+      runner->executor_,
+      ipc::RemoteExecutor::Spawn(
+          shm_capacity,
+          [state](Slice request, ipc::ShmChannel* channel) {
+            return ChildHandleVmRequest(state.get(), request, channel);
+          }));
+  return runner;
+}
+
+Result<Value> IsolatedJvmRunner::Invoke(const std::vector<Value>& args,
+                                        UdfContext* ctx) {
+  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("isolated_jvm_udf", arg_types_, args));
+  BufferWriter w;
+  w.PutU32(static_cast<uint32_t>(args.size()));
+  for (const Value& v : args) v.WriteTo(&w);
+  JAGUAR_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> result,
+      executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx)));
+  BufferReader r((Slice(result)));
+  JAGUAR_ASSIGN_OR_RETURN(Value out, Value::ReadFrom(&r));
+  return out;
+}
+
+UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
+    jvm::ResourceLimits limits, size_t shm_capacity) {
+  return [limits, shm_capacity](const UdfInfo& info)
+             -> Result<std::unique_ptr<UdfRunner>> {
+    JAGUAR_ASSIGN_OR_RETURN(
+        std::unique_ptr<IsolatedJvmRunner> runner,
+        IsolatedJvmRunner::Spawn(info, limits, shm_capacity));
+    return std::unique_ptr<UdfRunner>(std::move(runner));
+  };
+}
+
+}  // namespace jaguar

@@ -1,0 +1,86 @@
+#ifndef JAGUAR_UDF_ISOLATED_UDF_RUNNER_H_
+#define JAGUAR_UDF_ISOLATED_UDF_RUNNER_H_
+
+/// \file isolated_udf_runner.h
+/// Design 2 ("IC++"): native UDFs running in a separate executor process,
+/// talking to the server over shared memory + semaphores (src/ipc).
+///
+/// Per invocation, the argument values are serialized into the shared-memory
+/// segment, the request semaphore is posted, and the parent then services
+/// callback requests until the result (or an error) comes back — the exact
+/// hand-off protocol of Section 4.1. The process-switch cost this design
+/// pays per crossing is what Figures 5 and 8 measure.
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "ipc/remote_executor.h"
+#include "jvm/security.h"
+#include "udf/udf.h"
+#include "udf/udf_manager.h"
+
+namespace jaguar {
+
+class IsolatedNativeRunner : public UdfRunner {
+ public:
+  /// Forks an executor for the native function `impl_name` (resolved in the
+  /// child from the inherited native registry).
+  /// \param shm_capacity per-direction shared-memory data size; must hold
+  /// the largest serialized argument list (default fits Rel10000 rows).
+  static Result<std::unique_ptr<IsolatedNativeRunner>> Spawn(
+      const std::string& impl_name, TypeId return_type,
+      std::vector<TypeId> arg_types, size_t shm_capacity = 1 << 20);
+
+  Result<Value> Invoke(const std::vector<Value>& args,
+                       UdfContext* ctx) override;
+  std::string design_label() const override { return "IC++"; }
+
+  /// The executor child's pid (tests assert liveness/cleanup).
+  pid_t child_pid() const { return executor_->child_pid(); }
+
+ private:
+  IsolatedNativeRunner() = default;
+
+  std::string impl_name_;
+  TypeId return_type_ = TypeId::kInt;
+  std::vector<TypeId> arg_types_;
+  std::unique_ptr<ipc::RemoteExecutor> executor_;
+};
+
+/// UdfManager factory for `UdfLanguage::kNativeIsolated`.
+UdfManager::RunnerFactory MakeIsolatedRunnerFactory(
+    size_t shm_capacity = 1 << 20);
+
+/// Design 4 ("IJNI"): a JJava UDF inside a JagVM hosted by a separate
+/// executor process — Table 1's fourth cell, which the paper only
+/// extrapolates ("a combination of Design 2 and Design 3") and jaguar
+/// implements. The UDF gets both OS-level isolation and the VM's
+/// verification/security/quotas; every invocation pays the process crossing,
+/// and callbacks pay it twice (IPC) plus the VM boundary.
+class IsolatedJvmRunner : public UdfRunner {
+ public:
+  static Result<std::unique_ptr<IsolatedJvmRunner>> Spawn(
+      const UdfInfo& info, jvm::ResourceLimits limits,
+      size_t shm_capacity = 1 << 20);
+
+  Result<Value> Invoke(const std::vector<Value>& args,
+                       UdfContext* ctx) override;
+  std::string design_label() const override { return "IJNI"; }
+
+  pid_t child_pid() const { return executor_->child_pid(); }
+
+ private:
+  IsolatedJvmRunner() = default;
+
+  TypeId return_type_ = TypeId::kInt;
+  std::vector<TypeId> arg_types_;
+  std::unique_ptr<ipc::RemoteExecutor> executor_;
+};
+
+/// UdfManager factory for `UdfLanguage::kJJavaIsolated`.
+UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
+    jvm::ResourceLimits limits, size_t shm_capacity = 1 << 20);
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_ISOLATED_UDF_RUNNER_H_

@@ -1,0 +1,181 @@
+#include "udf/jvm_udf_runner.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+namespace {
+
+Result<jvm::VType> SqlTypeToVmType(TypeId t) {
+  switch (t) {
+    case TypeId::kInt:
+    case TypeId::kBool:
+      return jvm::VType::kInt;
+    case TypeId::kBytes:
+      return jvm::VType::kByteArray;
+    default:
+      return NotSupported(std::string("JJava UDFs cannot take ") +
+                          TypeIdToString(t) + " arguments");
+  }
+}
+
+UdfContext* ContextOf(jvm::NativeCallInfo* info) {
+  return static_cast<UdfContext*>(info->ctx->user_data());
+}
+
+}  // namespace
+
+Status InstallJaguarNatives(jvm::Jvm* vm) {
+  Status s = vm->RegisterNative(
+      {"Jaguar.callback", jvm::Signature::Parse("(II)I").value(),
+       "udf.callback", [](jvm::NativeCallInfo* info) -> Status {
+         UdfContext* udf_ctx = ContextOf(info);
+         if (udf_ctx == nullptr) {
+           return Internal("Jaguar.callback outside a UDF invocation");
+         }
+         JAGUAR_ASSIGN_OR_RETURN(
+             info->result, udf_ctx->Callback(info->args[0], info->args[1]));
+         return Status::OK();
+       }});
+  if (s.IsAlreadyExists()) return Status::OK();  // idempotent
+  JAGUAR_RETURN_IF_ERROR(s);
+  return vm->RegisterNative(
+      {"Jaguar.fetch", jvm::Signature::Parse("(III)B").value(), "udf.fetch",
+       [](jvm::NativeCallInfo* info) -> Status {
+         UdfContext* udf_ctx = ContextOf(info);
+         if (udf_ctx == nullptr) {
+           return Internal("Jaguar.fetch outside a UDF invocation");
+         }
+         JAGUAR_ASSIGN_OR_RETURN(
+             std::vector<uint8_t> bytes,
+             udf_ctx->FetchBytes(info->args[0],
+                                 static_cast<uint64_t>(info->args[1]),
+                                 static_cast<uint64_t>(info->args[2])));
+         JAGUAR_ASSIGN_OR_RETURN(jvm::ArrayObject * arr,
+                                 info->ctx->NewByteArray(Slice(bytes)));
+         info->result = reinterpret_cast<int64_t>(arr);
+         return Status::OK();
+       }});
+}
+
+Result<std::unique_ptr<JvmUdfRunner>> JvmUdfRunner::Create(
+    jvm::Jvm* vm, const UdfInfo& info, jvm::ResourceLimits limits) {
+  auto runner = std::unique_ptr<JvmUdfRunner>(new JvmUdfRunner());
+  runner->vm_ = vm;
+  runner->limits_ = limits;
+  runner->return_type_ = info.return_type;
+  runner->arg_types_ = info.arg_types;
+
+  // Least privilege: only the two callback natives. Every security decision
+  // is audited under the UDF's registered name (the tracing capability the
+  // paper found missing from 1998 Java).
+  runner->security_ = jvm::SecurityManager();
+  runner->security_.Grant("udf.callback");
+  runner->security_.Grant("udf.fetch");
+  runner->security_.SetAudit(vm->audit_log(), info.name);
+
+  // Per-UDF namespace (Section 6.1): isolates this UDF's classes from other
+  // UDFs while still seeing trusted system classes.
+  runner->loader_ = std::make_unique<jvm::ClassLoader>(vm->system_loader());
+  JAGUAR_RETURN_IF_ERROR(
+      runner->loader_->LoadClass(Slice(info.payload)).status());
+
+  size_t dot = info.impl_name.find('.');
+  if (dot == std::string::npos) {
+    return InvalidArgument("JJava UDF entry point must be 'Class.method': " +
+                           info.impl_name);
+  }
+  runner->class_name_ = info.impl_name.substr(0, dot);
+  runner->method_name_ = info.impl_name.substr(dot + 1);
+
+  JAGUAR_ASSIGN_OR_RETURN(const jvm::LoadedClass* cls,
+                          runner->loader_->FindClass(runner->class_name_));
+  JAGUAR_ASSIGN_OR_RETURN(const jvm::VerifiedMethod* method,
+                          cls->cls.FindMethod(runner->method_name_));
+
+  // Entry-point signature must agree with the SQL declaration.
+  if (method->sig.params.size() != info.arg_types.size()) {
+    return InvalidArgument(StringPrintf(
+        "UDF %s: entry point takes %zu params but %zu are declared",
+        info.name.c_str(), method->sig.params.size(), info.arg_types.size()));
+  }
+  for (size_t i = 0; i < info.arg_types.size(); ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(jvm::VType want, SqlTypeToVmType(info.arg_types[i]));
+    if (method->sig.params[i] != want) {
+      return InvalidArgument(StringPrintf(
+          "UDF %s: parameter %zu is %s in bytecode but %s in the declaration",
+          info.name.c_str(), i, jvm::VTypeToString(method->sig.params[i]),
+          TypeIdToString(info.arg_types[i])));
+    }
+  }
+  JAGUAR_ASSIGN_OR_RETURN(jvm::VType want_ret,
+                          SqlTypeToVmType(info.return_type));
+  if (method->sig.returns_void || method->sig.return_type != want_ret) {
+    return InvalidArgument(StringPrintf("UDF %s: return type mismatch",
+                                        info.name.c_str()));
+  }
+  return runner;
+}
+
+Result<Value> JvmUdfRunner::Invoke(const std::vector<Value>& args,
+                                   UdfContext* ctx) {
+  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(method_name_, arg_types_, args));
+
+  // One ExecContext per invocation: fresh heap pool, fresh budget, the UDF
+  // context riding along for the Jaguar.* natives.
+  jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
+
+  // Marshal arguments (copies across the language boundary).
+  std::vector<int64_t> slots;
+  slots.reserve(args.size());
+  for (const Value& v : args) {
+    if (v.is_null()) {
+      return InvalidArgument("JJava UDFs do not accept NULL arguments");
+    }
+    switch (v.type()) {
+      case TypeId::kInt:
+        slots.push_back(v.AsInt());
+        break;
+      case TypeId::kBool:
+        slots.push_back(v.AsBool() ? 1 : 0);
+        break;
+      case TypeId::kBytes: {
+        JAGUAR_ASSIGN_OR_RETURN(jvm::ArrayObject * arr,
+                                exec.NewByteArray(Slice(v.AsBytes())));
+        slots.push_back(reinterpret_cast<int64_t>(arr));
+        break;
+      }
+      default:
+        return NotSupported("unsupported JJava UDF argument type");
+    }
+  }
+
+  JAGUAR_ASSIGN_OR_RETURN(int64_t raw,
+                          exec.CallStatic(class_name_, method_name_, slots));
+
+  // Marshal the result back out (the heap pool dies with `exec`).
+  switch (return_type_) {
+    case TypeId::kInt:
+      return Value::Int(raw);
+    case TypeId::kBool:
+      return Value::Bool(raw != 0);
+    case TypeId::kBytes: {
+      const auto* arr = reinterpret_cast<const jvm::ArrayObject*>(raw);
+      return Value::Bytes(jvm::ExecContext::ReadByteArray(arr));
+    }
+    default:
+      return Internal("unexpected JJava UDF return type");
+  }
+}
+
+UdfManager::RunnerFactory MakeJvmRunnerFactory(jvm::Jvm* vm,
+                                               jvm::ResourceLimits limits) {
+  return [vm, limits](const UdfInfo& info)
+             -> Result<std::unique_ptr<UdfRunner>> {
+    JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<JvmUdfRunner> runner,
+                            JvmUdfRunner::Create(vm, info, limits));
+    return std::unique_ptr<UdfRunner>(std::move(runner));
+  };
+}
+
+}  // namespace jaguar

@@ -1,0 +1,67 @@
+#ifndef JAGUAR_UDF_JVM_UDF_RUNNER_H_
+#define JAGUAR_UDF_JVM_UDF_RUNNER_H_
+
+/// \file jvm_udf_runner.h
+/// Design 3 ("JNI" in the paper's graphs): JJava UDFs executing inside the
+/// in-process JagVM.
+///
+/// Each registered UDF gets its **own class-loader namespace** (Section 6.1
+/// isolation) under the VM's system loader, and runs under a default-deny
+/// security manager granted only the callback permissions. Arguments are
+/// marshalled across the boundary per invocation — byte arrays are copied
+/// into the VM heap — which is exactly the "impedance mismatch" cost the
+/// paper measures in Figure 5.
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "jvm/class_loader.h"
+#include "jvm/vm.h"
+#include "udf/udf.h"
+#include "udf/udf_manager.h"
+
+namespace jaguar {
+
+/// Registers the `Jaguar.*` native methods (the UDF→server callback surface)
+/// on `vm`:
+///   * `Jaguar.callback(kind, arg) -> int`   permission "udf.callback"
+///   * `Jaguar.fetch(handle, off, len) -> byte[]`  permission "udf.fetch"
+/// They route through the invoking `UdfContext` (stashed in the
+/// ExecContext's user data). Idempotent per VM.
+Status InstallJaguarNatives(jvm::Jvm* vm);
+
+class JvmUdfRunner : public UdfRunner {
+ public:
+  /// Loads `info.payload` (a JagVM class file) into a fresh namespace,
+  /// resolves the entry point `info.impl_name` ("Class.method"), and checks
+  /// its signature against the declared SQL signature (INT ↔ I,
+  /// BYTEARRAY ↔ B; BOOL is passed as 0/1 int).
+  static Result<std::unique_ptr<JvmUdfRunner>> Create(
+      jvm::Jvm* vm, const UdfInfo& info, jvm::ResourceLimits limits);
+
+  Result<Value> Invoke(const std::vector<Value>& args,
+                       UdfContext* ctx) override;
+  std::string design_label() const override { return "JNI"; }
+
+  const jvm::ClassLoader* loader() const { return loader_.get(); }
+
+ private:
+  JvmUdfRunner() = default;
+
+  jvm::Jvm* vm_ = nullptr;
+  std::unique_ptr<jvm::ClassLoader> loader_;  ///< This UDF's namespace.
+  jvm::SecurityManager security_;
+  jvm::ResourceLimits limits_;
+  std::string class_name_;
+  std::string method_name_;
+  TypeId return_type_ = TypeId::kInt;
+  std::vector<TypeId> arg_types_;
+};
+
+/// UdfManager factory for `UdfLanguage::kJJava`.
+UdfManager::RunnerFactory MakeJvmRunnerFactory(jvm::Jvm* vm,
+                                               jvm::ResourceLimits limits);
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_JVM_UDF_RUNNER_H_

@@ -1,0 +1,47 @@
+#include "udf/placement.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+PlacementDecision ChoosePlacement(const PlacementCosts& c) {
+  // Server-side ("function shipping"): UDF + callbacks run at the server;
+  // only selected rows (argument + other columns) cross the wire.
+  const double server_udf = c.tuples * (c.server_seconds_per_invocation +
+                                        c.callbacks_per_invocation *
+                                            c.server_callback_seconds);
+  const double server_ship =
+      c.selectivity * c.tuples *
+          (c.bytes_per_tuple + c.result_bytes_per_tuple) /
+          c.network_bytes_per_second +
+      c.network_round_trip_seconds;
+  const double server_total = server_udf + server_ship;
+
+  // Client-side ("data shipping", the paper's REDNESS post-filter): every
+  // candidate ByteArray crosses the wire, the client filters locally, and
+  // any callbacks become network round trips.
+  const double client_ship =
+      c.tuples * (c.bytes_per_tuple + c.result_bytes_per_tuple) /
+          c.network_bytes_per_second +
+      c.network_round_trip_seconds;
+  const double client_udf =
+      c.tuples * (c.client_seconds_per_invocation +
+                  c.callbacks_per_invocation * c.network_round_trip_seconds);
+  const double client_total = client_ship + client_udf;
+
+  PlacementDecision decision;
+  decision.server_seconds = server_total;
+  decision.client_seconds = client_total;
+  decision.placement =
+      server_total <= client_total ? Placement::kServer : Placement::kClient;
+  return decision;
+}
+
+std::string PlacementDecision::ToString() const {
+  return StringPrintf(
+      "place UDF at %s (modeled: server %.4fs, client %.4fs)",
+      placement == Placement::kServer ? "SERVER" : "CLIENT", server_seconds,
+      client_seconds);
+}
+
+}  // namespace jaguar

@@ -1,0 +1,68 @@
+#ifndef JAGUAR_UDF_PLACEMENT_H_
+#define JAGUAR_UDF_PLACEMENT_H_
+
+/// \file placement.h
+/// Cost-based UDF placement — the paper's stated future work ("In future
+/// work, we intend to explore client-side UDFs and find query optimization
+/// techniques to choose between server-side and client-side execution",
+/// Section 3.1; "optimization mechanisms to choose between the various
+/// execution options", Section 7).
+///
+/// The model captures the paper's own framing of the tradeoff:
+///
+/// * **Server-side** (function shipping): every tuple pays the UDF cost at
+///   the server (including the design's boundary cost) plus its callbacks;
+///   only the *selected* tuples cross the network.
+/// * **Client-side** (data shipping, §3.1's REDNESS discussion): every
+///   candidate tuple's ByteArray crosses the network, then the client pays
+///   the (cheap, trusted) local UDF cost; server-side callbacks become
+///   network round trips.
+///
+/// Cost parameters can be filled from the calibration experiments (Figures
+/// 4/5 measure the per-design invocation costs; Figure 8 the callback
+/// costs).
+
+#include <cstdint>
+#include <string>
+
+namespace jaguar {
+
+/// Inputs to the placement decision. Times in seconds, sizes in bytes.
+struct PlacementCosts {
+  double tuples = 0;              ///< Candidate tuples reaching the UDF.
+  double selectivity = 1.0;       ///< Fraction the UDF predicate keeps.
+  double bytes_per_tuple = 0;     ///< UDF argument size (the ByteArray).
+  double result_bytes_per_tuple = 64;  ///< Non-argument row bytes shipped.
+
+  double network_bytes_per_second = 10e6;  ///< Client↔server bandwidth.
+  double network_round_trip_seconds = 1e-3;
+
+  /// Per-invocation UDF cost at the server, including the design's boundary
+  /// (e.g. Figure 5's IC++ ≈ 3-5 us, JNI ≈ 0.1-0.2 us on our hardware).
+  double server_seconds_per_invocation = 0;
+  /// Per-invocation UDF cost at the client (no sandboxing needed: the
+  /// client only endangers itself — the paper's "obviously secure" case).
+  double client_seconds_per_invocation = 0;
+
+  /// Server interactions per invocation and their one-way cost at each site.
+  double callbacks_per_invocation = 0;
+  double server_callback_seconds = 1e-7;  ///< In-process / VM boundary.
+};
+
+enum class Placement { kServer, kClient };
+
+struct PlacementDecision {
+  Placement placement;
+  double server_seconds;  ///< Modeled cost of server-side execution.
+  double client_seconds;  ///< Modeled cost of client-side execution.
+
+  /// Human-readable explanation for EXPLAIN-style output.
+  std::string ToString() const;
+};
+
+/// Evaluates both strategies under the model and picks the cheaper.
+PlacementDecision ChoosePlacement(const PlacementCosts& costs);
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_PLACEMENT_H_

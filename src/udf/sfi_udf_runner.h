@@ -1,0 +1,65 @@
+#ifndef JAGUAR_UDF_SFI_UDF_RUNNER_H_
+#define JAGUAR_UDF_SFI_UDF_RUNNER_H_
+
+/// \file sfi_udf_runner.h
+/// Software-fault-isolated native UDF execution (Section 2.3 / the paper's
+/// "from published research we expect such a mechanism to add ~25%").
+///
+/// True SFI rewrites untrusted machine code; jaguar demonstrates the
+/// mechanism at the source level: the UDF's data lives inside an `SfiRegion`
+/// and every access goes through the region's address-masking accessors, so
+/// even a wild index cannot touch server memory. The runner copies arguments
+/// into the sandbox, executes, and copies the result out.
+///
+/// Because source-level SFI requires the UDF to be written against the
+/// accessor API, this runner supports the SFI builds of the UDFs jaguar
+/// ships (the paper's generic benchmark UDF and a checksum example) rather
+/// than arbitrary native functions; `bench_ablation_sfi` uses it to measure
+/// the masking overhead.
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "sfi/sfi.h"
+#include "udf/udf.h"
+#include "udf/udf_manager.h"
+
+namespace jaguar {
+
+/// An SFI-instrumented UDF body: all data accesses must go through `region`.
+/// `data_len` bytes of the ByteArray argument were copied to sandbox
+/// address 0.
+using SfiUdfFn = Status (*)(sfi::SfiRegion* region, uint64_t data_len,
+                            const std::vector<Value>& args, UdfContext* ctx,
+                            Value* out);
+
+class SfiNativeRunner : public UdfRunner {
+ public:
+  /// \param region_log2 sandbox size (2^n bytes); the ByteArray argument
+  /// must fit.
+  static Result<std::unique_ptr<SfiNativeRunner>> Create(
+      const std::string& impl_name, TypeId return_type,
+      std::vector<TypeId> arg_types, unsigned region_log2 = 24);
+
+  Result<Value> Invoke(const std::vector<Value>& args,
+                       UdfContext* ctx) override;
+  std::string design_label() const override { return "SFI-C++"; }
+
+ private:
+  SfiNativeRunner() = default;
+
+  SfiUdfFn fn_ = nullptr;
+  TypeId return_type_ = TypeId::kInt;
+  std::vector<TypeId> arg_types_;
+  sfi::SfiRegion region_;
+};
+
+/// Looks up an SFI UDF implementation by name ("generic_udf" is built in).
+Result<SfiUdfFn> FindSfiUdf(const std::string& impl_name);
+
+/// UdfManager factory for `UdfLanguage::kNativeSfi`.
+UdfManager::RunnerFactory MakeSfiRunnerFactory(unsigned region_log2 = 24);
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_SFI_UDF_RUNNER_H_

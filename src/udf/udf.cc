@@ -1,0 +1,95 @@
+#include "udf/udf.h"
+
+#include "common/string_util.h"
+
+namespace jaguar {
+
+Status UdfContext::ChargeCallback() {
+  if (handler_ == nullptr) {
+    return NotSupported("UDF made a callback but no handler is installed");
+  }
+  if (callback_quota_ != 0 && callbacks_made_ >= callback_quota_) {
+    return ResourceExhausted(
+        StringPrintf("UDF exceeded its callback quota of %llu",
+                     static_cast<unsigned long long>(callback_quota_)));
+  }
+  ++callbacks_made_;
+  return Status::OK();
+}
+
+Result<int64_t> UdfContext::Callback(int64_t kind, int64_t arg) {
+  JAGUAR_RETURN_IF_ERROR(ChargeCallback());
+  return handler_->Callback(kind, arg);
+}
+
+Result<std::vector<uint8_t>> UdfContext::FetchBytes(int64_t handle,
+                                                    uint64_t offset,
+                                                    uint64_t len) {
+  JAGUAR_RETURN_IF_ERROR(ChargeCallback());
+  return handler_->FetchBytes(handle, offset, len);
+}
+
+NativeUdfRegistry* NativeUdfRegistry::Global() {
+  static NativeUdfRegistry* registry = new NativeUdfRegistry();
+  return registry;
+}
+
+Status NativeUdfRegistry::Register(NativeUdfEntry entry) {
+  const std::string key = ToLower(entry.name);
+  if (entry.fn == nullptr) {
+    return InvalidArgument("native UDF '" + entry.name + "' has no function");
+  }
+  if (entries_.count(key) != 0) {
+    return AlreadyExists("native UDF '" + entry.name + "' already registered");
+  }
+  entries_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Result<const NativeUdfEntry*> NativeUdfRegistry::Lookup(
+    const std::string& name) const {
+  auto it = entries_.find(ToLower(name));
+  if (it == entries_.end()) {
+    return NotFound("no native UDF named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> NativeUdfRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) names.push_back(entry.name);
+  return names;
+}
+
+Status CheckUdfArgs(const std::string& name,
+                    const std::vector<TypeId>& arg_types,
+                    const std::vector<Value>& args) {
+  if (args.size() != arg_types.size()) {
+    return InvalidArgument(StringPrintf("UDF %s expects %zu arguments, got %zu",
+                                        name.c_str(), arg_types.size(),
+                                        args.size()));
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].is_null()) continue;
+    TypeId want = arg_types[i];
+    TypeId got = args[i].type();
+    const bool widened = want == TypeId::kDouble && got == TypeId::kInt;
+    if (got != want && !widened) {
+      return InvalidArgument(StringPrintf(
+          "UDF %s argument %zu expects %s, got %s", name.c_str(), i,
+          TypeIdToString(want), TypeIdToString(got)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> IntegratedNativeRunner::Invoke(const std::vector<Value>& args,
+                                             UdfContext* ctx) {
+  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(entry_->name, entry_->arg_types, args));
+  Value out;
+  JAGUAR_RETURN_IF_ERROR(entry_->fn(args, ctx, &out));
+  return out;
+}
+
+}  // namespace jaguar

@@ -1,0 +1,153 @@
+#ifndef JAGUAR_UDF_UDF_H_
+#define JAGUAR_UDF_UDF_H_
+
+/// \file udf.h
+/// Core abstractions for user-defined functions.
+///
+/// A UDF is described by a `UdfDescriptor` (signature + implementation), runs
+/// under a specific *design* (Table 1 of the paper) through a `UdfRunner`, and
+/// talks back to the server through a `UdfContext` ("callbacks", Section 4).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace jaguar {
+
+/// The server-side facilities a UDF may request during execution.
+/// Implementations live in the engine (real queries), in tests (mocks), and in
+/// the benchmark harness (no-op counters, as in the paper's experiments where
+/// "no data is actually transferred during the callback").
+class UdfCallbackHandler {
+ public:
+  virtual ~UdfCallbackHandler() = default;
+
+  /// Generic server request. `kind` selects a facility, `arg` parameterizes
+  /// it, and the result is an integer. The paper's measured callbacks carry
+  /// no bulk data; this models them.
+  virtual Result<int64_t> Callback(int64_t kind, int64_t arg) = 0;
+
+  /// Fetches a byte range of a large object identified by `handle` — the
+  /// "Clip()/Lookup()" pattern of Section 5.5, where a UDF is given a handle
+  /// rather than the whole object.
+  virtual Result<std::vector<uint8_t>> FetchBytes(int64_t handle,
+                                                  uint64_t offset,
+                                                  uint64_t len) = 0;
+};
+
+/// Per-invocation context: routes callbacks and enforces the callback quota
+/// (part of the resource management story of Section 6.2).
+class UdfContext {
+ public:
+  /// \param handler may be null, in which case any callback fails.
+  explicit UdfContext(UdfCallbackHandler* handler) : handler_(handler) {}
+
+  Result<int64_t> Callback(int64_t kind, int64_t arg);
+  Result<std::vector<uint8_t>> FetchBytes(int64_t handle, uint64_t offset,
+                                          uint64_t len);
+
+  /// Number of callbacks made through this context so far.
+  uint64_t callbacks_made() const { return callbacks_made_; }
+
+  /// Caps the number of callbacks a single invocation may make
+  /// (0 = unlimited). Exceeding it fails with ResourceExhausted.
+  void set_callback_quota(uint64_t quota) { callback_quota_ = quota; }
+
+ private:
+  Status ChargeCallback();
+
+  UdfCallbackHandler* handler_;
+  uint64_t callbacks_made_ = 0;
+  uint64_t callback_quota_ = 0;
+};
+
+/// Signature of a native (C++) UDF. Mirrors PREDATOR's original Design 1
+/// extension point.
+using NativeUdfFn = Status (*)(const std::vector<Value>& args, UdfContext* ctx,
+                               Value* out);
+
+/// A native UDF registration: signature plus function pointer.
+struct NativeUdfEntry {
+  std::string name;
+  TypeId return_type;
+  std::vector<TypeId> arg_types;
+  NativeUdfFn fn;
+};
+
+/// Process-wide registry of native UDF implementations. Design 1 calls them
+/// directly; Design 2's remote executor processes are forked from the server
+/// image and resolve the same entries by name on their side of the boundary.
+class NativeUdfRegistry {
+ public:
+  /// The process-global registry.
+  static NativeUdfRegistry* Global();
+
+  Status Register(NativeUdfEntry entry);
+  Result<const NativeUdfEntry*> Lookup(const std::string& name) const;
+  std::vector<std::string> List() const;
+
+ private:
+  std::map<std::string, NativeUdfEntry> entries_;
+};
+
+/// One invocable UDF, bound to a concrete execution design. Implementations:
+/// `IntegratedNativeRunner` (Design 1), `IsolatedNativeRunner` (Design 2),
+/// `JvmUdfRunner` (Design 3), `SfiNativeRunner` (Section 2.3).
+class UdfRunner {
+ public:
+  virtual ~UdfRunner() = default;
+
+  /// Applies the UDF to `args`. `ctx` carries the callback channel.
+  virtual Result<Value> Invoke(const std::vector<Value>& args,
+                               UdfContext* ctx) = 0;
+
+  /// \return The label used in the paper's graphs ("C++", "IC++", "JNI"...).
+  virtual std::string design_label() const = 0;
+};
+
+/// Design 1: the UDF is a function pointer inside the server process. Fastest
+/// and least safe — "essentially corresponds to hard-coding the UDF into the
+/// server".
+class IntegratedNativeRunner : public UdfRunner {
+ public:
+  explicit IntegratedNativeRunner(const NativeUdfEntry* entry)
+      : entry_(entry) {}
+
+  Result<Value> Invoke(const std::vector<Value>& args,
+                       UdfContext* ctx) override;
+  std::string design_label() const override { return "C++"; }
+
+ private:
+  const NativeUdfEntry* entry_;
+};
+
+/// Validates `args` against an entry's declared signature (arity + types,
+/// with int→double widening). Shared by all runners.
+Status CheckUdfArgs(const std::string& name,
+                    const std::vector<TypeId>& arg_types,
+                    const std::vector<Value>& args);
+
+/// Resolves a function name to a runner plus its signature. The engine's
+/// implementation (`UdfManager`) consults the catalog and instantiates the
+/// runner matching the UDF's registered design; tests supply mocks.
+class UdfResolver {
+ public:
+  virtual ~UdfResolver() = default;
+
+  /// \return A runner for `name`; fills `return_type` and `arg_types` with
+  /// the declared signature. The resolver owns the runner, which must stay
+  /// alive for the duration of the query using it.
+  virtual Result<UdfRunner*> Resolve(const std::string& name,
+                                     TypeId* return_type,
+                                     std::vector<TypeId>* arg_types) = 0;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_UDF_H_

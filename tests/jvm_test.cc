@@ -1,0 +1,1180 @@
+// Tests for the JagVM: bytecode encoding, class files, the assembler, the
+// verifier, the interpreter, the x86-64 JIT (differentially against the
+// interpreter and a C++ reference model), class-loader namespaces, the
+// security manager and resource limits.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "jvm/assembler.h"
+#include "jvm/class_file.h"
+#include "jvm/class_loader.h"
+#include "jvm/heap.h"
+#include "jvm/interpreter.h"
+#include "jvm/jit.h"
+#include "jvm/verifier.h"
+#include "jvm/vm.h"
+
+namespace jaguar {
+namespace jvm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Assembles + verifies + loads `source` into a fresh loader on `vm`.
+const LoadedClass* MustLoad(ClassLoader* loader, const std::string& source) {
+  Result<ClassFile> cf = Assemble(source);
+  EXPECT_TRUE(cf.ok()) << cf.status();
+  Result<const LoadedClass*> loaded = loader->LoadClass(cf->Serialize());
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return loaded.value_or(nullptr);
+}
+
+/// Runs `Cls.method(args)` with the given jit setting; returns result slot.
+Result<int64_t> RunMethod(Jvm* vm, const ClassLoader* loader,
+                    const std::string& cls, const std::string& method,
+                    std::vector<int64_t> args, ResourceLimits limits = {}) {
+  SecurityManager allow = SecurityManager::AllowAll();
+  ExecContext ctx(vm, loader, &allow, limits);
+  return ctx.CallStatic(cls, method, args);
+}
+
+// ---------------------------------------------------------------------------
+// Signatures / bytecode primitives
+// ---------------------------------------------------------------------------
+
+TEST(SignatureTest, ParseAndPrint) {
+  Signature s = Signature::Parse("(IBA)I").value();
+  ASSERT_EQ(s.params.size(), 3u);
+  EXPECT_EQ(s.params[0], VType::kInt);
+  EXPECT_EQ(s.params[1], VType::kByteArray);
+  EXPECT_EQ(s.params[2], VType::kIntArray);
+  EXPECT_FALSE(s.returns_void);
+  EXPECT_EQ(s.ToString(), "(IBA)I");
+
+  Signature v = Signature::Parse("()V").value();
+  EXPECT_TRUE(v.returns_void);
+  EXPECT_TRUE(v.params.empty());
+
+  EXPECT_FALSE(Signature::Parse("I").ok());
+  EXPECT_FALSE(Signature::Parse("(X)I").ok());
+  EXPECT_FALSE(Signature::Parse("(I)").ok());
+  EXPECT_FALSE(Signature::Parse("(I)IZ").ok());
+}
+
+TEST(BytecodeTest, EncodeDecodeRoundTrip) {
+  CodeWriter w;
+  w.EmitImm(Op::kIConst, -42);
+  w.EmitA(Op::kILoad, 3);
+  w.Emit(Op::kIAdd);
+  uint32_t br = w.EmitA(Op::kGoto, 0);
+  w.Emit(Op::kIReturn);
+  w.PatchA(br, 0);  // jump to start
+
+  auto instrs = DecodeCode(w.code()).value();
+  ASSERT_EQ(instrs.size(), 5u);
+  EXPECT_EQ(instrs[0].op, Op::kIConst);
+  EXPECT_EQ(instrs[0].imm, -42);
+  EXPECT_EQ(instrs[1].a, 3u);
+  ASSERT_TRUE(RetargetBranches(&instrs).ok());
+  EXPECT_EQ(instrs[3].a, 0u);  // instruction index
+
+  std::string dis = Disassemble(instrs);
+  EXPECT_NE(dis.find("iconst"), std::string::npos);
+  EXPECT_NE(dis.find("->0"), std::string::npos);
+}
+
+TEST(BytecodeTest, DecodeRejectsBadInput) {
+  EXPECT_FALSE(DecodeCode({0xFF}).ok());           // unknown opcode
+  EXPECT_FALSE(DecodeCode({0x01, 0x01}).ok());     // truncated iconst
+  // Branch into the middle of an instruction.
+  CodeWriter w;
+  w.EmitImm(Op::kIConst, 7);
+  w.EmitA(Op::kGoto, 3);  // offset 3 is inside the iconst immediate
+  auto instrs = DecodeCode(w.code()).value();
+  EXPECT_FALSE(RetargetBranches(&instrs).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Class files
+// ---------------------------------------------------------------------------
+
+TEST(ClassFileTest, SerializeParseRoundTrip) {
+  ClassFile cf;
+  cf.class_name = "Foo";
+  MethodDef m;
+  m.name_idx = cf.InternUtf8("run");
+  m.sig_idx = cf.InternUtf8("(I)I");
+  m.max_locals = 2;
+  CodeWriter w;
+  w.EmitA(Op::kILoad, 0);
+  w.Emit(Op::kIReturn);
+  m.code = w.Release();
+  cf.methods.push_back(m);
+  cf.AddMethodRef("Bar", "helper", "()V");
+  cf.AddNativeRef("Jaguar.callback", "(II)I");
+
+  auto bytes = cf.Serialize();
+  ClassFile back = ClassFile::Parse(Slice(bytes)).value();
+  EXPECT_EQ(back.class_name, "Foo");
+  EXPECT_EQ(back.methods.size(), 1u);
+  EXPECT_EQ(back.MethodName(back.methods[0]).value(), "run");
+  EXPECT_EQ(back.MethodSignature(back.methods[0]).value().ToString(), "(I)I");
+  EXPECT_EQ(back.FindMethod("run").value(), 0u);
+  EXPECT_TRUE(back.FindMethod("nope").status().IsNotFound());
+}
+
+TEST(ClassFileTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(ClassFile::Parse(Slice("not a class file")).status()
+                  .IsVerificationError());
+  // Truncations of a valid file must all fail cleanly.
+  ClassFile cf;
+  cf.class_name = "T";
+  auto bytes = cf.Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(ClassFile::Parse(Slice(bytes.data(), len)).ok());
+  }
+  // Trailing junk is rejected too.
+  bytes.push_back(0);
+  EXPECT_FALSE(ClassFile::Parse(Slice(bytes)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+TEST(AssemblerTest, ErrorsCarryLineNumbers) {
+  EXPECT_TRUE(Assemble("bogus").status().IsInvalidArgument());
+  Status s = Assemble("class T\nmethod f ()I\n  fly\nend").status();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+  EXPECT_TRUE(Assemble("class T\nmethod f ()I\n  goto nowhere\nend")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Assemble("class T\nmethod f ()I\n  iconst 1\n  ireturn")
+                  .status()
+                  .IsInvalidArgument());  // missing end
+}
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+Status VerifySource(const std::string& source) {
+  Result<ClassFile> cf = Assemble(source);
+  if (!cf.ok()) return cf.status();
+  return Verify(*cf).status();
+}
+
+TEST(VerifierTest, AcceptsWellTypedCode) {
+  EXPECT_TRUE(VerifySource(R"(
+class Good
+method add (II)I
+  iload 0
+  iload 1
+  iadd
+  ireturn
+end
+method sumarray (B)I locals=3
+  iconst 0
+  istore 1
+  iconst 0
+  istore 2
+loop:
+  iload 2
+  aload 0
+  arraylen
+  if_icmpge done
+  iload 1
+  aload 0
+  iload 2
+  baload
+  iadd
+  istore 1
+  iload 2
+  iconst 1
+  iadd
+  istore 2
+  goto loop
+done:
+  iload 1
+  ireturn
+end
+method mk (I)B
+  iload 0
+  newbarray
+  areturn
+end
+method nothing ()V
+  return
+end
+)").ok());
+}
+
+TEST(VerifierTest, RejectsStackUnderflow) {
+  EXPECT_TRUE(VerifySource("class B\nmethod f ()I\n  iadd\n  ireturn\nend")
+                  .IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsTypeConfusion) {
+  // Using a byte[] as an int.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (B)I
+  aload 0
+  iconst 1
+  iadd
+  ireturn
+end
+)").IsVerificationError());
+  // Using an int as an array (forging a pointer!).
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (I)I
+  iload 0
+  iconst 0
+  baload
+  ireturn
+end
+)").IsVerificationError());
+  // int[] used where byte[] expected.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (A)I
+  aload 0
+  iconst 0
+  baload
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsUninitializedLocals) {
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f ()I locals=2
+  iload 1
+  ireturn
+end
+)").IsVerificationError());
+  // Reference local read before any store.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f ()I locals=1
+  aload 0
+  arraylen
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  EXPECT_TRUE(VerifySource("class B\nmethod f ()I\n  iconst 1\nend")
+                  .IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsWrongReturn) {
+  EXPECT_TRUE(VerifySource("class B\nmethod f ()V\n  iconst 1\n  ireturn\nend")
+                  .IsVerificationError());
+  EXPECT_TRUE(VerifySource("class B\nmethod f ()I\n  return\nend")
+                  .IsVerificationError());
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (B)B
+  iconst 1
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsMergeConflicts) {
+  // Stack holds an int on one path and a byte[] on the other.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (IB)I
+  iload 0
+  ifeq other
+  iconst 5
+  goto merge
+other:
+  aload 1
+merge:
+  pop
+  iconst 0
+  ireturn
+end
+)").IsVerificationError());
+  // Conflicting stack depths at a merge point.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (I)I
+  iload 0
+  ifeq merge
+  iconst 1
+merge:
+  iconst 0
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, PoisonedLocalMergeIsOkUntilUsed) {
+  // The local holds int on one path, byte[] on the other: fine while unused.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (IB)I locals=3
+  iload 0
+  ifeq other
+  iconst 5
+  istore 2
+  goto merge
+other:
+  aload 1
+  astore 2
+merge:
+  iconst 7
+  ireturn
+end
+)").ok());
+  // ... but reading it after the merge is rejected.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (IB)I locals=3
+  iload 0
+  ifeq other
+  iconst 5
+  istore 2
+  goto merge
+other:
+  aload 1
+  astore 2
+merge:
+  iload 2
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsBadCallSignatures) {
+  // Calling with the wrong argument type.
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f (B)I
+  aload 0
+  call B.g (I)I
+  ireturn
+end
+method g (I)I
+  iload 0
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, RejectsDuplicateMethods) {
+  EXPECT_TRUE(VerifySource(R"(
+class B
+method f ()I
+  iconst 1
+  ireturn
+end
+method f ()I
+  iconst 2
+  ireturn
+end
+)").IsVerificationError());
+}
+
+TEST(VerifierTest, ComputesMaxStack) {
+  ClassFile cf = Assemble(R"(
+class S
+method f ()I
+  iconst 1
+  iconst 2
+  iconst 3
+  iadd
+  iadd
+  ireturn
+end
+)").value();
+  VerifiedClass vc = Verify(cf).value();
+  EXPECT_EQ(vc.methods[0].max_stack, 3u);
+}
+
+TEST(VerifierTest, FuzzedClassFilesNeverCrash) {
+  // Random mutations of a valid class file must either parse+verify or fail
+  // cleanly — never crash. (The server runs this on every client upload.)
+  ClassFile cf = Assemble(R"(
+class F
+method f (B)I locals=3
+  iconst 0
+  istore 1
+loop:
+  iload 1
+  aload 0
+  arraylen
+  if_icmpge done
+  iload 1
+  iconst 1
+  iadd
+  istore 1
+  goto loop
+done:
+  iload 1
+  ireturn
+end
+)").value();
+  std::vector<uint8_t> bytes = cf.Serialize();
+  Random rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> mutated = bytes;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<uint8_t>(1 + rng.Uniform(255));
+    }
+    Result<ClassFile> parsed = ClassFile::Parse(Slice(mutated));
+    if (parsed.ok()) {
+      Verify(*parsed).ok();  // must not crash
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution: interpreter and JIT (every test runs both engines)
+// ---------------------------------------------------------------------------
+
+class ExecTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ExecTest() {
+    JvmOptions opts;
+    opts.enable_jit = GetParam();
+    vm_ = std::make_unique<Jvm>(opts);
+  }
+  std::unique_ptr<Jvm> vm_;
+};
+
+TEST_P(ExecTest, Arithmetic) {
+  const char* src = R"(
+class M
+method calc (II)I
+  iload 0
+  iload 1
+  imul
+  iload 0
+  iload 1
+  isub
+  iadd
+  ireturn
+end
+)";
+  const LoadedClass* cls = MustLoad(vm_->system_loader(), src);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(RunMethod(vm_.get(), vm_->system_loader(), "M", "calc", {7, 3}).value(),
+            7 * 3 + (7 - 3));
+  EXPECT_EQ(RunMethod(vm_.get(), vm_->system_loader(), "M", "calc", {-5, 9}).value(),
+            -5 * 9 + (-5 - 9));
+}
+
+TEST_P(ExecTest, DivRemSemantics) {
+  const char* src = R"(
+class M
+method div (II)I
+  iload 0
+  iload 1
+  idiv
+  ireturn
+end
+method rem (II)I
+  iload 0
+  iload 1
+  irem
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  auto* L = vm_->system_loader();
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "div", {17, 5}).value(), 3);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "div", {-17, 5}).value(), -3);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "rem", {17, 5}).value(), 2);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "rem", {-17, 5}).value(), -2);
+  // Division by zero traps cleanly.
+  EXPECT_TRUE(RunMethod(vm_.get(), L, "M", "div", {1, 0}).status().IsRuntimeError());
+  EXPECT_TRUE(RunMethod(vm_.get(), L, "M", "rem", {1, 0}).status().IsRuntimeError());
+  // INT64_MIN / -1 wraps (defined behavior, both engines agree).
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "div", {INT64_MIN, -1}).value(), INT64_MIN);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "rem", {INT64_MIN, -1}).value(), 0);
+}
+
+TEST_P(ExecTest, ShiftsAndBitwise) {
+  const char* src = R"(
+class M
+method shl (II)I
+  iload 0
+  iload 1
+  ishl
+  ireturn
+end
+method shr (II)I
+  iload 0
+  iload 1
+  ishr
+  ireturn
+end
+method ushr (II)I
+  iload 0
+  iload 1
+  iushr
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  auto* L = vm_->system_loader();
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "shl", {1, 10}).value(), 1024);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "shr", {-8, 1}).value(), -4);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "ushr", {-8, 1}).value(),
+            static_cast<int64_t>(static_cast<uint64_t>(-8) >> 1));
+  // Shift counts mask to 63.
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "shl", {3, 64}).value(), 3);
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "shl", {3, 65}).value(), 6);
+}
+
+TEST_P(ExecTest, LoopSumsArray) {
+  const char* src = R"(
+class M
+method sum (B)I locals=3
+  iconst 0
+  istore 1
+  iconst 0
+  istore 2
+loop:
+  iload 2
+  aload 0
+  arraylen
+  if_icmpge done
+  iload 1
+  aload 0
+  iload 2
+  baload
+  iadd
+  istore 1
+  iload 2
+  iconst 1
+  iadd
+  istore 2
+  goto loop
+done:
+  iload 1
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  SecurityManager allow = SecurityManager::AllowAll();
+  ExecContext ctx(vm_.get(), vm_->system_loader(), &allow, {});
+  Random rng(42);
+  auto data = rng.Bytes(10000);
+  ArrayObject* arr = ctx.NewByteArray(Slice(data)).value();
+  int64_t expected = 0;
+  for (uint8_t b : data) expected += b;
+  EXPECT_EQ(
+      ctx.CallStatic("M", "sum", {reinterpret_cast<int64_t>(arr)}).value(),
+      expected);
+}
+
+TEST_P(ExecTest, ArrayStoreAndIntArrays) {
+  const char* src = R"(
+class M
+method fill (I)I locals=3
+  iload 0
+  newiarray
+  astore 1
+  iconst 0
+  istore 2
+loop:
+  iload 2
+  iload 0
+  if_icmpge done
+  aload 1
+  iload 2
+  iload 2
+  iload 2
+  imul
+  iastore
+  iload 2
+  iconst 1
+  iadd
+  istore 2
+  goto loop
+done:
+  aload 1
+  iconst 7
+  iaload
+  ireturn
+end
+method bytes ()I locals=1
+  iconst 10
+  newbarray
+  astore 0
+  aload 0
+  iconst 3
+  iconst 300
+  bastore
+  aload 0
+  iconst 3
+  baload
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  auto* L = vm_->system_loader();
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "fill", {20}).value(), 49);
+  // bastore truncates to the low 8 bits; baload zero-extends.
+  EXPECT_EQ(RunMethod(vm_.get(), L, "M", "bytes", {}).value(), 300 & 0xFF);
+}
+
+TEST_P(ExecTest, BoundsChecksTrap) {
+  const char* src = R"(
+class M
+method get (BI)I
+  aload 0
+  iload 1
+  baload
+  ireturn
+end
+method put (BI)I
+  aload 0
+  iload 1
+  iconst 1
+  bastore
+  iconst 0
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  SecurityManager allow = SecurityManager::AllowAll();
+  ExecContext ctx(vm_.get(), vm_->system_loader(), &allow, {});
+  ArrayObject* arr = ctx.NewByteArray(Slice("abcd")).value();
+  int64_t ref = reinterpret_cast<int64_t>(arr);
+  EXPECT_EQ(ctx.CallStatic("M", "get", {ref, 3}).value(), 'd');
+  EXPECT_TRUE(ctx.CallStatic("M", "get", {ref, 4}).status().IsRuntimeError());
+  EXPECT_TRUE(ctx.CallStatic("M", "get", {ref, -1}).status().IsRuntimeError());
+  EXPECT_TRUE(
+      ctx.CallStatic("M", "put", {ref, 1000000}).status().IsRuntimeError());
+}
+
+TEST_P(ExecTest, CrossMethodCalls) {
+  const char* src = R"(
+class M
+method fib (I)I
+  iload 0
+  iconst 2
+  if_icmplt base
+  iload 0
+  iconst 1
+  isub
+  call M.fib (I)I
+  iload 0
+  iconst 2
+  isub
+  call M.fib (I)I
+  iadd
+  ireturn
+base:
+  iload 0
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  EXPECT_EQ(RunMethod(vm_.get(), vm_->system_loader(), "M", "fib", {15}).value(),
+            610);
+}
+
+TEST_P(ExecTest, CallDepthLimitStopsRunawayRecursion) {
+  const char* src = R"(
+class M
+method forever (I)I
+  iload 0
+  call M.forever (I)I
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  ResourceLimits limits;
+  limits.max_call_depth = 50;
+  Result<int64_t> r =
+      RunMethod(vm_.get(), vm_->system_loader(), "M", "forever", {1}, limits);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST_P(ExecTest, InstructionBudgetStopsInfiniteLoop) {
+  const char* src = R"(
+class M
+method spin ()I
+loop:
+  goto loop
+end
+)";
+  // Note: an infinite loop with no return still verifies (no fall-through).
+  MustLoad(vm_->system_loader(), src);
+  ResourceLimits limits;
+  limits.instruction_budget = 100000;
+  Result<int64_t> r =
+      RunMethod(vm_.get(), vm_->system_loader(), "M", "spin", {}, limits);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST_P(ExecTest, HeapQuotaStopsAllocationBomb) {
+  const char* src = R"(
+class M
+method bomb ()I locals=1
+loop:
+  iconst 1048576
+  newbarray
+  astore 0
+  goto loop
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  ResourceLimits limits;
+  limits.heap_quota_bytes = 16 << 20;
+  Result<int64_t> r =
+      RunMethod(vm_.get(), vm_->system_loader(), "M", "bomb", {}, limits);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST_P(ExecTest, NegativeArraySizeTraps) {
+  const char* src = R"(
+class M
+method neg ()I
+  iconst -5
+  newbarray
+  arraylen
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  Result<int64_t> r = RunMethod(vm_.get(), vm_->system_loader(), "M", "neg", {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_P(ExecTest, NativeCallsAndSecurity) {
+  ASSERT_TRUE(vm_->RegisterNative({"Test.add",
+                                   Signature::Parse("(II)I").value(),
+                                   "test.add",
+                                   [](NativeCallInfo* info) {
+                                     info->result =
+                                         info->args[0] + info->args[1];
+                                     return Status::OK();
+                                   }})
+                  .ok());
+  const char* src = R"(
+class M
+method go (II)I
+  iload 0
+  iload 1
+  callnative Test.add (II)I
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+
+  // Granted: works.
+  SecurityManager granted;
+  granted.Grant("test.add");
+  {
+    ExecContext ctx(vm_.get(), vm_->system_loader(), &granted, {});
+    EXPECT_EQ(ctx.CallStatic("M", "go", {20, 22}).value(), 42);
+    EXPECT_EQ(ctx.native_calls(), 1u);
+  }
+  // Default-deny: SecurityViolation.
+  SecurityManager denied;
+  {
+    ExecContext ctx(vm_.get(), vm_->system_loader(), &denied, {});
+    EXPECT_TRUE(
+        ctx.CallStatic("M", "go", {1, 2}).status().IsSecurityViolation());
+  }
+}
+
+TEST_P(ExecTest, NativeErrorsPropagate) {
+  ASSERT_TRUE(vm_->RegisterNative({"Test.fail",
+                                   Signature::Parse("()I").value(),
+                                   "test.fail",
+                                   [](NativeCallInfo* info) -> Status {
+                                     return RuntimeError("native boom");
+                                   }})
+                  .ok());
+  const char* src = R"(
+class M
+method go ()I
+  callnative Test.fail ()I
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  Result<int64_t> r = RunMethod(vm_.get(), vm_->system_loader(), "M", "go", {});
+  ASSERT_TRUE(r.status().IsRuntimeError());
+  EXPECT_NE(r.status().message().find("native boom"), std::string::npos);
+}
+
+TEST_P(ExecTest, UnknownNativeFailsAtCall) {
+  const char* src = R"(
+class M
+method go ()I
+  callnative No.Such ()I
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  EXPECT_FALSE(RunMethod(vm_.get(), vm_->system_loader(), "M", "go", {}).ok());
+}
+
+TEST_P(ExecTest, DupPopSwap) {
+  const char* src = R"(
+class M
+method go (I)I
+  iload 0
+  dup
+  imul
+  iconst 99
+  pop
+  iconst 3
+  swap
+  isub
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  // stack: x*x, then 3, swap -> x*x on top? swap yields [x*x below 3]?
+  // Sequence: push x; dup -> x,x; imul -> x*x; push 99; pop -> x*x;
+  // push 3 -> x*x,3; swap -> 3,x*x; isub -> 3 - x*x.
+  EXPECT_EQ(RunMethod(vm_.get(), vm_->system_loader(), "M", "go", {5}).value(),
+            3 - 25);
+}
+
+TEST_P(ExecTest, InstructionsRetiredAreCounted) {
+  const char* src = R"(
+class M
+method go ()I
+  iconst 1
+  iconst 2
+  iadd
+  ireturn
+end
+)";
+  MustLoad(vm_->system_loader(), src);
+  SecurityManager allow = SecurityManager::AllowAll();
+  ExecContext ctx(vm_.get(), vm_->system_loader(), &allow, {});
+  ASSERT_TRUE(ctx.CallStatic("M", "go", {}).ok());
+  EXPECT_EQ(ctx.instructions_retired(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Interp, ExecTest, ::testing::Values(false));
+INSTANTIATE_TEST_SUITE_P(Jit, ExecTest, ::testing::Values(true));
+
+// ---------------------------------------------------------------------------
+// Differential property tests: random programs, JIT vs interpreter vs C++.
+// ---------------------------------------------------------------------------
+
+/// Random integer expression tree compiled to bytecode and evaluated in C++.
+class ExprGen {
+ public:
+  explicit ExprGen(Random* rng) : rng_(rng) {}
+
+  /// Emits code computing a random expression over locals 0/1; returns its
+  /// reference value given the two parameters.
+  int64_t Gen(CodeWriter* w, int64_t p0, int64_t p1, int depth) {
+    if (depth <= 0 || rng_->Bernoulli(0.3)) {
+      switch (rng_->Uniform(3)) {
+        case 0: {
+          int64_t c = static_cast<int64_t>(rng_->Next());
+          w->EmitImm(Op::kIConst, c);
+          return c;
+        }
+        case 1:
+          w->EmitA(Op::kILoad, 0);
+          return p0;
+        default:
+          w->EmitA(Op::kILoad, 1);
+          return p1;
+      }
+    }
+    if (rng_->Bernoulli(0.1)) {
+      int64_t v = Gen(w, p0, p1, depth - 1);
+      w->Emit(Op::kINeg);
+      return static_cast<int64_t>(-static_cast<uint64_t>(v));
+    }
+    int64_t a = Gen(w, p0, p1, depth - 1);
+    int64_t b = Gen(w, p0, p1, depth - 1);
+    switch (rng_->Uniform(8)) {
+      case 0:
+        w->Emit(Op::kIAdd);
+        return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                    static_cast<uint64_t>(b));
+      case 1:
+        w->Emit(Op::kISub);
+        return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                    static_cast<uint64_t>(b));
+      case 2:
+        w->Emit(Op::kIMul);
+        return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                    static_cast<uint64_t>(b));
+      case 3:
+        w->Emit(Op::kIAnd);
+        return a & b;
+      case 4:
+        w->Emit(Op::kIOr);
+        return a | b;
+      case 5:
+        w->Emit(Op::kIXor);
+        return a ^ b;
+      case 6:
+        w->Emit(Op::kIShl);
+        return static_cast<int64_t>(static_cast<uint64_t>(a) << (b & 63));
+      default:
+        w->Emit(Op::kIShr);
+        return a >> (b & 63);
+    }
+  }
+
+ private:
+  Random* rng_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, RandomExpressionsAgreeAcrossEngines) {
+  Random rng(GetParam() * 1000003 + 17);
+  int64_t p0 = static_cast<int64_t>(rng.Next());
+  int64_t p1 = static_cast<int64_t>(rng.Next());
+
+  CodeWriter w;
+  ExprGen gen(&rng);
+  int64_t expected = gen.Gen(&w, p0, p1, 6);
+  w.Emit(Op::kIReturn);
+
+  ClassFile cf;
+  cf.class_name = "Rand";
+  MethodDef m;
+  m.name_idx = cf.InternUtf8("go");
+  m.sig_idx = cf.InternUtf8("(II)I");
+  m.max_locals = 2;
+  m.code = w.Release();
+  cf.methods.push_back(std::move(m));
+  auto bytes = cf.Serialize();
+
+  for (bool jit : {false, true}) {
+    JvmOptions opts;
+    opts.enable_jit = jit;
+    Jvm vm(opts);
+    ASSERT_TRUE(vm.system_loader()->LoadClass(Slice(bytes)).ok());
+    Result<int64_t> r = RunMethod(&vm, vm.system_loader(), "Rand", "go", {p0, p1});
+    ASSERT_TRUE(r.ok()) << r.status() << " (jit=" << jit << ")";
+    EXPECT_EQ(*r, expected) << "engine disagrees (jit=" << jit << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 60));
+
+// Deep expressions exercise the JIT's register-pool spilling.
+TEST(JitSpillTest, DeepExpressionSpillsCorrectly) {
+  // ((((1+2)+3)+...)+n) built with all intermediate values on the stack:
+  // push 1..n, then n-1 adds.
+  CodeWriter w;
+  const int n = 40;  // far more than the 6 pool registers
+  int64_t expected = 0;
+  for (int i = 1; i <= n; ++i) {
+    w.EmitImm(Op::kIConst, i);
+    expected += i;
+  }
+  for (int i = 1; i < n; ++i) w.Emit(Op::kIAdd);
+  w.Emit(Op::kIReturn);
+
+  ClassFile cf;
+  cf.class_name = "Deep";
+  MethodDef m;
+  m.name_idx = cf.InternUtf8("go");
+  m.sig_idx = cf.InternUtf8("()I");
+  m.max_locals = 0;
+  m.code = w.Release();
+  cf.methods.push_back(std::move(m));
+
+  for (bool jit : {false, true}) {
+    JvmOptions opts;
+    opts.enable_jit = jit;
+    Jvm vm(opts);
+    ASSERT_TRUE(vm.system_loader()->LoadClass(Slice(cf.Serialize())).ok());
+    EXPECT_EQ(RunMethod(&vm, vm.system_loader(), "Deep", "go", {}).value(),
+              expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class loader namespaces
+// ---------------------------------------------------------------------------
+
+TEST(ClassLoaderTest, NamespaceIsolation) {
+  Jvm vm;
+  // Two UDF namespaces sharing the system loader as parent.
+  ClassLoader ns1(vm.system_loader());
+  ClassLoader ns2(vm.system_loader());
+
+  MustLoad(&ns1, "class Secret\nmethod f ()I\n  iconst 1\n  ireturn\nend");
+  MustLoad(&ns2, "class Secret\nmethod f ()I\n  iconst 2\n  ireturn\nend");
+
+  // Same name, different classes — namespaces are isolated.
+  EXPECT_EQ(RunMethod(&vm, &ns1, "Secret", "f", {}).value(), 1);
+  EXPECT_EQ(RunMethod(&vm, &ns2, "Secret", "f", {}).value(), 2);
+
+  // A namespace cannot see a sibling's classes.
+  MustLoad(&ns1, "class OnlyInNs1\nmethod f ()I\n  iconst 3\n  ireturn\nend");
+  EXPECT_TRUE(ns2.FindClass("OnlyInNs1").status().IsNotFound());
+
+  // Delegation: classes in the system loader are visible from children.
+  MustLoad(vm.system_loader(),
+           "class SystemLib\nmethod f ()I\n  iconst 9\n  ireturn\nend");
+  EXPECT_EQ(RunMethod(&vm, &ns1, "SystemLib", "f", {}).value(), 9);
+  EXPECT_EQ(RunMethod(&vm, &ns2, "SystemLib", "f", {}).value(), 9);
+
+  // Duplicate definition within one namespace is rejected.
+  Result<ClassFile> cf =
+      Assemble("class Secret\nmethod f ()I\n  iconst 3\n  ireturn\nend");
+  EXPECT_TRUE(
+      ns1.LoadClass(Slice(cf->Serialize())).status().IsAlreadyExists());
+}
+
+TEST(ClassLoaderTest, CrossClassCallsResolveInNamespace) {
+  Jvm vm;
+  ClassLoader ns(vm.system_loader());
+  MustLoad(&ns, R"(
+class Lib
+method twice (I)I
+  iload 0
+  iconst 2
+  imul
+  ireturn
+end
+)");
+  MustLoad(&ns, R"(
+class App
+method go (I)I
+  iload 0
+  call Lib.twice (I)I
+  iconst 1
+  iadd
+  ireturn
+end
+)");
+  EXPECT_EQ(RunMethod(&vm, &ns, "App", "go", {21}).value(), 43);
+}
+
+TEST(ClassLoaderTest, CallToMissingClassFailsAtRuntime) {
+  Jvm vm;
+  ClassLoader ns(vm.system_loader());
+  MustLoad(&ns, R"(
+class App
+method go ()I
+  iconst 1
+  call Ghost.f (I)I
+  ireturn
+end
+)");
+  EXPECT_TRUE(RunMethod(&vm, &ns, "App", "go", {}).status().IsNotFound());
+}
+
+TEST(ClassLoaderTest, LinkTimeSignatureMismatchIsCaught) {
+  Jvm vm;
+  ClassLoader ns(vm.system_loader());
+  // Lib.f actually takes (II); App declares (I)I in its constant pool.
+  MustLoad(&ns, R"(
+class Lib
+method f (II)I
+  iload 0
+  ireturn
+end
+)");
+  MustLoad(&ns, R"(
+class App
+method go ()I
+  iconst 1
+  call Lib.f (I)I
+  ireturn
+end
+)");
+  Result<int64_t> r = RunMethod(&vm, &ns, "App", "go", {});
+  EXPECT_TRUE(r.status().IsVerificationError()) << r.status();
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+// ---------------------------------------------------------------------------
+
+TEST(HeapTest, QuotaAccounting) {
+  VmHeap heap(1000);
+  ArrayObject* a = heap.NewByteArray(100).value();
+  EXPECT_EQ(a->length, 100u);
+  EXPECT_EQ(heap.bytes_allocated(), 100 + ArrayObject::kDataOffset);
+  // int arrays cost 8 bytes per element.
+  ASSERT_TRUE(heap.NewIntArray(50).ok());
+  EXPECT_TRUE(heap.NewByteArray(1000).status().IsResourceExhausted());
+  heap.Reset();
+  EXPECT_EQ(heap.bytes_allocated(), 0u);
+  EXPECT_TRUE(heap.NewByteArray(900).ok());
+}
+
+TEST(HeapTest, ArraysAreZeroInitialized) {
+  VmHeap heap;
+  ArrayObject* a = heap.NewByteArray(4096).value();
+  for (size_t i = 0; i < 4096; ++i) EXPECT_EQ(a->bytes()[i], 0);
+  ArrayObject* b = heap.NewIntArray(512).value();
+  for (size_t i = 0; i < 512; ++i) EXPECT_EQ(b->ints()[i], 0);
+}
+
+TEST(HeapTest, IntArrayMarshalling) {
+  Jvm vm;
+  SecurityManager allow = SecurityManager::AllowAll();
+  ExecContext ctx(&vm, vm.system_loader(), &allow, {});
+  ArrayObject* arr = ctx.NewIntArray({-1, 0, 1LL << 40}).value();
+  EXPECT_EQ(arr->length, 3u);
+  EXPECT_EQ(arr->ints()[0], -1);
+  EXPECT_EQ(arr->ints()[2], 1LL << 40);
+}
+
+TEST(SecurityManagerTest, GrantRevokeAndAllowAll) {
+  SecurityManager m;
+  EXPECT_FALSE(m.IsGranted("x"));
+  EXPECT_TRUE(m.Check("x").IsSecurityViolation());
+  m.Grant("x");
+  EXPECT_TRUE(m.Check("x").ok());
+  m.Revoke("x");
+  EXPECT_TRUE(m.Check("x").IsSecurityViolation());
+  EXPECT_TRUE(SecurityManager::AllowAll().Check("anything").ok());
+}
+
+TEST(AuditLogTest, RingBufferAndCounters) {
+  AuditLog audit(4);
+  SecurityManager m;
+  m.Grant("ok");
+  m.SetAudit(&audit, "udf-a");
+  for (int i = 0; i < 6; ++i) m.Check("denied").ok();
+  m.Check("ok").ok();
+  EXPECT_EQ(audit.denials(), 6u);
+  EXPECT_EQ(audit.grants(), 1u);
+  EXPECT_EQ(audit.events().size(), 4u);  // ring capped
+  EXPECT_FALSE(audit.DenialsFor("udf-a").empty());
+  EXPECT_TRUE(audit.DenialsFor("udf-b").empty());
+}
+
+TEST(ByteArrayTest, ByteArrayFromSliceCopies) {
+  VmHeap heap;
+  std::vector<uint8_t> src = {1, 2, 3};
+  ArrayObject* a = heap.NewByteArrayFrom(Slice(src)).value();
+  src[0] = 99;  // must not affect the VM copy
+  EXPECT_EQ(a->bytes()[0], 1);
+  EXPECT_EQ(ExecContext::ReadByteArray(a), (std::vector<uint8_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace jvm
+}  // namespace jaguar

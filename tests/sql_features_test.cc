@@ -1,0 +1,338 @@
+// Tests for the extended SQL surface: aggregates (COUNT/SUM/AVG/MIN/MAX,
+// COUNT(*)), ORDER BY [ASC|DESC], DELETE FROM ... WHERE, and their
+// interaction with UDFs and NULLs. Plus the security audit log (the
+// Section 6.1 capability the paper found missing in Java).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "jjc/jjc.h"
+
+namespace jaguar {
+namespace {
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("jaguar_sqlf_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".db"))
+                .string();
+    std::remove(path_.c_str());
+    db_ = Database::Open(path_).value();
+    MustExecute("CREATE TABLE orders (id INT, customer STRING, total DOUBLE, "
+                "qty INT)");
+    MustExecute("INSERT INTO orders VALUES "
+                "(1, 'alice', 10.5, 3), "
+                "(2, 'bob', 20.0, 1), "
+                "(3, 'alice', 7.25, 2), "
+                "(4, 'carol', 99.0, 7), "
+                "(5, 'bob', NULL, NULL)");
+  }
+  void TearDown() override {
+    db_.reset();
+    std::remove(path_.c_str());
+  }
+
+  QueryResult MustExecute(const std::string& sql) {
+    Result<QueryResult> r = db_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  std::string path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlFeaturesTest, CountStarAndCountColumn) {
+  QueryResult r = MustExecute("SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 5);
+  // COUNT(col) ignores NULLs.
+  r = MustExecute("SELECT COUNT(total) FROM orders");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 4);
+  // COUNT under a predicate.
+  r = MustExecute("SELECT COUNT(*) FROM orders WHERE customer = 'alice'");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+}
+
+TEST_F(SqlFeaturesTest, SumAvgMinMax) {
+  QueryResult r = MustExecute(
+      "SELECT SUM(total) AS s, AVG(total) AS a, MIN(total) AS lo, "
+      "MAX(total) AS hi, SUM(qty) FROM orders");
+  EXPECT_DOUBLE_EQ(r.rows[0].value(0).AsDouble(), 10.5 + 20.0 + 7.25 + 99.0);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(1).AsDouble(),
+                   (10.5 + 20.0 + 7.25 + 99.0) / 4);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(2).AsDouble(), 7.25);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(3).AsDouble(), 99.0);
+  // Integer SUM stays an integer.
+  EXPECT_EQ(r.rows[0].value(4).AsInt(), 13);
+  EXPECT_EQ(r.schema.column(0).name, "s");
+  EXPECT_EQ(r.schema.column(1).name, "a");
+}
+
+TEST_F(SqlFeaturesTest, AggregatesOverExpressionsAndEmptyInput) {
+  QueryResult r = MustExecute(
+      "SELECT SUM(qty * 2) FROM orders WHERE customer = 'alice'");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), (3 + 2) * 2);
+  // Empty input: COUNT is 0, the others are NULL.
+  r = MustExecute("SELECT COUNT(*), SUM(qty), MIN(total) FROM orders "
+                  "WHERE id > 100");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 0);
+  EXPECT_TRUE(r.rows[0].value(1).is_null());
+  EXPECT_TRUE(r.rows[0].value(2).is_null());
+}
+
+TEST_F(SqlFeaturesTest, AggregateErrors) {
+  EXPECT_TRUE(db_->Execute("SELECT id, COUNT(*) FROM orders")
+                  .status()
+                  .IsNotSupported());  // no GROUP BY
+  EXPECT_FALSE(db_->Execute("SELECT SUM(customer) FROM orders").ok());
+}
+
+TEST_F(SqlFeaturesTest, OrderByAscDescAndExpressions) {
+  QueryResult r = MustExecute("SELECT id FROM orders WHERE qty > 0 "
+                              "ORDER BY total");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 3);   // 7.25
+  EXPECT_EQ(r.rows[3].value(0).AsInt(), 4);   // 99.0
+
+  r = MustExecute("SELECT id FROM orders WHERE qty > 0 "
+                  "ORDER BY total DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 4);
+  EXPECT_EQ(r.rows[1].value(0).AsInt(), 2);
+
+  // Order by an expression over columns.
+  r = MustExecute("SELECT id FROM orders WHERE qty > 0 ORDER BY qty * -1");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 4);  // qty 7 first
+}
+
+TEST_F(SqlFeaturesTest, OrderByStringsAndNulls) {
+  QueryResult r = MustExecute("SELECT customer FROM orders ORDER BY customer");
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "alice");
+  EXPECT_EQ(r.rows.back().value(0).AsString(), "carol");
+  // NULL keys sort first ascending.
+  r = MustExecute("SELECT id FROM orders ORDER BY total");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 5);
+}
+
+TEST_F(SqlFeaturesTest, DeleteWithPredicate) {
+  QueryResult r = MustExecute("DELETE FROM orders WHERE customer = 'bob'");
+  EXPECT_EQ(r.rows_affected, 2u);
+  EXPECT_EQ(MustExecute("SELECT COUNT(*) FROM orders").rows[0].value(0).AsInt(),
+            3);
+  // Delete everything.
+  r = MustExecute("DELETE FROM orders");
+  EXPECT_EQ(r.rows_affected, 3u);
+  EXPECT_EQ(MustExecute("SELECT COUNT(*) FROM orders").rows[0].value(0).AsInt(),
+            0);
+  // Table still usable.
+  MustExecute("INSERT INTO orders VALUES (9, 'dave', 1.0, 1)");
+  EXPECT_EQ(MustExecute("SELECT COUNT(*) FROM orders").rows[0].value(0).AsInt(),
+            1);
+}
+
+TEST_F(SqlFeaturesTest, DeleteErrors) {
+  EXPECT_TRUE(db_->Execute("DELETE FROM missing").status().IsNotFound());
+  EXPECT_TRUE(db_->Execute("DELETE FROM __lobs").status().IsInvalidArgument());
+}
+
+TEST_F(SqlFeaturesTest, UdfsInsideAggregatesOrderByAndDelete) {
+  MustExecute("CREATE TABLE blobs (id INT, b BYTEARRAY)");
+  MustExecute("INSERT INTO blobs VALUES (1, randbytes(10, 1)), "
+              "(2, randbytes(300, 2)), (3, randbytes(90, 3))");
+  // Aggregate over a UDF result.
+  QueryResult r = MustExecute("SELECT MAX(length(b)) FROM blobs");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 300);
+  // ORDER BY a UDF result.
+  r = MustExecute("SELECT id FROM blobs ORDER BY length(b) DESC");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+  // DELETE with a UDF predicate.
+  r = MustExecute("DELETE FROM blobs WHERE length(b) > 100");
+  EXPECT_EQ(r.rows_affected, 1u);
+  EXPECT_EQ(MustExecute("SELECT COUNT(*) FROM blobs").rows[0].value(0).AsInt(),
+            2);
+}
+
+TEST_F(SqlFeaturesTest, AuditLogTracesViolationsToTheUdf) {
+  // A privileged native the UDF is not granted.
+  ASSERT_TRUE(db_->vm()
+                  ->RegisterNative({"Server.secrets",
+                                    jvm::Signature::Parse("()I").value(),
+                                    "server.secrets",
+                                    [](jvm::NativeCallInfo* info) {
+                                      info->result = 42;
+                                      return Status::OK();
+                                    }})
+                  .ok());
+  jjc::CompileOptions copts;
+  copts.native_decls["Server.secrets"] = "()I";
+  UdfInfo info;
+  info.name = "snoop";
+  info.language = UdfLanguage::kJJava;
+  info.return_type = TypeId::kInt;
+  info.arg_types = {TypeId::kInt};
+  info.impl_name = "Snoop.run";
+  info.payload =
+      jjc::Compile("class Snoop { static int run(int x) "
+                   "{ return Server.secrets(); } }",
+                   copts)
+          .value()
+          .Serialize();
+  ASSERT_TRUE(db_->RegisterUdf(info).ok());
+
+  uint64_t denials_before = db_->vm()->audit_log()->denials();
+  Result<QueryResult> r = db_->Execute("SELECT snoop(id) FROM orders LIMIT 2");
+  ASSERT_TRUE(r.status().IsSecurityViolation());
+  // The violation names the principal...
+  EXPECT_NE(r.status().message().find("snoop"), std::string::npos);
+  // ...and is recorded in the audit trail, attributable to the UDF.
+  EXPECT_GT(db_->vm()->audit_log()->denials(), denials_before);
+  auto denials = db_->vm()->audit_log()->DenialsFor("snoop");
+  ASSERT_FALSE(denials.empty());
+  EXPECT_EQ(denials[0].permission, "server.secrets");
+
+  // Legitimate callbacks are audited as grants.
+  MustExecute("CREATE TABLE r2 (b BYTEARRAY)");
+  MustExecute("INSERT INTO r2 VALUES (zerobytes(1))");
+  UdfInfo ok_udf;
+  ok_udf.name = "pinger";
+  ok_udf.language = UdfLanguage::kJJava;
+  ok_udf.return_type = TypeId::kInt;
+  ok_udf.arg_types = {TypeId::kBytes};
+  ok_udf.impl_name = "Ping.run";
+  ok_udf.payload =
+      jjc::Compile("class Ping { static int run(byte[] b) "
+                   "{ return Jaguar.callback(0, 7); } }")
+          .value()
+          .Serialize();
+  ASSERT_TRUE(db_->RegisterUdf(ok_udf).ok());
+  uint64_t grants_before = db_->vm()->audit_log()->grants();
+  MustExecute("SELECT pinger(b) FROM r2");
+  EXPECT_GT(db_->vm()->audit_log()->grants(), grants_before);
+}
+
+TEST_F(SqlFeaturesTest, GroupByBasics) {
+  QueryResult r = MustExecute(
+      "SELECT customer, COUNT(*) AS n, SUM(qty) AS q FROM orders "
+      "GROUP BY customer");
+  ASSERT_EQ(r.rows.size(), 3u);  // alice, bob, carol (map-ordered by key)
+  // Find alice's row.
+  bool found = false;
+  for (const Tuple& row : r.rows) {
+    if (row.value(0).AsString() == "alice") {
+      EXPECT_EQ(row.value(1).AsInt(), 2);
+      EXPECT_EQ(row.value(2).AsInt(), 5);
+      found = true;
+    }
+    if (row.value(0).AsString() == "bob") {
+      EXPECT_EQ(row.value(1).AsInt(), 2);   // count(*) counts NULL rows too
+      EXPECT_EQ(row.value(2).AsInt(), 1);   // SUM ignores the NULL qty
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(r.schema.column(1).name, "n");
+}
+
+TEST_F(SqlFeaturesTest, GroupByExpressionsAndPredicates) {
+  // Group by a computed bucket, under a WHERE filter.
+  QueryResult r = MustExecute(
+      "SELECT id % 2, COUNT(*) FROM orders WHERE id <= 4 GROUP BY id % 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  for (const Tuple& row : r.rows) {
+    EXPECT_EQ(row.value(1).AsInt(), 2);  // {2,4} and {1,3}
+  }
+  // Empty input with GROUP BY yields zero rows (unlike the global case).
+  EXPECT_EQ(MustExecute("SELECT customer, COUNT(*) FROM orders "
+                        "WHERE id > 99 GROUP BY customer")
+                .rows.size(),
+            0u);
+}
+
+TEST_F(SqlFeaturesTest, GroupByErrors) {
+  // Select item that is neither aggregate nor group key.
+  EXPECT_TRUE(db_->Execute("SELECT qty, COUNT(*) FROM orders "
+                           "GROUP BY customer")
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(db_->Execute("SELECT * FROM orders GROUP BY customer")
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(db_->Execute("SELECT customer, COUNT(*) FROM orders "
+                           "GROUP BY customer ORDER BY customer")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(SqlFeaturesTest, UpdateBasics) {
+  QueryResult r = MustExecute(
+      "UPDATE orders SET qty = qty * 10, total = total + 1.0 "
+      "WHERE customer = 'alice'");
+  EXPECT_EQ(r.rows_affected, 2u);
+  QueryResult check = MustExecute(
+      "SELECT qty, total FROM orders WHERE customer = 'alice' ORDER BY id");
+  ASSERT_EQ(check.rows.size(), 2u);
+  EXPECT_EQ(check.rows[0].value(0).AsInt(), 30);
+  EXPECT_DOUBLE_EQ(check.rows[0].value(1).AsDouble(), 11.5);
+  EXPECT_EQ(check.rows[1].value(0).AsInt(), 20);
+
+  // Assignments see OLD values: swap-like semantics within one row.
+  MustExecute("CREATE TABLE p (x INT, y INT)");
+  MustExecute("INSERT INTO p VALUES (1, 2)");
+  MustExecute("UPDATE p SET x = y, y = x");
+  QueryResult swapped = MustExecute("SELECT x, y FROM p");
+  EXPECT_EQ(swapped.rows[0].value(0).AsInt(), 2);
+  EXPECT_EQ(swapped.rows[0].value(1).AsInt(), 1);
+
+  // UPDATE without WHERE touches all rows; int widens into DOUBLE columns.
+  EXPECT_EQ(MustExecute("UPDATE orders SET total = 5").rows_affected, 5u);
+  EXPECT_DOUBLE_EQ(MustExecute("SELECT MIN(total) FROM orders")
+                       .rows[0].value(0).AsDouble(),
+                   5.0);
+}
+
+TEST_F(SqlFeaturesTest, UpdateErrors) {
+  EXPECT_TRUE(db_->Execute("UPDATE missing SET a = 1").status().IsNotFound());
+  EXPECT_TRUE(
+      db_->Execute("UPDATE orders SET nope = 1").status().IsNotFound());
+  EXPECT_TRUE(db_->Execute("UPDATE orders SET qty = 'text'")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->Execute("UPDATE __lobs SET id = 1")
+                  .status()
+                  .IsInvalidArgument());
+  // Failed updates are all-or-nothing per statement phase 1 (no partial
+  // binding), so a bad value expression changes nothing.
+  EXPECT_TRUE(db_->Execute("UPDATE orders SET qty = 1 / 0").status()
+                  .IsRuntimeError());
+  EXPECT_EQ(MustExecute("SELECT SUM(qty) FROM orders").rows[0].value(0)
+                .AsInt(),
+            13);
+}
+
+TEST_F(SqlFeaturesTest, UpdateWithUdfValues) {
+  MustExecute("CREATE TABLE blobs2 (id INT, b BYTEARRAY, sz INT)");
+  MustExecute("INSERT INTO blobs2 VALUES (1, randbytes(50, 1), 0), "
+              "(2, randbytes(200, 2), 0)");
+  MustExecute("UPDATE blobs2 SET sz = length(b)");
+  QueryResult r = MustExecute("SELECT sz FROM blobs2 ORDER BY id");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 50);
+  EXPECT_EQ(r.rows[1].value(0).AsInt(), 200);
+}
+
+TEST_F(SqlFeaturesTest, ParserAcceptsNewSyntax) {
+  // These exercise the parser via the engine; malformed variants fail.
+  EXPECT_TRUE(db_->Execute("SELECT id FROM orders ORDER total").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->Execute("DELETE orders").status().IsInvalidArgument());
+  EXPECT_TRUE(db_->Execute("SELECT COUNT(* FROM orders").status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace jaguar

@@ -1,0 +1,184 @@
+// Tests for src/sql: lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace jaguar {
+namespace sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT * FROM t WHERE x <= 10.5").value();
+  ASSERT_EQ(tokens.size(), 9u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_TRUE(tokens[1].IsSymbol("*"));
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].text, "t");
+  EXPECT_TRUE(tokens[5].kind == TokenKind::kIdentifier);
+  EXPECT_TRUE(tokens[6].IsSymbol("<="));
+  EXPECT_EQ(tokens[7].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize("'it''s'").value();
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsInvalidArgument());
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize("SELECT -- everything\n1").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, NumbersIncludingExponents) {
+  auto tokens = Tokenize("1 2.5 3e4 5e-2 6e 7").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloat);
+  // "6e" is integer 6 followed by identifier e.
+  EXPECT_EQ(tokens[4].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_TRUE(Tokenize("SELECT @x").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, PaperQueryInvestVal) {
+  // The motivating query from the paper's introduction.
+  auto stmt = Parse("SELECT * FROM Stocks S "
+                    "WHERE S.type = 'tech' and InvestVal(S.history) > 5")
+                  .value();
+  ASSERT_EQ(stmt.kind, StatementKind::kSelect);
+  const SelectStmt& sel = stmt.select;
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_TRUE(sel.items[0].is_star);
+  EXPECT_EQ(sel.table, "Stocks");
+  EXPECT_EQ(sel.table_alias, "S");
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->ToString(),
+            "((S.type = 'tech') AND (InvestVal(S.history) > 5))");
+}
+
+TEST(ParserTest, PaperQueryRedness) {
+  auto stmt = Parse("SELECT * FROM Sunsets S "
+                    "WHERE REDNESS(S.picture) > 0.7 AND "
+                    "S.location = 'fingerlakes'")
+                  .value();
+  EXPECT_EQ(stmt.select.where->ToString(),
+            "((REDNESS(S.picture) > 0.7) AND (S.location = 'fingerlakes'))");
+}
+
+TEST(ParserTest, SelectItemsAliasesAndLimit) {
+  auto stmt =
+      Parse("SELECT a, b + 1 AS bb, f(a, 2) FROM t LIMIT 10;").value();
+  const SelectStmt& sel = stmt.select;
+  ASSERT_EQ(sel.items.size(), 3u);
+  EXPECT_EQ(sel.items[0].expr->ToString(), "a");
+  EXPECT_EQ(sel.items[1].alias, "bb");
+  EXPECT_EQ(sel.items[2].expr->ToString(), "f(a, 2)");
+  EXPECT_EQ(sel.limit, 10);
+  EXPECT_TRUE(sel.table_alias.empty());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse("CREATE TABLE Rel10000 (id INT, bytes BYTEARRAY, "
+                    "name VARCHAR, price DOUBLE, ok BOOL)")
+                  .value();
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  const Schema& s = stmt.create_table.schema;
+  ASSERT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.column(0).type, TypeId::kInt);
+  EXPECT_EQ(s.column(1).type, TypeId::kBytes);
+  EXPECT_EQ(s.column(2).type, TypeId::kString);
+  EXPECT_EQ(s.column(3).type, TypeId::kDouble);
+  EXPECT_EQ(s.column(4).type, TypeId::kBool);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt =
+      Parse("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, NULL)").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kInsert);
+  ASSERT_EQ(stmt.insert.rows.size(), 3u);
+  EXPECT_EQ(stmt.insert.rows[2][1]->ToString(), "NULL");
+}
+
+TEST(ParserTest, InsertWithFunctionCalls) {
+  auto stmt = Parse("INSERT INTO r VALUES (randbytes(100, 7), 1 + 2)").value();
+  EXPECT_EQ(stmt.insert.rows[0][0]->ToString(), "randbytes(100, 7)");
+  EXPECT_EQ(stmt.insert.rows[0][1]->ToString(), "(1 + 2)");
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = Parse("DROP TABLE old_stuff").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kDropTable);
+  EXPECT_EQ(stmt.drop_table.table, "old_stuff");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  EXPECT_EQ(ParseExpression("1 + 2 * 3").value()->ToString(),
+            "(1 + (2 * 3))");
+  EXPECT_EQ(ParseExpression("(1 + 2) * 3").value()->ToString(),
+            "((1 + 2) * 3)");
+  EXPECT_EQ(ParseExpression("a OR b AND c").value()->ToString(),
+            "(a OR (b AND c))");
+  EXPECT_EQ(ParseExpression("NOT a = 1").value()->ToString(),
+            "NOT ((a = 1))");
+  EXPECT_EQ(ParseExpression("-2 + 3").value()->ToString(), "(-(2) + 3)");
+  EXPECT_EQ(ParseExpression("1 < 2 AND 3 >= 2").value()->ToString(),
+            "((1 < 2) AND (3 >= 2))");
+  EXPECT_EQ(ParseExpression("10 % 3").value()->ToString(), "(10 % 3)");
+}
+
+TEST(ParserTest, BooleanAndNullLiterals) {
+  EXPECT_EQ(ParseExpression("TRUE").value()->ToString(), "true");
+  EXPECT_EQ(ParseExpression("false").value()->ToString(), "false");
+  EXPECT_EQ(ParseExpression("NULL").value()->ToString(), "NULL");
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  EXPECT_TRUE(Parse("SELECT FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE TABLE t ()").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE TABLE t (a POINT)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("INSERT INTO t VALUES 1").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t LIMIT x").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("BOGUS STATEMENT").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT 1 FROM t extra junk").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseExpression("1 +").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseExpression("f(1,").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT 1 FROM t;").ok());
+}
+
+TEST(ParserTest, QualifiedAndUnqualifiedColumns) {
+  auto e = ParseExpression("S.history").value();
+  EXPECT_EQ(e->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(e->qualifier, "S");
+  EXPECT_EQ(e->column, "history");
+  auto e2 = ParseExpression("history").value();
+  EXPECT_TRUE(e2->qualifier.empty());
+}
+
+TEST(ParserTest, EmptyArgFunctionCall) {
+  auto e = ParseExpression("now()").value();
+  EXPECT_EQ(e->kind, ExprKind::kFunctionCall);
+  EXPECT_TRUE(e->args.empty());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace jaguar

@@ -1,0 +1,204 @@
+// Tests for src/types: Value semantics, ADT stream round trips, Schema,
+// Tuple serialization.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace jaguar {
+namespace {
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_EQ(Value::Bytes({1, 2, 3}).AsBytes(),
+            (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(TypeIdToString(TypeId::kBytes), "BYTEARRAY");
+  EXPECT_EQ(TypeIdFromString("bytearray").value(), TypeId::kBytes);
+  EXPECT_EQ(TypeIdFromString("VARCHAR").value(), TypeId::kString);
+  EXPECT_EQ(TypeIdFromString("bigint").value(), TypeId::kInt);
+  EXPECT_TRUE(TypeIdFromString("POINT").status().IsInvalidArgument());
+}
+
+TEST(ValueTest, Coercion) {
+  EXPECT_EQ(Value::Int(3).CoerceDouble().value(), 3.0);
+  EXPECT_EQ(Value::Bool(true).CoerceInt().value(), 1);
+  EXPECT_TRUE(Value::String("x").CoerceDouble().status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Bytes({}).CoerceInt().status().IsInvalidArgument());
+}
+
+TEST(ValueTest, EqualsAcrossNumericTypes) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::String("3")));
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)).value(), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)).value(), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")).value(), 0);
+  EXPECT_LT(Value::Bytes({1}).Compare(Value::Bytes({1, 0})).value(), 0);
+  EXPECT_TRUE(Value::Null().Compare(Value::Int(1)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Value::String("a").Compare(Value::Int(1)).status().IsInvalidArgument());
+}
+
+void RoundTrip(const Value& v) {
+  BufferWriter w;
+  v.WriteTo(&w);
+  EXPECT_EQ(w.size(), v.SerializedSize());
+  BufferReader r(w.AsSlice());
+  Result<Value> back = Value::ReadFrom(&r);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back->type(), v.type());
+  EXPECT_TRUE(back->Equals(v)) << v.ToString();
+}
+
+TEST(ValueTest, StreamRoundTripEveryType) {
+  RoundTrip(Value::Null());
+  RoundTrip(Value::Bool(false));
+  RoundTrip(Value::Bool(true));
+  RoundTrip(Value::Int(0));
+  RoundTrip(Value::Int(INT64_MIN));
+  RoundTrip(Value::Int(INT64_MAX));
+  RoundTrip(Value::Double(-0.0));
+  RoundTrip(Value::Double(1e300));
+  RoundTrip(Value::String(""));
+  RoundTrip(Value::String(std::string(100000, 'x')));
+  RoundTrip(Value::Bytes({}));
+  RoundTrip(Value::Bytes(Random(5).Bytes(10000)));
+}
+
+TEST(ValueTest, ReadRejectsBadTag) {
+  BufferWriter w;
+  w.PutU8(99);
+  BufferReader r(w.AsSlice());
+  EXPECT_TRUE(Value::ReadFrom(&r).status().IsCorruption());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Bytes({1, 2}).ToString(), "<2 bytes>");
+}
+
+Schema StocksSchema() {
+  return Schema({{"symbol", TypeId::kString},
+                 {"type", TypeId::kString},
+                 {"history", TypeId::kBytes},
+                 {"price", TypeId::kDouble}});
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema s = StocksSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.IndexOf("HISTORY").value(), 2u);
+  EXPECT_EQ(s.IndexOf("symbol").value(), 0u);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+  EXPECT_TRUE(s.Contains("Price"));
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema s = StocksSchema();
+  BufferWriter w;
+  s.WriteTo(&w);
+  BufferReader r(w.AsSlice());
+  Result<Schema> back = Schema::ReadFrom(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(Schema({{"a", TypeId::kInt}}).ToString(), "(a INT)");
+}
+
+TEST(TupleTest, SerializationRoundTrip) {
+  Tuple t({Value::String("IBM"), Value::String("tech"),
+           Value::Bytes(Random(1).Bytes(5000)), Value::Double(101.5)});
+  auto bytes = t.Serialize();
+  Result<Tuple> back = Tuple::Deserialize(Slice(bytes));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_values(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(back->value(i).Equals(t.value(i)));
+  }
+}
+
+TEST(TupleTest, DeserializeRejectsTrailingBytes) {
+  Tuple t({Value::Int(1)});
+  auto bytes = t.Serialize();
+  bytes.push_back(0);
+  EXPECT_TRUE(Tuple::Deserialize(Slice(bytes)).status().IsCorruption());
+}
+
+TEST(TupleTest, CheckSchema) {
+  Schema s = StocksSchema();
+  Tuple good({Value::String("IBM"), Value::String("tech"),
+              Value::Bytes({1}), Value::Double(1.0)});
+  EXPECT_TRUE(good.CheckSchema(s).ok());
+
+  // Int widens to double.
+  Tuple widened({Value::String("IBM"), Value::String("tech"),
+                 Value::Bytes({1}), Value::Int(1)});
+  EXPECT_TRUE(widened.CheckSchema(s).ok());
+
+  // NULL matches any column.
+  Tuple with_null({Value::Null(), Value::Null(), Value::Null(), Value::Null()});
+  EXPECT_TRUE(with_null.CheckSchema(s).ok());
+
+  Tuple wrong_arity({Value::Int(1)});
+  EXPECT_TRUE(wrong_arity.CheckSchema(s).IsInvalidArgument());
+
+  Tuple wrong_type({Value::Int(5), Value::String("tech"), Value::Bytes({1}),
+                    Value::Double(1.0)});
+  EXPECT_TRUE(wrong_type.CheckSchema(s).IsInvalidArgument());
+}
+
+// Property sweep: random tuples of every shape survive the stream protocol.
+class TupleRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TupleRoundTripTest, RandomTupleRoundTrips) {
+  Random rng(GetParam());
+  std::vector<Value> values;
+  const int n = static_cast<int>(rng.Uniform(8));
+  for (int i = 0; i < n; ++i) {
+    switch (rng.Uniform(6)) {
+      case 0: values.push_back(Value::Null()); break;
+      case 1: values.push_back(Value::Bool(rng.Bernoulli(0.5))); break;
+      case 2:
+        values.push_back(Value::Int(static_cast<int64_t>(rng.Next())));
+        break;
+      case 3: values.push_back(Value::Double(rng.NextDouble() * 1e9)); break;
+      case 4:
+        values.push_back(Value::String(rng.AlphaString(rng.Uniform(200))));
+        break;
+      case 5: values.push_back(Value::Bytes(rng.Bytes(rng.Uniform(2000))));
+        break;
+    }
+  }
+  Tuple t(values);
+  Result<Tuple> back = Tuple::Deserialize(Slice(t.Serialize()));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_values(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(back->value(i).Equals(values[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TupleRoundTripTest,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace jaguar

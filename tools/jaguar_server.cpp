@@ -1,0 +1,68 @@
+// jaguar_server — serve a jaguar database over TCP (loopback).
+//
+// Usage: jaguar_server <db-path> [port] [--budget N] [--heap-quota BYTES]
+//
+// Runs until SIGINT/SIGTERM. Clients connect with the client library or
+// `jaguar_shell --connect 127.0.0.1 <port>`.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "engine/database.h"
+#include "net/server.h"
+
+using namespace jaguar;
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <db-path> [port] [--budget N] [--heap-quota B]\n",
+                 argv[0]);
+    return 2;
+  }
+  uint16_t port = 0;
+  DatabaseOptions options;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      options.udf_instruction_budget = atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--heap-quota") == 0 && i + 1 < argc) {
+      options.udf_heap_quota_bytes = static_cast<size_t>(atoll(argv[++i]));
+    } else if (argv[i][0] != '-') {
+      port = static_cast<uint16_t>(atoi(argv[i]));
+    }
+  }
+
+  Result<std::unique_ptr<Database>> db = Database::Open(argv[1], options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  net::Server server(db->get());
+  Status s = server.Start(port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("jaguar server: db=%s port=%u budget=%lld\n", argv[1],
+              server.port(),
+              static_cast<long long>(options.udf_instruction_budget));
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    ::usleep(100 * 1000);
+  }
+  std::printf("shutting down (%llu requests served)\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}

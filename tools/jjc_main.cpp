@@ -1,0 +1,92 @@
+// jjc — the JJava compiler driver.
+//
+// Usage:
+//   jjc <source.jj> [-o out.jclass]     compile to a class file
+//   jjc <source.jj> --dis               compile, verify, print disassembly
+//   jjc <source.jj> --run Class.method [int args...]
+//                                       compile + run in a local JagVM
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "jjc/jjc.h"
+#include "jvm/class_loader.h"
+#include "jvm/verifier.h"
+#include "jvm/vm.h"
+
+using namespace jaguar;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <source.jj> [-o out.jclass | --dis | "
+                 "--run Class.method [args...]]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Result<jvm::ClassFile> cf = jjc::Compile(buffer.str());
+  if (!cf.ok()) {
+    std::fprintf(stderr, "%s\n", cf.status().ToString().c_str());
+    return 1;
+  }
+  Result<jvm::VerifiedClass> verified = jvm::Verify(*cf);
+  if (!verified.ok()) {
+    std::fprintf(stderr, "verification: %s\n",
+                 verified.status().ToString().c_str());
+    return 1;
+  }
+
+  if (argc >= 3 && std::strcmp(argv[2], "--dis") == 0) {
+    for (const jvm::VerifiedMethod& m : verified->methods) {
+      std::printf("method %s %s  locals=%u stack=%u\n", m.name.c_str(),
+                  m.sig.ToString().c_str(), m.max_locals, m.max_stack);
+      std::printf("%s\n", jvm::Disassemble(m.code).c_str());
+    }
+    return 0;
+  }
+
+  if (argc >= 4 && std::strcmp(argv[2], "--run") == 0) {
+    std::string entry = argv[3];
+    size_t dot = entry.find('.');
+    if (dot == std::string::npos) {
+      std::fprintf(stderr, "--run needs Class.method\n");
+      return 2;
+    }
+    jvm::Jvm vm;
+    auto bytes = cf->Serialize();
+    if (!vm.system_loader()->LoadClass(Slice(bytes)).ok()) return 1;
+    jvm::SecurityManager security;  // default-deny; no natives locally
+    jvm::ExecContext ctx(&vm, vm.system_loader(), &security, {});
+    std::vector<int64_t> args;
+    for (int i = 4; i < argc; ++i) args.push_back(atoll(argv[i]));
+    Result<int64_t> r =
+        ctx.CallStatic(entry.substr(0, dot), entry.substr(dot + 1), args);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%lld\n", static_cast<long long>(*r));
+    return 0;
+  }
+
+  std::string out_path = std::string(argv[1]) + "class";
+  if (argc >= 4 && std::strcmp(argv[2], "-o") == 0) out_path = argv[3];
+  auto bytes = cf->Serialize();
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("wrote %s (%zu bytes, class %s, %zu methods)\n",
+              out_path.c_str(), bytes.size(), cf->class_name.c_str(),
+              cf->methods.size());
+  return 0;
+}
