@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_handle_vs_object.dir/bench_ablation_handle_vs_object.cc.o"
+  "CMakeFiles/bench_ablation_handle_vs_object.dir/bench_ablation_handle_vs_object.cc.o.d"
+  "bench_ablation_handle_vs_object"
+  "bench_ablation_handle_vs_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_handle_vs_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

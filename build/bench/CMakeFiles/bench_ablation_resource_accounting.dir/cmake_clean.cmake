@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resource_accounting.dir/bench_ablation_resource_accounting.cc.o"
+  "CMakeFiles/bench_ablation_resource_accounting.dir/bench_ablation_resource_accounting.cc.o.d"
+  "bench_ablation_resource_accounting"
+  "bench_ablation_resource_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resource_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sfi.dir/bench_ablation_sfi.cc.o"
+  "CMakeFiles/bench_ablation_sfi.dir/bench_ablation_sfi.cc.o.d"
+  "bench_ablation_sfi"
+  "bench_ablation_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

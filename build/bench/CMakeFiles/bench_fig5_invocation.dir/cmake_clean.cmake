@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_invocation.dir/bench_fig5_invocation.cc.o"
+  "CMakeFiles/bench_fig5_invocation.dir/bench_fig5_invocation.cc.o.d"
+  "bench_fig5_invocation"
+  "bench_fig5_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

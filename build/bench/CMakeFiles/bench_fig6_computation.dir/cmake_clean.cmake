@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_computation.dir/bench_fig6_computation.cc.o"
+  "CMakeFiles/bench_fig6_computation.dir/bench_fig6_computation.cc.o.d"
+  "bench_fig6_computation"
+  "bench_fig6_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_data_access.dir/bench_fig7_data_access.cc.o"
+  "CMakeFiles/bench_fig7_data_access.dir/bench_fig7_data_access.cc.o.d"
+  "bench_fig7_data_access"
+  "bench_fig7_data_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_data_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

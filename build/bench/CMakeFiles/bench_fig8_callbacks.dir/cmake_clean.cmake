@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_callbacks.dir/bench_fig8_callbacks.cc.o"
+  "CMakeFiles/bench_fig8_callbacks.dir/bench_fig8_callbacks.cc.o.d"
+  "bench_fig8_callbacks"
+  "bench_fig8_callbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/jaguar_bench_harness.dir/harness.cc.o.d"
+  "libjaguar_bench_harness.a"
+  "libjaguar_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_redness.dir/image_redness.cpp.o"
+  "CMakeFiles/image_redness.dir/image_redness.cpp.o.d"
+  "image_redness"
+  "image_redness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_redness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

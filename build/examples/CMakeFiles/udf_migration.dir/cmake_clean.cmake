@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_migration.dir/udf_migration.cpp.o"
+  "CMakeFiles/udf_migration.dir/udf_migration.cpp.o.d"
+  "udf_migration"
+  "udf_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

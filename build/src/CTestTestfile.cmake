@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("storage")
+subdirs("catalog")
+subdirs("sql")
+subdirs("jvm")
+subdirs("jjc")
+subdirs("sfi")
+subdirs("ipc")
+subdirs("udf")
+subdirs("exec")
+subdirs("engine")
+subdirs("net")

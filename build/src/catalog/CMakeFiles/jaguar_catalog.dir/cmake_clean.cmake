@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_catalog.dir/catalog.cc.o"
+  "CMakeFiles/jaguar_catalog.dir/catalog.cc.o.d"
+  "libjaguar_catalog.a"
+  "libjaguar_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

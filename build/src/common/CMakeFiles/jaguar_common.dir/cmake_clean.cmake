@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_common.dir/logging.cc.o"
+  "CMakeFiles/jaguar_common.dir/logging.cc.o.d"
+  "CMakeFiles/jaguar_common.dir/status.cc.o"
+  "CMakeFiles/jaguar_common.dir/status.cc.o.d"
+  "CMakeFiles/jaguar_common.dir/string_util.cc.o"
+  "CMakeFiles/jaguar_common.dir/string_util.cc.o.d"
+  "libjaguar_common.a"
+  "libjaguar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_engine.dir/database.cc.o"
+  "CMakeFiles/jaguar_engine.dir/database.cc.o.d"
+  "CMakeFiles/jaguar_engine.dir/query_result.cc.o"
+  "CMakeFiles/jaguar_engine.dir/query_result.cc.o.d"
+  "libjaguar_engine.a"
+  "libjaguar_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

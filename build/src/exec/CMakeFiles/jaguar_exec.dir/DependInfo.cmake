@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expression.cc" "src/exec/CMakeFiles/jaguar_exec.dir/expression.cc.o" "gcc" "src/exec/CMakeFiles/jaguar_exec.dir/expression.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/jaguar_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/jaguar_exec.dir/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/jaguar_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/jaguar_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaguar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/jaguar_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/jaguar_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jaguar_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/jaguar_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/jaguar_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jaguar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

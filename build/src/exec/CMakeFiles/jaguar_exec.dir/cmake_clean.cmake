@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_exec.dir/expression.cc.o"
+  "CMakeFiles/jaguar_exec.dir/expression.cc.o.d"
+  "CMakeFiles/jaguar_exec.dir/operators.cc.o"
+  "CMakeFiles/jaguar_exec.dir/operators.cc.o.d"
+  "libjaguar_exec.a"
+  "libjaguar_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

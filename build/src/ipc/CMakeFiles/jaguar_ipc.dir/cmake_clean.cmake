@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_ipc.dir/remote_executor.cc.o"
+  "CMakeFiles/jaguar_ipc.dir/remote_executor.cc.o.d"
+  "CMakeFiles/jaguar_ipc.dir/shm_channel.cc.o"
+  "CMakeFiles/jaguar_ipc.dir/shm_channel.cc.o.d"
+  "libjaguar_ipc.a"
+  "libjaguar_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jjc/compiler.cc" "src/jjc/CMakeFiles/jaguar_jjc.dir/compiler.cc.o" "gcc" "src/jjc/CMakeFiles/jaguar_jjc.dir/compiler.cc.o.d"
+  "/root/repo/src/jjc/lexer.cc" "src/jjc/CMakeFiles/jaguar_jjc.dir/lexer.cc.o" "gcc" "src/jjc/CMakeFiles/jaguar_jjc.dir/lexer.cc.o.d"
+  "/root/repo/src/jjc/parser.cc" "src/jjc/CMakeFiles/jaguar_jjc.dir/parser.cc.o" "gcc" "src/jjc/CMakeFiles/jaguar_jjc.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/jaguar_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jaguar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

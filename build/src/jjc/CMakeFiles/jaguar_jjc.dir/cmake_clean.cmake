@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_jjc.dir/compiler.cc.o"
+  "CMakeFiles/jaguar_jjc.dir/compiler.cc.o.d"
+  "CMakeFiles/jaguar_jjc.dir/lexer.cc.o"
+  "CMakeFiles/jaguar_jjc.dir/lexer.cc.o.d"
+  "CMakeFiles/jaguar_jjc.dir/parser.cc.o"
+  "CMakeFiles/jaguar_jjc.dir/parser.cc.o.d"
+  "libjaguar_jjc.a"
+  "libjaguar_jjc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_jjc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/assembler.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/assembler.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/assembler.cc.o.d"
+  "/root/repo/src/jvm/bytecode.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/bytecode.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/bytecode.cc.o.d"
+  "/root/repo/src/jvm/class_file.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/class_file.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/class_file.cc.o.d"
+  "/root/repo/src/jvm/class_loader.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/class_loader.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/class_loader.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/heap.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/heap.cc.o.d"
+  "/root/repo/src/jvm/interpreter.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/interpreter.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/interpreter.cc.o.d"
+  "/root/repo/src/jvm/jit.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/jit.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/jit.cc.o.d"
+  "/root/repo/src/jvm/verifier.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/verifier.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/verifier.cc.o.d"
+  "/root/repo/src/jvm/vm.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/vm.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/vm.cc.o.d"
+  "/root/repo/src/jvm/x64_assembler.cc" "src/jvm/CMakeFiles/jaguar_jvm.dir/x64_assembler.cc.o" "gcc" "src/jvm/CMakeFiles/jaguar_jvm.dir/x64_assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jaguar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_jvm.dir/assembler.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/assembler.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/bytecode.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/bytecode.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/class_file.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/class_file.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/class_loader.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/class_loader.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/heap.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/heap.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/interpreter.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/interpreter.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/jit.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/jit.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/verifier.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/verifier.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/vm.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/vm.cc.o.d"
+  "CMakeFiles/jaguar_jvm.dir/x64_assembler.cc.o"
+  "CMakeFiles/jaguar_jvm.dir/x64_assembler.cc.o.d"
+  "libjaguar_jvm.a"
+  "libjaguar_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_net.dir/client.cc.o"
+  "CMakeFiles/jaguar_net.dir/client.cc.o.d"
+  "CMakeFiles/jaguar_net.dir/protocol.cc.o"
+  "CMakeFiles/jaguar_net.dir/protocol.cc.o.d"
+  "CMakeFiles/jaguar_net.dir/server.cc.o"
+  "CMakeFiles/jaguar_net.dir/server.cc.o.d"
+  "libjaguar_net.a"
+  "libjaguar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

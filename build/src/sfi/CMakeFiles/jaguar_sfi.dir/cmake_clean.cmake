@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_sfi.dir/sfi.cc.o"
+  "CMakeFiles/jaguar_sfi.dir/sfi.cc.o.d"
+  "libjaguar_sfi.a"
+  "libjaguar_sfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_sfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_sql.dir/ast.cc.o"
+  "CMakeFiles/jaguar_sql.dir/ast.cc.o.d"
+  "CMakeFiles/jaguar_sql.dir/lexer.cc.o"
+  "CMakeFiles/jaguar_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/jaguar_sql.dir/parser.cc.o"
+  "CMakeFiles/jaguar_sql.dir/parser.cc.o.d"
+  "libjaguar_sql.a"
+  "libjaguar_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/jaguar_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/jaguar_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/jaguar_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/jaguar_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/jaguar_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/jaguar_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/jaguar_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/jaguar_storage.dir/table_heap.cc.o"
+  "CMakeFiles/jaguar_storage.dir/table_heap.cc.o.d"
+  "libjaguar_storage.a"
+  "libjaguar_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_types.dir/schema.cc.o"
+  "CMakeFiles/jaguar_types.dir/schema.cc.o.d"
+  "CMakeFiles/jaguar_types.dir/tuple.cc.o"
+  "CMakeFiles/jaguar_types.dir/tuple.cc.o.d"
+  "CMakeFiles/jaguar_types.dir/value.cc.o"
+  "CMakeFiles/jaguar_types.dir/value.cc.o.d"
+  "libjaguar_types.a"
+  "libjaguar_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

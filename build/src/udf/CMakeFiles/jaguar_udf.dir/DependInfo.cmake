@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udf/builtins.cc" "src/udf/CMakeFiles/jaguar_udf.dir/builtins.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/builtins.cc.o.d"
+  "/root/repo/src/udf/generic_udf.cc" "src/udf/CMakeFiles/jaguar_udf.dir/generic_udf.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/generic_udf.cc.o.d"
+  "/root/repo/src/udf/isolated_udf_runner.cc" "src/udf/CMakeFiles/jaguar_udf.dir/isolated_udf_runner.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/isolated_udf_runner.cc.o.d"
+  "/root/repo/src/udf/jvm_udf_runner.cc" "src/udf/CMakeFiles/jaguar_udf.dir/jvm_udf_runner.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/jvm_udf_runner.cc.o.d"
+  "/root/repo/src/udf/placement.cc" "src/udf/CMakeFiles/jaguar_udf.dir/placement.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/placement.cc.o.d"
+  "/root/repo/src/udf/sfi_udf_runner.cc" "src/udf/CMakeFiles/jaguar_udf.dir/sfi_udf_runner.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/sfi_udf_runner.cc.o.d"
+  "/root/repo/src/udf/udf.cc" "src/udf/CMakeFiles/jaguar_udf.dir/udf.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/udf.cc.o.d"
+  "/root/repo/src/udf/udf_manager.cc" "src/udf/CMakeFiles/jaguar_udf.dir/udf_manager.cc.o" "gcc" "src/udf/CMakeFiles/jaguar_udf.dir/udf_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/jaguar_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/jaguar_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jaguar_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/jaguar_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfi/CMakeFiles/jaguar_sfi.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jaguar_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jaguar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

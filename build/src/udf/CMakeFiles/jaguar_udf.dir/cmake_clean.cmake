@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_udf.dir/builtins.cc.o"
+  "CMakeFiles/jaguar_udf.dir/builtins.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/generic_udf.cc.o"
+  "CMakeFiles/jaguar_udf.dir/generic_udf.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/isolated_udf_runner.cc.o"
+  "CMakeFiles/jaguar_udf.dir/isolated_udf_runner.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/jvm_udf_runner.cc.o"
+  "CMakeFiles/jaguar_udf.dir/jvm_udf_runner.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/placement.cc.o"
+  "CMakeFiles/jaguar_udf.dir/placement.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/sfi_udf_runner.cc.o"
+  "CMakeFiles/jaguar_udf.dir/sfi_udf_runner.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/udf.cc.o"
+  "CMakeFiles/jaguar_udf.dir/udf.cc.o.d"
+  "CMakeFiles/jaguar_udf.dir/udf_manager.cc.o"
+  "CMakeFiles/jaguar_udf.dir/udf_manager.cc.o.d"
+  "libjaguar_udf.a"
+  "libjaguar_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jjc_test.dir/jjc_test.cc.o"
+  "CMakeFiles/jjc_test.dir/jjc_test.cc.o.d"
+  "jjc_test"
+  "jjc_test.pdb"
+  "jjc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jjc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

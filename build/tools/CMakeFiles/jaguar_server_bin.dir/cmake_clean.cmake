@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_server_bin.dir/jaguar_server.cpp.o"
+  "CMakeFiles/jaguar_server_bin.dir/jaguar_server.cpp.o.d"
+  "jaguar_server"
+  "jaguar_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_server_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

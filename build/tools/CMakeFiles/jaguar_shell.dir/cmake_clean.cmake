@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaguar_shell.dir/jaguar_shell.cpp.o"
+  "CMakeFiles/jaguar_shell.dir/jaguar_shell.cpp.o.d"
+  "jaguar_shell"
+  "jaguar_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaguar_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

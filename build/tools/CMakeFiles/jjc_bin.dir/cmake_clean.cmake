@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jjc_bin.dir/jjc_main.cpp.o"
+  "CMakeFiles/jjc_bin.dir/jjc_main.cpp.o.d"
+  "jjc"
+  "jjc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jjc_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
