@@ -42,8 +42,14 @@ int Run() {
   for (size_t p = 0; p < points.size(); ++p) {
     double base =
         env->TimeGeneric("noop_udf", points[p].rel, card, 0, 0, 0, repeats);
-    for (const std::string& fn : fns) {
-      double t = env->TimeGeneric(fn, points[p].rel, card, 0, 0, 0, repeats);
+    for (size_t f = 0; f < fns.size(); ++f) {
+      double t =
+          env->TimeGeneric(fns[f], points[p].rel, card, 0, 0, 0, repeats);
+      if (std::getenv("JAGUAR_BENCH_METRICS") != nullptr) {
+        env->PrintBoundaryCounts(
+            StringPrintf("%s@%lldB", designs[f].c_str(),
+                         static_cast<long long>(points[p].size)));
+      }
       raw[p].push_back(t);
       cost[p].push_back(std::max(0.0, t - base));
     }

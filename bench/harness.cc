@@ -87,7 +87,20 @@ double BenchEnv::TimeQuery(const std::string& sql) {
   Result<QueryResult> r = db_->Execute(sql);
   double elapsed = timer.ElapsedSeconds();
   JAGUAR_CHECK(r.ok()) << sql << " -> " << r.status();
+  last_metrics_delta_ = std::move(r->metrics_delta);
   return elapsed;
+}
+
+void BenchEnv::PrintBoundaryCounts(const std::string& label) const {
+  for (const auto& [name, value] : last_metrics_delta_) {
+    // Only the boundary-crossing families; bufferpool/exec noise would
+    // drown the figures' quantities.
+    if (name.rfind("udf.", 0) == 0 || name.rfind("ipc.", 0) == 0 ||
+        name.rfind("jvm.", 0) == 0) {
+      std::printf("  %s %s %llu\n", label.c_str(), name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
 }
 
 double BenchEnv::TimeQueryMin(const std::string& sql, int repeats) {

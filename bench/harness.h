@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
 #include "jjc/jjc.h"
 #include "udf/generic_udf.h"
 
@@ -68,8 +69,22 @@ class BenchEnv {
   Database* db() { return db_.get(); }
   int cardinality() const { return cardinality_; }
 
-  /// Executes `sql`, returning wall-clock seconds (aborts on error).
+  /// Executes `sql`, returning wall-clock seconds (aborts on error). The
+  /// per-query metrics delta of the last execution is kept for
+  /// `last_metrics_delta` / `PrintBoundaryCounts`.
   double TimeQuery(const std::string& sql);
+
+  /// Metrics registry delta of the most recent TimeQuery execution: exact
+  /// invocation / boundary-byte / callback / shm-message counts, the
+  /// Figure-5/6/8 quantities alongside the wall time.
+  const obs::MetricsSnapshot& last_metrics_delta() const {
+    return last_metrics_delta_;
+  }
+
+  /// Prints the UDF/IPC/JVM counters from the last query's delta, one
+  /// `label metric value` line each (set JAGUAR_BENCH_METRICS=1 to have the
+  /// figure benches call this after each series point).
+  void PrintBoundaryCounts(const std::string& label) const;
 
   /// Minimum of `repeats` timings (paper reports response time; min damps
   /// scheduler noise on a shared machine).
@@ -93,6 +108,7 @@ class BenchEnv {
   std::string path_;
   std::unique_ptr<Database> db_;
   int cardinality_ = 0;
+  obs::MetricsSnapshot last_metrics_delta_;
 };
 
 /// Printing helpers: paper-style series tables plus PASS/FAIL shape checks.

@@ -137,9 +137,24 @@ Result<std::unique_ptr<Database>> Database::Open(
 
 Result<QueryResult> Database::Execute(const std::string& sql_text) {
   JAGUAR_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  // Bracket execution with registry snapshots so callers get the exact
+  // boundary-crossing counts this statement caused (Figures 5/6/8 quantities)
+  // without having to diff the global registry themselves.
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  Result<QueryResult> result = ExecuteStatement(stmt);
+  if (result.ok()) {
+    result->metrics_delta =
+        obs::SnapshotDelta(before, obs::MetricsRegistry::Global()->Snapshot());
+  }
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
       return ExecuteSelect(stmt);
+    case sql::StatementKind::kShowMetrics:
+      return ExecuteShowMetrics(stmt);
     case sql::StatementKind::kCreateTable: {
       JAGUAR_RETURN_IF_ERROR(catalog_->CreateTable(stmt.create_table.table,
                                                    stmt.create_table.schema));
@@ -164,6 +179,18 @@ Result<QueryResult> Database::Execute(const std::string& sql_text) {
     }
   }
   return Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Database::ExecuteShowMetrics(const sql::Statement& stmt) {
+  const std::string& prefix = stmt.show_metrics.like_prefix;
+  QueryResult result;
+  result.schema = Schema({{"metric", TypeId::kString},
+                          {"value", TypeId::kString}});
+  for (auto& [name, value] : obs::MetricsRegistry::Global()->Rows(prefix)) {
+    result.rows.emplace_back(
+        std::vector<Value>{Value::String(name), Value::String(value)});
+  }
+  return result;
 }
 
 namespace {

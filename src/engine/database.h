@@ -128,11 +128,15 @@ class Database : public UdfCallbackHandler {
  private:
   Database() = default;
 
+  /// Dispatches a parsed statement; `Execute` wraps this with the
+  /// before/after metrics snapshots that fill `QueryResult::metrics_delta`.
+  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
   Result<QueryResult> ExecuteSelect(const sql::Statement& stmt);
   Result<QueryResult> ExecuteAggregate(const sql::Statement& stmt);
   Result<QueryResult> ExecuteInsert(const sql::Statement& stmt);
   Result<QueryResult> ExecuteDelete(const sql::Statement& stmt);
   Result<QueryResult> ExecuteUpdate(const sql::Statement& stmt);
+  Result<QueryResult> ExecuteShowMetrics(const sql::Statement& stmt);
 
   DatabaseOptions options_;
   std::unique_ptr<StorageEngine> storage_;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -18,6 +19,12 @@ struct QueryResult {
   std::vector<Tuple> rows;   ///< SELECT output.
   uint64_t rows_affected = 0;
   std::string message;       ///< Human-readable status ("Table created").
+
+  /// What this statement changed in the process-wide metrics registry
+  /// (after minus before, zero entries dropped): exact invocation,
+  /// boundary-byte and callback counts for the query, alongside wall time.
+  /// Histograms appear as `<name>.count` / `<name>.sum` entries.
+  obs::MetricsSnapshot metrics_delta;
 
   /// Renders an aligned ASCII table (used by the CLI client and examples).
   std::string ToPrettyString() const;

@@ -1,12 +1,26 @@
 #include "exec/operators.h"
 
+#include "obs/metrics.h"
+
 namespace jaguar {
 namespace exec {
+
+namespace {
+
+/// Per-operator produced-tuple counters; resolved once per operator kind.
+obs::Counter* TuplesCounter(const char* op) {
+  return obs::MetricsRegistry::Global()->GetCounter(
+      std::string("exec.") + op + ".tuples");
+}
+
+}  // namespace
 
 Result<std::optional<Tuple>> SeqScanOp::Next() {
   JAGUAR_ASSIGN_OR_RETURN(auto rec, iter_.Next());
   if (!rec.has_value()) return std::optional<Tuple>();
   JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+  static obs::Counter* tuples = TuplesCounter("seqscan");
+  tuples->Add();
   return std::make_optional(std::move(t));
 }
 
@@ -15,7 +29,11 @@ Result<std::optional<Tuple>> FilterOp::Next() {
     JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
     if (!t.has_value()) return std::optional<Tuple>();
     JAGUAR_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *t, ctx_));
-    if (pass) return t;
+    if (pass) {
+      static obs::Counter* tuples = TuplesCounter("filter");
+      tuples->Add();
+      return t;
+    }
   }
 }
 
@@ -28,13 +46,19 @@ Result<std::optional<Tuple>> ProjectOp::Next() {
     JAGUAR_ASSIGN_OR_RETURN(Value v, Eval(*e, *t, ctx_));
     out.push_back(std::move(v));
   }
+  static obs::Counter* tuples = TuplesCounter("project");
+  tuples->Add();
   return std::make_optional(Tuple(std::move(out)));
 }
 
 Result<std::optional<Tuple>> LimitOp::Next() {
   if (remaining_ <= 0) return std::optional<Tuple>();
   JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
-  if (t.has_value()) --remaining_;
+  if (t.has_value()) {
+    --remaining_;
+    static obs::Counter* tuples = TuplesCounter("limit");
+    tuples->Add();
+  }
   return t;
 }
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
 namespace ipc {
@@ -53,12 +54,24 @@ Status ShmChannel::Send(sem_t* sem, uint32_t* type_field, uint64_t* len_field,
     std::memcpy(data_area, payload.data(), payload.size());
   }
   if (::sem_post(sem) != 0) return IoError("sem_post failed");
+  // Counted only on successful post: each message is one semaphore release,
+  // the Section-4.1 crossing the paper measures. Note these counters are
+  // per-process — a forked executor child accumulates into its own copy.
+  static obs::Counter* messages =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.shm.messages");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.shm.payload_bytes");
+  messages->Add();
+  bytes->Add(payload.size());
   return Status::OK();
 }
 
 Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
     sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
     const uint8_t* data_area) {
+  static obs::Histogram* wait_ns =
+      obs::MetricsRegistry::Global()->GetHistogram("ipc.shm.wait_ns");
+  obs::Timer wait_timer(wait_ns);
   struct timespec deadline;
   ::clock_gettime(CLOCK_REALTIME, &deadline);
   deadline.tv_sec += timeout_seconds_;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
 namespace jvm {
@@ -27,10 +28,23 @@ Result<ArrayObject*> VmHeap::Allocate(uint64_t len, uint64_t kind,
   arr->kind = kind;
   bytes_allocated_ += total;
   objects_.push_back(arr);
+  static obs::Counter* allocations =
+      obs::MetricsRegistry::Global()->GetCounter("jvm.heap.allocations");
+  static obs::Counter* alloc_bytes =
+      obs::MetricsRegistry::Global()->GetCounter("jvm.heap.alloc_bytes");
+  allocations->Add();
+  alloc_bytes->Add(total);
   return arr;
 }
 
 void VmHeap::Reset() {
+  // The pool-per-invocation model has no tracing GC; a Reset reclaims the
+  // whole pool and is jaguar's equivalent of a collection.
+  if (!objects_.empty()) {
+    static obs::Counter* pool_resets =
+        obs::MetricsRegistry::Global()->GetCounter("jvm.heap.pool_resets");
+    pool_resets->Add();
+  }
   for (ArrayObject* obj : objects_) std::free(obj);
   objects_.clear();
   bytes_allocated_ = 0;

@@ -1,6 +1,7 @@
 #include "jvm/interpreter.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
 namespace jvm {
@@ -41,8 +42,21 @@ Result<int64_t> Interpret(ExecContext* ctx, const LoadedClass& cls,
   size_t sp = 0;  // next free slot
   uint32_t pc = 0;
 
+  // Count retired bytecodes locally and flush once per Interpret call on any
+  // exit path — one atomic add instead of one per instruction.
+  uint64_t ops = 0;
+  struct OpsFlush {
+    const uint64_t* ops;
+    ~OpsFlush() {
+      static obs::Counter* bytecodes =
+          obs::MetricsRegistry::Global()->GetCounter("jvm.interp.bytecodes");
+      bytecodes->Add(*ops);
+    }
+  } flush{&ops};
+
   while (true) {
     const Instr& ins = code[pc];
+    ++ops;
     if (--*budget < 0) {
       return ResourceExhausted("UDF exceeded its instruction budget");
     }

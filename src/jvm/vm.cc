@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "jvm/interpreter.h"
 #include "jvm/jit.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
 namespace jvm {
@@ -59,8 +60,17 @@ Result<const void*> Jvm::GetJitEntry(const LoadedClass& cls,
                             reinterpret_cast<void*>(it->second->entry()))
                       : nullptr;
   }
-  Result<std::unique_ptr<JitArtifact>> compiled =
-      CompileMethod(cls, method, options_.jit_budget_checks);
+  static obs::Counter* compiled_methods =
+      obs::MetricsRegistry::Global()->GetCounter("jvm.jit.compiled_methods");
+  static obs::Counter* code_bytes =
+      obs::MetricsRegistry::Global()->GetCounter("jvm.jit.code_bytes");
+  static obs::Histogram* compile_ns =
+      obs::MetricsRegistry::Global()->GetHistogram("jvm.jit.compile_ns");
+
+  Result<std::unique_ptr<JitArtifact>> compiled = [&] {
+    obs::Timer timer(compile_ns);
+    return CompileMethod(cls, method, options_.jit_budget_checks);
+  }();
   if (!compiled.ok()) {
     if (compiled.status().IsNotSupported()) {
       // Remember the failure so we interpret without retrying every call.
@@ -70,6 +80,8 @@ Result<const void*> Jvm::GetJitEntry(const LoadedClass& cls,
     return compiled.status();
   }
   ++stats_.methods_jitted;
+  compiled_methods->Add();
+  code_bytes->Add((*compiled)->code_size());
   JitArtifact* artifact = compiled->get();
   jit_cache_[&method] = std::move(compiled).value();
   return static_cast<const void*>(reinterpret_cast<void*>(artifact->entry()));

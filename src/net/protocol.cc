@@ -114,6 +114,13 @@ void EncodeQueryResult(const QueryResult& result, BufferWriter* w) {
   w->PutString(result.message);
   w->PutU32(static_cast<uint32_t>(result.rows.size()));
   for (const Tuple& t : result.rows) t.WriteTo(w);
+  // Per-query metrics delta: remote clients see the same observability as
+  // embedded callers.
+  w->PutU32(static_cast<uint32_t>(result.metrics_delta.size()));
+  for (const auto& [name, value] : result.metrics_delta) {
+    w->PutString(name);
+    w->PutU64(value);
+  }
 }
 
 Result<QueryResult> DecodeQueryResult(BufferReader* r) {
@@ -126,6 +133,12 @@ Result<QueryResult> DecodeQueryResult(BufferReader* r) {
   for (uint32_t i = 0; i < nrows; ++i) {
     JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::ReadFrom(r));
     result.rows.push_back(std::move(t));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nmetrics, r->ReadU32());
+  for (uint32_t i = 0; i < nmetrics; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    JAGUAR_ASSIGN_OR_RETURN(uint64_t value, r->ReadU64());
+    result.metrics_delta[std::move(name)] = value;
   }
   return result;
 }

@@ -93,6 +93,7 @@ enum class StatementKind : uint8_t {
   kDropTable,
   kDelete,
   kUpdate,
+  kShowMetrics,
 };
 
 /// One SELECT output item: expression plus optional alias.
@@ -140,6 +141,13 @@ struct UpdateStmt {
   ExprPtr where;  ///< Null updates every row.
 };
 
+/// SHOW METRICS [LIKE '<prefix>'] — reads the process-wide metrics registry.
+/// LIKE filters by name prefix (the registry's filtering convention, not SQL
+/// `%` patterns).
+struct ShowMetricsStmt {
+  std::string like_prefix;  ///< Empty shows every metric.
+};
+
 struct Statement {
   StatementKind kind;
   SelectStmt select;
@@ -148,6 +156,7 @@ struct Statement {
   DropTableStmt drop_table;
   DeleteStmt delete_stmt;
   UpdateStmt update;
+  ShowMetricsStmt show_metrics;
 };
 
 }  // namespace sql

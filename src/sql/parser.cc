@@ -35,8 +35,12 @@ class Parser {
     } else if (PeekKeyword("UPDATE")) {
       stmt.kind = StatementKind::kUpdate;
       JAGUAR_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+    } else if (PeekKeyword("SHOW")) {
+      stmt.kind = StatementKind::kShowMetrics;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.show_metrics, ParseShowMetrics());
     } else {
-      return Error("expected SELECT, CREATE, INSERT, UPDATE, DELETE or DROP");
+      return Error(
+          "expected SELECT, CREATE, INSERT, UPDATE, DELETE, DROP or SHOW");
     }
     if (Peek().IsSymbol(";")) Advance();
     if (Peek().kind != TokenKind::kEnd) {
@@ -258,6 +262,21 @@ class Parser {
     JAGUAR_RETURN_IF_ERROR(ExpectKeyword("DROP"));
     JAGUAR_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  // SHOW METRICS [LIKE '<prefix>']
+  Result<ShowMetricsStmt> ParseShowMetrics() {
+    ShowMetricsStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("METRICS"));
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected a quoted prefix after LIKE");
+      }
+      stmt.like_prefix = Advance().text;
+    }
     return stmt;
   }
 

@@ -4,8 +4,18 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
+
+namespace {
+
+obs::Counter* PoolCounter(const char* which) {
+  return obs::MetricsRegistry::Global()->GetCounter(
+      std::string("storage.bufferpool.") + which);
+}
+
+}  // namespace
 
 void PageGuard::MarkDirty() {
   if (pool_ != nullptr) pool_->frames_[frame_].dirty = true;
@@ -45,6 +55,9 @@ Result<size_t> BufferPool::GetVictimFrame() {
   lru_.pop_front();
   Frame& frame = frames_[f];
   frame.in_lru = false;
+  ++evictions_;
+  static obs::Counter* evictions = PoolCounter("evictions");
+  evictions->Add();
   if (frame.dirty) {
     JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
     frame.dirty = false;
@@ -58,6 +71,8 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    static obs::Counter* hits = PoolCounter("hits");
+    hits->Add();
     size_t f = it->second;
     Frame& frame = frames_[f];
     if (frame.pin_count == 0 && frame.in_lru) {
@@ -68,6 +83,8 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     return PageGuard(this, f, id, frame.data.get());
   }
   ++misses_;
+  static obs::Counter* misses = PoolCounter("misses");
+  misses->Add();
   JAGUAR_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
   Frame& frame = frames_[f];
   Status s = disk_->ReadPage(id, frame.data.get());

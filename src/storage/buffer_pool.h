@@ -90,6 +90,8 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// Occupied frames reclaimed to satisfy a fetch/new-page request.
+  uint64_t evictions() const { return evictions_; }
   /// Number of currently pinned frames (for leak tests).
   size_t pinned_frames() const;
 
@@ -116,6 +118,7 @@ class BufferPool {
   std::list<size_t> lru_;  // front == least recently used
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace jaguar

@@ -137,8 +137,12 @@ Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
   return runner;
 }
 
-Result<Value> IsolatedNativeRunner::Invoke(const std::vector<Value>& args,
-                                           UdfContext* ctx) {
+void IsolatedNativeRunner::set_ipc_timeout_seconds(unsigned seconds) {
+  executor_->channel()->set_timeout_seconds(static_cast<int>(seconds));
+}
+
+Result<Value> IsolatedNativeRunner::DoInvoke(const std::vector<Value>& args,
+                                             UdfContext* ctx) {
   JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(impl_name_, arg_types_, args));
 
   BufferWriter w;
@@ -294,8 +298,8 @@ Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
   return runner;
 }
 
-Result<Value> IsolatedJvmRunner::Invoke(const std::vector<Value>& args,
-                                        UdfContext* ctx) {
+Result<Value> IsolatedJvmRunner::DoInvoke(const std::vector<Value>& args,
+                                          UdfContext* ctx) {
   JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("isolated_jvm_udf", arg_types_, args));
   BufferWriter w;
   w.PutU32(static_cast<uint32_t>(args.size()));

@@ -31,12 +31,19 @@ class IsolatedNativeRunner : public UdfRunner {
       const std::string& impl_name, TypeId return_type,
       std::vector<TypeId> arg_types, size_t shm_capacity = 1 << 20);
 
-  Result<Value> Invoke(const std::vector<Value>& args,
-                       UdfContext* ctx) override;
   std::string design_label() const override { return "IC++"; }
 
   /// The executor child's pid (tests assert liveness/cleanup).
   pid_t child_pid() const { return executor_->child_pid(); }
+
+  /// Receive timeout for the shared-memory channel, forwarded to
+  /// `ShmChannel::set_timeout_seconds`. Fault-injection tests shorten it so
+  /// a killed child fails the invocation quickly.
+  void set_ipc_timeout_seconds(unsigned seconds);
+
+ protected:
+  Result<Value> DoInvoke(const std::vector<Value>& args,
+                         UdfContext* ctx) override;
 
  private:
   IsolatedNativeRunner() = default;
@@ -63,11 +70,13 @@ class IsolatedJvmRunner : public UdfRunner {
       const UdfInfo& info, jvm::ResourceLimits limits,
       size_t shm_capacity = 1 << 20);
 
-  Result<Value> Invoke(const std::vector<Value>& args,
-                       UdfContext* ctx) override;
   std::string design_label() const override { return "IJNI"; }
 
   pid_t child_pid() const { return executor_->child_pid(); }
+
+ protected:
+  Result<Value> DoInvoke(const std::vector<Value>& args,
+                         UdfContext* ctx) override;
 
  private:
   IsolatedJvmRunner() = default;

@@ -117,8 +117,8 @@ Result<std::unique_ptr<JvmUdfRunner>> JvmUdfRunner::Create(
   return runner;
 }
 
-Result<Value> JvmUdfRunner::Invoke(const std::vector<Value>& args,
-                                   UdfContext* ctx) {
+Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
+                                     UdfContext* ctx) {
   JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(method_name_, arg_types_, args));
 
   // One ExecContext per invocation: fresh heap pool, fresh budget, the UDF

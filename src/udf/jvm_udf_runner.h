@@ -39,11 +39,13 @@ class JvmUdfRunner : public UdfRunner {
   static Result<std::unique_ptr<JvmUdfRunner>> Create(
       jvm::Jvm* vm, const UdfInfo& info, jvm::ResourceLimits limits);
 
-  Result<Value> Invoke(const std::vector<Value>& args,
-                       UdfContext* ctx) override;
   std::string design_label() const override { return "JNI"; }
 
   const jvm::ClassLoader* loader() const { return loader_.get(); }
+
+ protected:
+  Result<Value> DoInvoke(const std::vector<Value>& args,
+                         UdfContext* ctx) override;
 
  private:
   JvmUdfRunner() = default;

@@ -86,8 +86,8 @@ Result<std::unique_ptr<SfiNativeRunner>> SfiNativeRunner::Create(
   return runner;
 }
 
-Result<Value> SfiNativeRunner::Invoke(const std::vector<Value>& args,
-                                      UdfContext* ctx) {
+Result<Value> SfiNativeRunner::DoInvoke(const std::vector<Value>& args,
+                                        UdfContext* ctx) {
   JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("sfi_udf", arg_types_, args));
   if (args.empty() || args[0].type() != TypeId::kBytes) {
     return InvalidArgument("SFI UDFs take a BYTEARRAY first argument");

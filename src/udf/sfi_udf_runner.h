@@ -41,9 +41,11 @@ class SfiNativeRunner : public UdfRunner {
       const std::string& impl_name, TypeId return_type,
       std::vector<TypeId> arg_types, unsigned region_log2 = 24);
 
-  Result<Value> Invoke(const std::vector<Value>& args,
-                       UdfContext* ctx) override;
   std::string design_label() const override { return "SFI-C++"; }
+
+ protected:
+  Result<Value> DoInvoke(const std::vector<Value>& args,
+                         UdfContext* ctx) override;
 
  private:
   SfiNativeRunner() = default;

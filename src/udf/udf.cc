@@ -1,5 +1,7 @@
 #include "udf/udf.h"
 
+#include <cctype>
+
 #include "common/string_util.h"
 
 namespace jaguar {
@@ -14,6 +16,9 @@ Status UdfContext::ChargeCallback() {
                      static_cast<unsigned long long>(callback_quota_)));
   }
   ++callbacks_made_;
+  static obs::Counter* callbacks =
+      obs::MetricsRegistry::Global()->GetCounter("udf.callbacks");
+  callbacks->Add();
   return Status::OK();
 }
 
@@ -84,8 +89,54 @@ Status CheckUdfArgs(const std::string& name,
   return Status::OK();
 }
 
-Result<Value> IntegratedNativeRunner::Invoke(const std::vector<Value>& args,
-                                             UdfContext* ctx) {
+std::string UdfRunner::DesignMetricKey(const std::string& label) {
+  std::string key;
+  key.reserve(label.size());
+  for (char c : label) {
+    if (c == '+') {
+      key.push_back('p');
+    } else if (c == '-') {
+      key.push_back('_');
+    } else {
+      key.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return key;
+}
+
+void UdfRunner::EnsureMetrics() {
+  std::call_once(metrics_once_, [this] {
+    obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+    const std::string base = "udf." + DesignMetricKey(design_label()) + ".";
+    invocations_ = reg->GetCounter(base + "invocations");
+    failures_ = reg->GetCounter(base + "failures");
+    arg_bytes_ = reg->GetCounter(base + "arg_bytes");
+    result_bytes_ = reg->GetCounter(base + "result_bytes");
+    latency_ns_ = reg->GetHistogram(base + "latency_ns");
+  });
+}
+
+Result<Value> UdfRunner::Invoke(const std::vector<Value>& args,
+                                UdfContext* ctx) {
+  EnsureMetrics();
+  invocations_->Add();
+  uint64_t in_bytes = 0;
+  for (const Value& v : args) in_bytes += v.SerializedSize();
+  arg_bytes_->Add(in_bytes);
+
+  obs::Timer timer(latency_ns_);
+  Result<Value> result = DoInvoke(args, ctx);
+  if (result.ok()) {
+    result_bytes_->Add(result->SerializedSize());
+  } else {
+    failures_->Add();
+  }
+  return result;
+}
+
+Result<Value> IntegratedNativeRunner::DoInvoke(const std::vector<Value>& args,
+                                               UdfContext* ctx) {
   JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(entry_->name, entry_->arg_types, args));
   Value out;
   JAGUAR_RETURN_IF_ERROR(entry_->fn(args, ctx, &out));

@@ -12,10 +12,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "types/value.h"
 
 namespace jaguar {
@@ -99,16 +101,48 @@ class NativeUdfRegistry {
 /// One invocable UDF, bound to a concrete execution design. Implementations:
 /// `IntegratedNativeRunner` (Design 1), `IsolatedNativeRunner` (Design 2),
 /// `JvmUdfRunner` (Design 3), `SfiNativeRunner` (Section 2.3).
+///
+/// `Invoke` is the public entry point; it wraps the design-specific
+/// `DoInvoke` with per-design metrics so every Figure-4–8 quantity is
+/// observable in the live engine:
+///   udf.<design>.invocations   total calls through this design
+///   udf.<design>.failures      calls that returned an error
+///   udf.<design>.latency_ns    histogram of per-call wall time
+///   udf.<design>.arg_bytes     argument bytes crossing the boundary
+///   udf.<design>.result_bytes  result bytes crossing back
+/// where <design> is `DesignMetricKey(design_label())`.
 class UdfRunner {
  public:
   virtual ~UdfRunner() = default;
 
   /// Applies the UDF to `args`. `ctx` carries the callback channel.
-  virtual Result<Value> Invoke(const std::vector<Value>& args,
-                               UdfContext* ctx) = 0;
+  Result<Value> Invoke(const std::vector<Value>& args, UdfContext* ctx);
 
   /// \return The label used in the paper's graphs ("C++", "IC++", "JNI"...).
   virtual std::string design_label() const = 0;
+
+  /// Maps a design label to its metric-name segment: lowercased, '+' → 'p',
+  /// '-' → '_'. "C++" → "cpp", "IC++" → "icpp", "JNI" → "jni",
+  /// "IJNI" → "ijni", "SFI-C++" → "sfi_cpp".
+  static std::string DesignMetricKey(const std::string& label);
+
+ protected:
+  /// Design-specific invocation, implemented by each runner. Called only
+  /// through `Invoke`.
+  virtual Result<Value> DoInvoke(const std::vector<Value>& args,
+                                 UdfContext* ctx) = 0;
+
+ private:
+  /// Resolves the cached metric pointers on first use (design_label() is
+  /// virtual, so this cannot run in the constructor).
+  void EnsureMetrics();
+
+  std::once_flag metrics_once_;
+  obs::Counter* invocations_ = nullptr;
+  obs::Counter* failures_ = nullptr;
+  obs::Counter* arg_bytes_ = nullptr;
+  obs::Counter* result_bytes_ = nullptr;
+  obs::Histogram* latency_ns_ = nullptr;
 };
 
 /// Design 1: the UDF is a function pointer inside the server process. Fastest
@@ -119,9 +153,11 @@ class IntegratedNativeRunner : public UdfRunner {
   explicit IntegratedNativeRunner(const NativeUdfEntry* entry)
       : entry_(entry) {}
 
-  Result<Value> Invoke(const std::vector<Value>& args,
-                       UdfContext* ctx) override;
   std::string design_label() const override { return "C++"; }
+
+ protected:
+  Result<Value> DoInvoke(const std::vector<Value>& args,
+                         UdfContext* ctx) override;
 
  private:
   const NativeUdfEntry* entry_;

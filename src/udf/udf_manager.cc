@@ -1,6 +1,7 @@
 #include "udf/udf_manager.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jaguar {
 
@@ -51,11 +52,18 @@ Result<UdfManager::CachedRunner> UdfManager::Build(const std::string& name) {
 Result<UdfRunner*> UdfManager::Resolve(const std::string& name,
                                        TypeId* return_type,
                                        std::vector<TypeId>* arg_types) {
+  static obs::Counter* cache_hits =
+      obs::MetricsRegistry::Global()->GetCounter("udf.runner_cache_hits");
+  static obs::Counter* cache_misses =
+      obs::MetricsRegistry::Global()->GetCounter("udf.runner_cache_misses");
   const std::string key = ToLower(name);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    cache_misses->Add();
     JAGUAR_ASSIGN_OR_RETURN(CachedRunner built, Build(name));
     it = cache_.emplace(key, std::move(built)).first;
+  } else {
+    cache_hits->Add();
   }
   if (return_type != nullptr) *return_type = it->second.return_type;
   if (arg_types != nullptr) *arg_types = it->second.arg_types;

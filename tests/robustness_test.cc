@@ -8,6 +8,7 @@
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -22,6 +23,9 @@
 #include "jvm/vm.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "udf/generic_udf.h"
+#include "udf/isolated_udf_runner.h"
 
 namespace jaguar {
 namespace {
@@ -401,6 +405,46 @@ TEST(VmEdgeCaseTest, HugeBranchMethodCompiles) {
   jvm::SecurityManager allow = jvm::SecurityManager::AllowAll();
   jvm::ExecContext ctx(&vm, &loader, &allow, {});
   EXPECT_EQ(ctx.CallStatic("Adv", "f", {}).value(), 42);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: a hostile/crashing isolated executor (Design 2)
+// ---------------------------------------------------------------------------
+
+TEST(IsolatedRunnerFaultTest, KilledChildFailsCleanlyAndIsObservable) {
+  // Section 3.2's protection argument: an isolated UDF process dying must
+  // cost the server one failed invocation, nothing more — and the failure
+  // must be visible in the udf.icpp metrics.
+  RegisterGenericUdfs();  // the executor child resolves this by name
+  auto runner = IsolatedNativeRunner::Spawn(
+                    "generic_udf", TypeId::kInt,
+                    {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt})
+                    .value();
+  const std::vector<Value> args = {Value::Bytes(std::vector<uint8_t>(8, 1)),
+                                   Value::Int(2), Value::Int(2),
+                                   Value::Int(0)};
+  UdfContext ctx(nullptr);
+  ASSERT_TRUE(runner->Invoke(args, &ctx).ok());  // healthy first
+
+  obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global()->Snapshot("udf.icpp.");
+  runner->set_ipc_timeout_seconds(1);  // don't wait 30 s for the corpse
+  ASSERT_EQ(kill(runner->child_pid(), SIGKILL), 0);
+  Result<Value> dead = runner->Invoke(args, &ctx);
+  EXPECT_FALSE(dead.ok());
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot("udf.icpp."));
+  EXPECT_GE(delta.at("udf.icpp.failures"), 1u);
+  EXPECT_GE(delta.at("udf.icpp.invocations"), 1u);
+
+  // The server recovers by spawning a fresh executor; work proceeds.
+  auto fresh = IsolatedNativeRunner::Spawn(
+                   "generic_udf", TypeId::kInt,
+                   {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt})
+                   .value();
+  Result<Value> ok = fresh->Invoke(args, &ctx);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->type(), TypeId::kInt);
 }
 
 TEST(VmEdgeCaseTest, ZeroLengthArraysEverywhere) {

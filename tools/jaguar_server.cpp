@@ -1,9 +1,12 @@
 // jaguar_server — serve a jaguar database over TCP (loopback).
 //
 // Usage: jaguar_server <db-path> [port] [--budget N] [--heap-quota BYTES]
+//                      [--metrics-json]
 //
 // Runs until SIGINT/SIGTERM. Clients connect with the client library or
-// `jaguar_shell --connect 127.0.0.1 <port>`.
+// `jaguar_shell --connect 127.0.0.1 <port>`. On shutdown the server dumps
+// the process metrics registry (text by default, one JSON object with
+// --metrics-json) so every run leaves its boundary-crossing counts behind.
 
 #include <signal.h>
 #include <unistd.h>
@@ -15,6 +18,7 @@
 
 #include "engine/database.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 
 using namespace jaguar;
 
@@ -26,17 +30,21 @@ void HandleSignal(int) { g_stop.store(true); }
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <db-path> [port] [--budget N] [--heap-quota B]\n",
+                 "usage: %s <db-path> [port] [--budget N] [--heap-quota B] "
+                 "[--metrics-json]\n",
                  argv[0]);
     return 2;
   }
   uint16_t port = 0;
+  bool metrics_json = false;
   DatabaseOptions options;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       options.udf_instruction_budget = atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--heap-quota") == 0 && i + 1 < argc) {
       options.udf_heap_quota_bytes = static_cast<size_t>(atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json = true;
     } else if (argv[i][0] != '-') {
       port = static_cast<uint16_t>(atoi(argv[i]));
     }
@@ -64,5 +72,8 @@ int main(int argc, char** argv) {
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(server.requests_served()));
   server.Stop();
+  obs::MetricsRegistry* metrics = obs::MetricsRegistry::Global();
+  std::printf("%s\n", metrics_json ? metrics->DumpJson().c_str()
+                                   : metrics->DumpText().c_str());
   return 0;
 }
