@@ -26,7 +26,7 @@ constexpr int kBatch = 256;
 
 Result<std::vector<uint8_t>> SumHandler(Slice request, ipc::ShmChannel*) {
   BufferReader r(request);
-  JAGUAR_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
   int64_t total = 0;
   for (uint32_t i = 0; i < count; ++i) {
     JAGUAR_ASSIGN_OR_RETURN(int64_t v, r.ReadI64());
@@ -47,7 +47,7 @@ void BM_IpcPerInvocation(benchmark::State& state) {
     int64_t total = 0;
     for (int i = 0; i < kBatch; ++i) {
       BufferWriter w;
-      w.PutU32(1);
+      BatchCodec::WriteCount(&w, 1);
       w.PutI64(i);
       auto result = executor->Execute(w.AsSlice(), &NoCallbacks);
       JAGUAR_CHECK(result.ok());
@@ -64,7 +64,7 @@ void BM_IpcBatched(benchmark::State& state) {
   auto executor = ipc::RemoteExecutor::Spawn(1 << 16, &SumHandler).value();
   for (auto _ : state) {
     BufferWriter w;
-    w.PutU32(kBatch);
+    BatchCodec::WriteCount(&w, kBatch);
     for (int i = 0; i < kBatch; ++i) w.PutI64(i);
     auto result = executor->Execute(w.AsSlice(), &NoCallbacks);
     JAGUAR_CHECK(result.ok());

@@ -56,8 +56,66 @@ int Run() {
     PrintSeriesRow(points[p].size, cost[p]);
   }
 
+  // Batched counterpart (Section 2.5): the same series with vectorized
+  // execution on — each operator pull ships one 256-row batch across the
+  // isolation boundary instead of 256 single-row crossings.
+  DatabaseOptions batched_options;
+  batched_options.vectorized_execution = true;
+  batched_options.batch_size = 256;
+  auto batched_env = BenchEnv::Create(PaperRelations(), card, batched_options);
+
+  std::printf("\nBatched (batch size 256):\n");
+  PrintSeriesHeader("array bytes", designs);
+  // Boundary-crossing counts per (point, design), scalar vs batched — the
+  // deterministic quantity behind the wall-clock numbers.
+  auto crossings = [](const obs::MetricsSnapshot& delta,
+                      const std::string& design) -> uint64_t {
+    const std::string key = design == "JNI" ? "jvm.boundary.crossings"
+                                            : "ipc.shm.messages";
+    auto it = delta.find(key);
+    return it != delta.end() ? it->second : 0;
+  };
+  std::vector<std::vector<uint64_t>> scalar_crossings(points.size());
+  std::vector<std::vector<uint64_t>> batched_crossings(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    double base = batched_env->TimeGeneric("noop_udf", points[p].rel, card, 0,
+                                           0, 0, repeats);
+    std::vector<double> batched_cost;
+    for (size_t f = 0; f < fns.size(); ++f) {
+      env->TimeGeneric(fns[f], points[p].rel, card, 0, 0, 0, 1);
+      scalar_crossings[p].push_back(
+          crossings(env->last_metrics_delta(), designs[f]));
+      double t = batched_env->TimeGeneric(fns[f], points[p].rel, card, 0, 0, 0,
+                                          repeats);
+      batched_crossings[p].push_back(
+          crossings(batched_env->last_metrics_delta(), designs[f]));
+      if (std::getenv("JAGUAR_BENCH_METRICS") != nullptr) {
+        batched_env->PrintBoundaryCounts(
+            StringPrintf("batched:%s@%lldB", designs[f].c_str(),
+                         static_cast<long long>(points[p].size)));
+      }
+      batched_cost.push_back(std::max(0.0, t - base));
+    }
+    PrintSeriesRow(points[p].size, batched_cost);
+  }
+
   std::printf("\nShape checks (vs the paper):\n");
   bool ok = true;
+  // Batching must cut boundary crossings by at least 2x for the designs
+  // that pay a per-invocation crossing (exact counters, not wall clock).
+  ok &= ShapeCheck(
+      scalar_crossings[0][1] >= 2 * batched_crossings[0][1] &&
+          batched_crossings[0][1] > 0,
+      StringPrintf("IC++ batching cuts shm messages >=2x (%llu -> %llu)",
+                   static_cast<unsigned long long>(scalar_crossings[0][1]),
+                   static_cast<unsigned long long>(batched_crossings[0][1])));
+  ok &= ShapeCheck(
+      scalar_crossings[0][2] >= 2 * batched_crossings[0][2] &&
+          batched_crossings[0][2] > 0,
+      StringPrintf("JNI batching cuts VM boundary crossings >=2x "
+                   "(%llu -> %llu)",
+                   static_cast<unsigned long long>(scalar_crossings[0][2]),
+                   static_cast<unsigned long long>(batched_crossings[0][2])));
   ok &= ShapeCheck(cost[0][1] > cost[0][2],
                    "small arrays: IC++ invocation (process crossing) costs "
                    "more than JNI (language boundary)");

@@ -142,6 +142,30 @@ class BufferReader {
   Slice data_;
 };
 
+/// Uniform framing for payloads that carry a batch of items: a u32 item
+/// count followed by the items. Every batched producer/consumer pair (the
+/// isolated-runner request/response protocol, the batching benchmarks) goes
+/// through these helpers instead of hand-rolling its own count prefix, so a
+/// single-item request is just a batch of one and the decoder rejects
+/// implausible counts from a corrupted peer before looping on them.
+struct BatchCodec {
+  /// Upper bound on a decoded item count; anything larger is treated as
+  /// corruption rather than a loop bound.
+  static constexpr uint32_t kMaxCount = 1u << 20;
+
+  static void WriteCount(BufferWriter* w, size_t count) {
+    w->PutU32(static_cast<uint32_t>(count));
+  }
+
+  static Result<uint32_t> ReadCount(BufferReader* r) {
+    JAGUAR_ASSIGN_OR_RETURN(uint32_t count, r->ReadU32());
+    if (count > kMaxCount) {
+      return Corruption("batch count exceeds the framing limit");
+    }
+    return count;
+  }
+};
+
 }  // namespace jaguar
 
 #endif  // JAGUAR_COMMON_BYTES_H_

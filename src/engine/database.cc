@@ -116,6 +116,7 @@ Result<std::unique_ptr<Database>> Database::Open(
   JAGUAR_RETURN_IF_ERROR(InstallJaguarNatives(db->vm_.get()));
 
   db->udf_manager_ = std::make_unique<UdfManager>(db->catalog_.get());
+  db->udf_manager_->set_memo_capacity(options.udf_memo_entries);
   jvm::ResourceLimits limits;
   limits.instruction_budget = options.udf_instruction_budget;
   limits.heap_quota_bytes = options.udf_heap_quota_bytes;
@@ -490,24 +491,59 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
     if (sel.limit >= 0) {
       op = std::make_unique<exec::LimitOp>(std::move(op), sel.limit);
     }
-    while (true) {
-      JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
-      if (!t.has_value()) break;
-      result.rows.push_back(std::move(*t));
+    if (options_.vectorized_execution) {
+      exec::TupleBatch batch(options_.batch_size);
+      while (true) {
+        JAGUAR_RETURN_IF_ERROR(op->NextBatch(&batch));
+        if (batch.empty()) break;
+        for (Tuple& t : batch.tuples()) result.rows.push_back(std::move(t));
+      }
+    } else {
+      while (true) {
+        JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
+        if (!t.has_value()) break;
+        result.rows.push_back(std::move(*t));
+      }
     }
   } else {
     std::vector<std::pair<Value, Tuple>> keyed;
-    while (true) {
-      JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
-      if (!t.has_value()) break;
-      JAGUAR_ASSIGN_OR_RETURN(Value key, exec::Eval(*order_key, *t, &ctx));
-      std::vector<Value> out;
-      out.reserve(out_exprs.size());
-      for (const exec::BoundExprPtr& e : out_exprs) {
-        JAGUAR_ASSIGN_OR_RETURN(Value v, exec::Eval(*e, *t, &ctx));
-        out.push_back(std::move(v));
+    if (options_.vectorized_execution) {
+      // Materialize via the batch path: order key and output expressions are
+      // evaluated batch-at-a-time (UDFs in either cross once per batch).
+      exec::TupleBatch batch(options_.batch_size);
+      while (true) {
+        JAGUAR_RETURN_IF_ERROR(op->NextBatch(&batch));
+        if (batch.empty()) break;
+        JAGUAR_ASSIGN_OR_RETURN(
+            std::vector<Value> keys,
+            exec::EvalBatch(*order_key, batch.tuples(), &ctx));
+        std::vector<std::vector<Value>> cols;
+        cols.reserve(out_exprs.size());
+        for (const exec::BoundExprPtr& e : out_exprs) {
+          JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> col,
+                                  exec::EvalBatch(*e, batch.tuples(), &ctx));
+          cols.push_back(std::move(col));
+        }
+        for (size_t row = 0; row < batch.size(); ++row) {
+          std::vector<Value> out;
+          out.reserve(out_exprs.size());
+          for (std::vector<Value>& col : cols) out.push_back(std::move(col[row]));
+          keyed.emplace_back(std::move(keys[row]), Tuple(std::move(out)));
+        }
       }
-      keyed.emplace_back(std::move(key), Tuple(std::move(out)));
+    } else {
+      while (true) {
+        JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
+        if (!t.has_value()) break;
+        JAGUAR_ASSIGN_OR_RETURN(Value key, exec::Eval(*order_key, *t, &ctx));
+        std::vector<Value> out;
+        out.reserve(out_exprs.size());
+        for (const exec::BoundExprPtr& e : out_exprs) {
+          JAGUAR_ASSIGN_OR_RETURN(Value v, exec::Eval(*e, *t, &ctx));
+          out.push_back(std::move(v));
+        }
+        keyed.emplace_back(std::move(key), Tuple(std::move(out)));
+      }
     }
     // NULL keys sort first; comparison failures surface as errors.
     Status sort_error;

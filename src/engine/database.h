@@ -53,6 +53,17 @@ struct DatabaseOptions {
   size_t udf_heap_quota_bytes = 0;
   /// Shared-memory capacity per direction for Design-2 executors.
   size_t isolated_shm_bytes = 1 << 20;
+  /// Vectorized execution (Section 2.5): operators exchange `batch_size`
+  /// tuples per `NextBatch` pull and UDF calls cross the isolation boundary
+  /// once per batch instead of once per tuple. Off by default so the
+  /// paper-figure benchmarks keep measuring true per-invocation crossings.
+  bool vectorized_execution = false;
+  /// Tuples per operator batch when `vectorized_execution` is on.
+  size_t batch_size = 256;
+  /// Capacity (entries) of the per-(UDF, arguments) result memo attached to
+  /// each runner; 0 = disabled. Only deterministic, callback-free
+  /// invocations are memoized, and re-registration drops the memo.
+  size_t udf_memo_entries = 0;
 };
 
 /// Server-side large-object store: the target of UDF handle callbacks

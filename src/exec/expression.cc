@@ -277,5 +277,81 @@ Result<bool> EvalPredicate(const BoundExpr& expr, const Tuple& tuple,
   return v.AsBool();
 }
 
+Result<std::vector<Value>> EvalBatch(const BoundExpr& expr,
+                                     const std::vector<Tuple>& tuples,
+                                     UdfContext* ctx) {
+  std::vector<Value> out;
+  out.reserve(tuples.size());
+  switch (expr.kind) {
+    case BoundExprKind::kCall: {
+      // The batching payoff: evaluate each argument expression over the
+      // whole batch, transpose to per-tuple argument rows, and cross into
+      // the UDF once for all of them.
+      std::vector<std::vector<Value>> arg_columns;
+      arg_columns.reserve(expr.args.size());
+      for (const BoundExprPtr& arg : expr.args) {
+        JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> column,
+                                EvalBatch(*arg, tuples, ctx));
+        arg_columns.push_back(std::move(column));
+      }
+      std::vector<std::vector<Value>> args_batch(tuples.size());
+      for (size_t row = 0; row < tuples.size(); ++row) {
+        args_batch[row].reserve(arg_columns.size());
+        for (std::vector<Value>& column : arg_columns) {
+          args_batch[row].push_back(std::move(column[row]));
+        }
+      }
+      return expr.runner->InvokeBatch(args_batch, ctx);
+    }
+    case BoundExprKind::kBinary:
+      if (IsLogicalOp(expr.binary_op)) break;  // per-tuple (short-circuit)
+      {
+        JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> left,
+                                EvalBatch(*expr.left, tuples, ctx));
+        JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> right,
+                                EvalBatch(*expr.right, tuples, ctx));
+        for (size_t row = 0; row < tuples.size(); ++row) {
+          Result<Value> v =
+              IsComparisonOp(expr.binary_op)
+                  ? EvalComparison(expr.binary_op, left[row], right[row])
+                  : EvalArithmetic(expr.binary_op, left[row], right[row]);
+          JAGUAR_RETURN_IF_ERROR(v.status());
+          out.push_back(std::move(*v));
+        }
+        return out;
+      }
+    default:
+      break;
+  }
+  // Leaves (literal/column), unary ops and logical ops evaluate per tuple —
+  // they cross no boundary, so batching buys nothing, and logical ops must
+  // keep their three-valued short-circuit evaluation order.
+  for (const Tuple& tuple : tuples) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Eval(expr, tuple, ctx));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<std::vector<char>> EvalPredicateBatch(const BoundExpr& expr,
+                                             const std::vector<Tuple>& tuples,
+                                             UdfContext* ctx) {
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> values,
+                          EvalBatch(expr, tuples, ctx));
+  std::vector<char> passes;
+  passes.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      passes.push_back(0);
+      continue;
+    }
+    if (v.type() != TypeId::kBool) {
+      return InvalidArgument("WHERE clause is not a boolean expression");
+    }
+    passes.push_back(v.AsBool() ? 1 : 0);
+  }
+  return passes;
+}
+
 }  // namespace exec
 }  // namespace jaguar

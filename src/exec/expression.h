@@ -75,6 +75,22 @@ Result<Value> Eval(const BoundExpr& expr, const Tuple& tuple, UdfContext* ctx);
 Result<bool> EvalPredicate(const BoundExpr& expr, const Tuple& tuple,
                            UdfContext* ctx);
 
+/// Evaluates `expr` over a batch of tuples, returning one value per tuple in
+/// order. Semantically identical to calling `Eval` per tuple — any error
+/// fails the whole batch — but UDF call nodes cross the execution boundary
+/// once per batch through `UdfRunner::InvokeBatch` instead of once per tuple
+/// (the Section 2.5 batching lever). Logical AND/OR fall back to per-tuple
+/// evaluation to preserve three-valued short-circuit behavior exactly
+/// (including *which* sub-expressions run).
+Result<std::vector<Value>> EvalBatch(const BoundExpr& expr,
+                                     const std::vector<Tuple>& tuples,
+                                     UdfContext* ctx);
+
+/// Batch counterpart of `EvalPredicate`: one pass/fail flag per tuple.
+Result<std::vector<char>> EvalPredicateBatch(const BoundExpr& expr,
+                                             const std::vector<Tuple>& tuples,
+                                             UdfContext* ctx);
+
 }  // namespace exec
 }  // namespace jaguar
 

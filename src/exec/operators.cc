@@ -1,5 +1,7 @@
 #include "exec/operators.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace jaguar {
@@ -15,6 +17,16 @@ obs::Counter* TuplesCounter(const char* op) {
 
 }  // namespace
 
+Status Operator::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    JAGUAR_ASSIGN_OR_RETURN(auto t, Next());
+    if (!t.has_value()) break;
+    out->Add(std::move(*t));
+  }
+  return Status::OK();
+}
+
 Result<std::optional<Tuple>> SeqScanOp::Next() {
   JAGUAR_ASSIGN_OR_RETURN(auto rec, iter_.Next());
   if (!rec.has_value()) return std::optional<Tuple>();
@@ -22,6 +34,19 @@ Result<std::optional<Tuple>> SeqScanOp::Next() {
   static obs::Counter* tuples = TuplesCounter("seqscan");
   tuples->Add();
   return std::make_optional(std::move(t));
+}
+
+Status SeqScanOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  static obs::Counter* tuples = TuplesCounter("seqscan");
+  while (!out->full()) {
+    JAGUAR_ASSIGN_OR_RETURN(auto rec, iter_.Next());
+    if (!rec.has_value()) break;
+    JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+    tuples->Add();
+    out->Add(std::move(t));
+  }
+  return Status::OK();
 }
 
 Result<std::optional<Tuple>> FilterOp::Next() {
@@ -35,6 +60,27 @@ Result<std::optional<Tuple>> FilterOp::Next() {
       return t;
     }
   }
+}
+
+Status FilterOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  static obs::Counter* tuples = TuplesCounter("filter");
+  TupleBatch input(out->capacity());
+  // Pull child batches until at least one tuple passes (or input ends), so a
+  // non-empty result is only withheld at true end of stream.
+  while (out->empty()) {
+    JAGUAR_RETURN_IF_ERROR(child_->NextBatch(&input));
+    if (input.empty()) break;
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<char> passes,
+                            EvalPredicateBatch(*predicate_, input.tuples(),
+                                               ctx_));
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (!passes[i]) continue;
+      tuples->Add();
+      out->Add(std::move(input[i]));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::optional<Tuple>> ProjectOp::Next() {
@@ -51,6 +97,32 @@ Result<std::optional<Tuple>> ProjectOp::Next() {
   return std::make_optional(Tuple(std::move(out)));
 }
 
+Status ProjectOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  TupleBatch input(out->capacity());
+  JAGUAR_RETURN_IF_ERROR(child_->NextBatch(&input));
+  if (input.empty()) return Status::OK();
+  // One column of results per output expression, then transpose into rows.
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(exprs_.size());
+  for (const BoundExprPtr& e : exprs_) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> column,
+                            EvalBatch(*e, input.tuples(), ctx_));
+    columns.push_back(std::move(column));
+  }
+  static obs::Counter* tuples = TuplesCounter("project");
+  for (size_t row = 0; row < input.size(); ++row) {
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (std::vector<Value>& column : columns) {
+      values.push_back(std::move(column[row]));
+    }
+    tuples->Add();
+    out->Add(Tuple(std::move(values)));
+  }
+  return Status::OK();
+}
+
 Result<std::optional<Tuple>> LimitOp::Next() {
   if (remaining_ <= 0) return std::optional<Tuple>();
   JAGUAR_ASSIGN_OR_RETURN(auto t, child_->Next());
@@ -60,6 +132,24 @@ Result<std::optional<Tuple>> LimitOp::Next() {
     tuples->Add();
   }
   return t;
+}
+
+Status LimitOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  if (remaining_ <= 0) return Status::OK();
+  // Pull at most `remaining_` tuples so upstream work past the limit is not
+  // computed merely to be discarded.
+  TupleBatch input(std::min<size_t>(out->capacity(),
+                                    static_cast<size_t>(remaining_)));
+  JAGUAR_RETURN_IF_ERROR(child_->NextBatch(&input));
+  static obs::Counter* tuples = TuplesCounter("limit");
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (remaining_ <= 0) break;
+    --remaining_;
+    tuples->Add();
+    out->Add(std::move(input[i]));
+  }
+  return Status::OK();
 }
 
 }  // namespace exec

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "exec/expression.h"
+#include "exec/tuple_batch.h"
 #include "storage/table_heap.h"
 #include "types/schema.h"
 #include "types/tuple.h"
@@ -25,6 +26,14 @@ class Operator {
 
   /// \return The next tuple, or nullopt at end of stream.
   virtual Result<std::optional<Tuple>> Next() = 0;
+
+  /// Vectorized pull: clears `out` and fills it with up to `out->capacity()`
+  /// tuples. An empty batch signals end of stream. The base implementation
+  /// loops over `Next()`, so every operator supports the batch protocol;
+  /// operators with a native batch path (scan/filter/project/limit) override
+  /// it to evaluate expressions — and invoke UDFs — per batch instead of per
+  /// tuple. Calls must not be interleaved with `Next()` on the same stream.
+  virtual Status NextBatch(TupleBatch* out);
 
   /// Output schema of this operator.
   virtual const Schema& schema() const = 0;
@@ -41,6 +50,7 @@ class SeqScanOp : public Operator {
         schema_(std::move(schema)) {}
 
   Result<std::optional<Tuple>> Next() override;
+  Status NextBatch(TupleBatch* out) override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -58,6 +68,7 @@ class FilterOp : public Operator {
         ctx_(ctx) {}
 
   Result<std::optional<Tuple>> Next() override;
+  Status NextBatch(TupleBatch* out) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:
@@ -77,6 +88,7 @@ class ProjectOp : public Operator {
         ctx_(ctx) {}
 
   Result<std::optional<Tuple>> Next() override;
+  Status NextBatch(TupleBatch* out) override;
   const Schema& schema() const override { return schema_; }
 
  private:
@@ -93,6 +105,7 @@ class LimitOp : public Operator {
       : child_(std::move(child)), remaining_(limit) {}
 
   Result<std::optional<Tuple>> Next() override;
+  Status NextBatch(TupleBatch* out) override;
   const Schema& schema() const override { return child_->schema(); }
 
  private:

@@ -1,0 +1,53 @@
+#ifndef JAGUAR_EXEC_TUPLE_BATCH_H_
+#define JAGUAR_EXEC_TUPLE_BATCH_H_
+
+/// \file tuple_batch.h
+/// A fixed-capacity batch of tuples — the unit of the vectorized execution
+/// path (Section 2.5's batching idea, MonetDB/X100-style). Operators fill a
+/// `TupleBatch` in `Operator::NextBatch`; an empty batch signals end of
+/// stream. The capacity is chosen by the query driver (engine option
+/// `batch_size`, default `kDefaultBatchSize`) and flows down the operator
+/// tree with the batch object itself.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace jaguar {
+namespace exec {
+
+/// Default number of tuples per batch (the engine option overrides it).
+inline constexpr size_t kDefaultBatchSize = 256;
+
+class TupleBatch {
+ public:
+  explicit TupleBatch(size_t capacity = kDefaultBatchSize)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    tuples_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  bool full() const { return tuples_.size() >= capacity_; }
+
+  void Add(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+  void Clear() { tuples_.clear(); }
+
+  Tuple& operator[](size_t i) { return tuples_[i]; }
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+
+  std::vector<Tuple>& tuples() { return tuples_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  size_t capacity_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace exec
+}  // namespace jaguar
+
+#endif  // JAGUAR_EXEC_TUPLE_BATCH_H_

@@ -187,7 +187,13 @@ ExecContext::ExecContext(Jvm* vm, const ClassLoader* loader,
       budget_(limits.instruction_budget > 0 ? limits.instruction_budget
                                             : kUnlimitedBudget),
       initial_budget_(budget_),
-      user_data_(user_data) {}
+      user_data_(user_data) {
+  // One ExecContext == one language-boundary crossing ("our JNIEnv"): the
+  // scalar runner builds N of these for N tuples, the batched runner one.
+  static obs::Counter* crossings =
+      obs::MetricsRegistry::Global()->GetCounter("jvm.boundary.crossings");
+  crossings->Add();
+}
 
 Result<ArrayObject*> ExecContext::NewByteArray(Slice data) {
   return heap_.NewByteArrayFrom(data);
@@ -214,16 +220,35 @@ Status ExecContext::EnterCall() {
 Result<int64_t> ExecContext::CallStatic(const std::string& cls_name,
                                         const std::string& method_name,
                                         const std::vector<int64_t>& args) {
+  JAGUAR_ASSIGN_OR_RETURN(ResolvedStatic target,
+                          ResolveStatic(cls_name, method_name));
+  return CallResolvedStatic(target, args);
+}
+
+Result<ExecContext::ResolvedStatic> ExecContext::ResolveStatic(
+    const std::string& cls_name, const std::string& method_name) const {
   JAGUAR_ASSIGN_OR_RETURN(const LoadedClass* cls, loader_->FindClass(cls_name));
   JAGUAR_ASSIGN_OR_RETURN(const VerifiedMethod* method,
                           cls->cls.FindMethod(method_name));
-  if (args.size() != method->sig.params.size()) {
+  return ResolvedStatic{cls, method};
+}
+
+Result<int64_t> ExecContext::CallResolvedStatic(
+    const ResolvedStatic& target, const std::vector<int64_t>& args) {
+  if (args.size() != target.method->sig.params.size()) {
     return InvalidArgument(StringPrintf(
-        "%s.%s expects %zu arguments, got %zu", cls_name.c_str(),
-        method_name.c_str(), method->sig.params.size(), args.size()));
+        "%s.%s expects %zu arguments, got %zu", target.cls->cls.name.c_str(),
+        target.method->name.c_str(), target.method->sig.params.size(),
+        args.size()));
   }
   ++vm_->stats_.invocations;
-  return CallResolved(*cls, *method, args.data());
+  return CallResolved(*target.cls, *target.method, args.data());
+}
+
+void ExecContext::ResetForNextItem() {
+  heap_.Reset();
+  budget_ = initial_budget_;
+  pending_error_ = Status::OK();
 }
 
 Result<int64_t> ExecContext::CallResolved(const LoadedClass& cls,

@@ -167,6 +167,28 @@ class ExecContext {
   Result<int64_t> CallStatic(const std::string& cls, const std::string& method,
                              const std::vector<int64_t>& args);
 
+  /// A static entry point resolved once and called many times — what the
+  /// batched runner hoists out of the per-tuple loop (Section 2.5).
+  struct ResolvedStatic {
+    const LoadedClass* cls = nullptr;
+    const VerifiedMethod* method = nullptr;
+  };
+
+  /// Resolves `cls.method` through this context's loader.
+  Result<ResolvedStatic> ResolveStatic(const std::string& cls,
+                                       const std::string& method) const;
+
+  /// `CallStatic` minus the name lookups: arity check, invocation count,
+  /// dispatch.
+  Result<int64_t> CallResolvedStatic(const ResolvedStatic& target,
+                                     const std::vector<int64_t>& args);
+
+  /// Recycles the context between items of one batched crossing: resets the
+  /// heap (dropping every live reference — callers must copy results out
+  /// first) and refills the instruction budget, so each item runs under the
+  /// same per-invocation quotas as a fresh ExecContext.
+  void ResetForNextItem();
+
   /// Internal: dispatches an already-resolved method (JIT or interpreter).
   Result<int64_t> CallResolved(const LoadedClass& cls,
                                const VerifiedMethod& method,

@@ -1,13 +1,74 @@
 #include "udf/isolated_udf_runner.h"
 
+#include <signal.h>
+
 #include "common/bytes.h"
 #include "common/string_util.h"
 #include "jvm/vm.h"
+#include "obs/metrics.h"
 #include "udf/jvm_udf_runner.h"
 
 namespace jaguar {
 
 namespace {
+
+/// Shared-memory request messages that carried more than one argument row —
+/// the direct count of Section 2.5 amortized crossings.
+obs::Counter* BatchMessages() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.batch_messages");
+  return c;
+}
+
+/// Bytes one argument row adds to a request payload (u32 arg count + each
+/// value's wire encoding).
+size_t ArgRowSerializedSize(const std::vector<Value>& args) {
+  size_t bytes = 4;
+  for (const Value& v : args) bytes += v.SerializedSize();
+  return bytes;
+}
+
+/// Greedy chunking: the last row index (exclusive) after `begin` such that
+/// the chunk's serialized request still fits the shared-memory segment.
+/// Always includes at least one row — a single oversized row fails at the
+/// channel with InvalidArgument, exactly as the scalar path always has.
+size_t BatchChunkEnd(const std::vector<std::vector<Value>>& batch,
+                     size_t begin, size_t header_bytes, size_t shm_capacity) {
+  // Slack for the count prefix and the channel's own framing.
+  constexpr size_t kSlack = 256;
+  const size_t budget =
+      shm_capacity > header_bytes + kSlack ? shm_capacity - header_bytes -
+                                                 kSlack
+                                           : 0;
+  size_t end = begin;
+  size_t used = 0;
+  while (end < batch.size()) {
+    const size_t row_bytes = ArgRowSerializedSize(batch[end]);
+    if (end > begin && used + row_bytes > budget) break;
+    used += row_bytes;
+    ++end;
+  }
+  return end;
+}
+
+/// Decodes a count-prefixed batch of result values, checking the count
+/// against what the request carried.
+Result<std::vector<Value>> DecodeResultBatch(Slice payload, size_t expected) {
+  BufferReader r(payload);
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
+  if (count != expected) {
+    return Corruption(StringPrintf(
+        "executor returned %u results for a batch of %zu",
+        static_cast<unsigned>(count), expected));
+  }
+  std::vector<Value> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(&r));
+    results.push_back(std::move(v));
+  }
+  return results;
+}
 
 // Callback wire format (child → parent payloads):
 //   op 0 (Callback):  u8 0 | i64 kind | i64 arg        reply: i64
@@ -93,27 +154,40 @@ ipc::RemoteExecutor::CallbackHandler MakeParentCallbackBridge(
   };
 }
 
-/// Runs inside the executor child for each request.
+/// Reads one argument row (`u32 nargs | values`) off a batch request.
+Result<std::vector<Value>> ReadArgRow(BufferReader* r) {
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r->ReadU32());
+  std::vector<Value> args;
+  args.reserve(nargs);
+  for (uint32_t i = 0; i < nargs; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(r));
+    args.push_back(std::move(v));
+  }
+  return args;
+}
+
+/// Runs inside the executor child for each request: a count-prefixed batch
+/// of argument rows, each applied with a *fresh* UdfContext (so the
+/// per-invocation callback quota means the same thing in both modes). One
+/// failing row fails the whole request — the parent fails the batch.
 Result<std::vector<uint8_t>> ChildHandleRequest(Slice request,
                                                 ipc::ShmChannel* channel) {
   BufferReader r(request);
   JAGUAR_ASSIGN_OR_RETURN(std::string impl_name, r.ReadString());
-  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r.ReadU32());
-  std::vector<Value> args;
-  args.reserve(nargs);
-  for (uint32_t i = 0; i < nargs; ++i) {
-    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(&r));
-    args.push_back(std::move(v));
-  }
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
   // Resolve in the child's (fork-inherited) registry.
   JAGUAR_ASSIGN_OR_RETURN(const NativeUdfEntry* entry,
                           NativeUdfRegistry::Global()->Lookup(impl_name));
   ForwardingCallbackHandler callbacks(channel);
-  UdfContext ctx(&callbacks);
-  Value out;
-  JAGUAR_RETURN_IF_ERROR(entry->fn(args, &ctx, &out));
   BufferWriter w;
-  out.WriteTo(&w);
+  BatchCodec::WriteCount(&w, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> args, ReadArgRow(&r));
+    UdfContext ctx(&callbacks);
+    Value out;
+    JAGUAR_RETURN_IF_ERROR(entry->fn(args, &ctx, &out));
+    out.WriteTo(&w);
+  }
   return w.Release();
 }
 
@@ -131,6 +205,7 @@ Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
   runner->impl_name_ = impl_name;
   runner->return_type_ = return_type;
   runner->arg_types_ = std::move(arg_types);
+  runner->shm_capacity_ = shm_capacity;
   JAGUAR_ASSIGN_OR_RETURN(
       runner->executor_,
       ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest));
@@ -138,24 +213,73 @@ Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
 }
 
 void IsolatedNativeRunner::set_ipc_timeout_seconds(unsigned seconds) {
-  executor_->channel()->set_timeout_seconds(static_cast<int>(seconds));
+  timeout_seconds_ = static_cast<int>(seconds);
+  if (executor_ != nullptr) {
+    executor_->channel()->set_timeout_seconds(timeout_seconds_);
+  }
+}
+
+Status IsolatedNativeRunner::EnsureExecutor() {
+  if (executor_ != nullptr) return Status::OK();
+  JAGUAR_ASSIGN_OR_RETURN(
+      executor_, ipc::RemoteExecutor::Spawn(shm_capacity_,
+                                            &ChildHandleRequest));
+  if (timeout_seconds_ != 0) {
+    executor_->channel()->set_timeout_seconds(timeout_seconds_);
+  }
+  return Status::OK();
+}
+
+void IsolatedNativeRunner::MarkExecutorDead() {
+  if (executor_ == nullptr) return;
+  // The child may be wedged rather than dead; make sure waitpid in
+  // Shutdown cannot hang.
+  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
+  executor_->Shutdown().ok();
+  executor_.reset();
 }
 
 Result<Value> IsolatedNativeRunner::DoInvoke(const std::vector<Value>& args,
                                              UdfContext* ctx) {
-  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(impl_name_, arg_types_, args));
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> results,
+                          DoInvokeBatch({args}, ctx));
+  return std::move(results[0]);
+}
 
-  BufferWriter w;
-  w.PutString(impl_name_);
-  w.PutU32(static_cast<uint32_t>(args.size()));
-  for (const Value& v : args) v.WriteTo(&w);
+Result<std::vector<Value>> IsolatedNativeRunner::DoInvokeBatch(
+    const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx) {
+  for (const std::vector<Value>& args : args_batch) {
+    JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(impl_name_, arg_types_, args));
+  }
+  JAGUAR_RETURN_IF_ERROR(EnsureExecutor());
 
-  JAGUAR_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> result,
-      executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx)));
-  BufferReader r((Slice(result)));
-  JAGUAR_ASSIGN_OR_RETURN(Value out, Value::ReadFrom(&r));
-  return out;
+  const size_t header_bytes = 4 + impl_name_.size() + 4;
+  std::vector<Value> results;
+  results.reserve(args_batch.size());
+  size_t begin = 0;
+  while (begin < args_batch.size()) {
+    const size_t end =
+        BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity_);
+    BufferWriter w;
+    w.PutString(impl_name_);
+    BatchCodec::WriteCount(&w, end - begin);
+    for (size_t row = begin; row < end; ++row) {
+      w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
+      for (const Value& v : args_batch[row]) v.WriteTo(&w);
+    }
+    if (end - begin > 1) BatchMessages()->Add();
+    Result<std::vector<uint8_t>> reply =
+        executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx));
+    if (!reply.ok()) {
+      if (reply.status().IsIoError()) MarkExecutorDead();
+      return reply.status();
+    }
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
+                            DecodeResultBatch(Slice(*reply), end - begin));
+    for (Value& v : chunk) results.push_back(std::move(v));
+    begin = end;
+  }
+  return results;
 }
 
 UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity) {
@@ -193,25 +317,15 @@ struct IsolatedVmState {
   jvm::SecurityManager security;
 };
 
-/// Runs one Design-4 request inside the executor child: unmarshal args into
-/// a fresh ExecContext, call the method, marshal the result. Callbacks flow
-/// UDF -> Jaguar.* native -> UdfContext -> ForwardingCallbackHandler -> shm
-/// channel -> server: the VM boundary *and* the process boundary.
-Result<std::vector<uint8_t>> ChildHandleVmRequest(
-    IsolatedVmState* state, Slice request, ipc::ShmChannel* channel) {
-  BufferReader r(request);
-  JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r.ReadU32());
-  std::vector<Value> args;
-  args.reserve(nargs);
-  for (uint32_t i = 0; i < nargs; ++i) {
-    JAGUAR_ASSIGN_OR_RETURN(Value v, Value::ReadFrom(&r));
-    args.push_back(std::move(v));
-  }
-
-  ForwardingCallbackHandler callbacks(channel);
-  UdfContext udf_ctx(&callbacks);
+/// Marshals one argument row into a fresh ExecContext, calls the method,
+/// and unmarshals the result. Callbacks flow UDF -> Jaguar.* native ->
+/// UdfContext -> ForwardingCallbackHandler -> shm channel -> server: the VM
+/// boundary *and* the process boundary.
+Result<Value> ChildRunVmItem(IsolatedVmState* state,
+                             const std::vector<Value>& args,
+                             UdfContext* udf_ctx) {
   jvm::ExecContext exec(&state->vm, state->loader.get(), &state->security,
-                        state->limits, &udf_ctx);
+                        state->limits, udf_ctx);
 
   std::vector<int64_t> slots;
   slots.reserve(args.size());
@@ -237,23 +351,36 @@ Result<std::vector<uint8_t>> ChildHandleVmRequest(
       int64_t raw,
       exec.CallStatic(state->class_name, state->method_name, slots));
 
-  Value out;
   switch (state->return_type) {
     case TypeId::kInt:
-      out = Value::Int(raw);
-      break;
+      return Value::Int(raw);
     case TypeId::kBool:
-      out = Value::Bool(raw != 0);
-      break;
+      return Value::Bool(raw != 0);
     case TypeId::kBytes:
-      out = Value::Bytes(jvm::ExecContext::ReadByteArray(
+      return Value::Bytes(jvm::ExecContext::ReadByteArray(
           reinterpret_cast<const jvm::ArrayObject*>(raw)));
-      break;
     default:
       return Internal("unexpected Design-4 UDF return type");
   }
+}
+
+/// Runs one Design-4 request (a count-prefixed batch of argument rows)
+/// inside the executor child. Each row gets a fresh UdfContext and
+/// ExecContext — per-invocation quotas and heap state are identical to the
+/// scalar protocol; only the process crossing is amortized.
+Result<std::vector<uint8_t>> ChildHandleVmRequest(
+    IsolatedVmState* state, Slice request, ipc::ShmChannel* channel) {
+  BufferReader r(request);
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
+  ForwardingCallbackHandler callbacks(channel);
   BufferWriter w;
-  out.WriteTo(&w);
+  BatchCodec::WriteCount(&w, count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> args, ReadArgRow(&r));
+    UdfContext udf_ctx(&callbacks);
+    JAGUAR_ASSIGN_OR_RETURN(Value out, ChildRunVmItem(state, args, &udf_ctx));
+    out.WriteTo(&w);
+  }
   return w.Release();
 }
 
@@ -288,28 +415,80 @@ Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
   auto runner = std::unique_ptr<IsolatedJvmRunner>(new IsolatedJvmRunner());
   runner->return_type_ = info.return_type;
   runner->arg_types_ = info.arg_types;
+  runner->shm_capacity_ = shm_capacity;
+  runner->handler_ = [state](Slice request, ipc::ShmChannel* channel) {
+    return ChildHandleVmRequest(state.get(), request, channel);
+  };
   JAGUAR_ASSIGN_OR_RETURN(
       runner->executor_,
-      ipc::RemoteExecutor::Spawn(
-          shm_capacity,
-          [state](Slice request, ipc::ShmChannel* channel) {
-            return ChildHandleVmRequest(state.get(), request, channel);
-          }));
+      ipc::RemoteExecutor::Spawn(shm_capacity, runner->handler_));
   return runner;
+}
+
+void IsolatedJvmRunner::set_ipc_timeout_seconds(unsigned seconds) {
+  timeout_seconds_ = static_cast<int>(seconds);
+  if (executor_ != nullptr) {
+    executor_->channel()->set_timeout_seconds(timeout_seconds_);
+  }
+}
+
+Status IsolatedJvmRunner::EnsureExecutor() {
+  if (executor_ != nullptr) return Status::OK();
+  JAGUAR_ASSIGN_OR_RETURN(
+      executor_, ipc::RemoteExecutor::Spawn(shm_capacity_, handler_));
+  if (timeout_seconds_ != 0) {
+    executor_->channel()->set_timeout_seconds(timeout_seconds_);
+  }
+  return Status::OK();
+}
+
+void IsolatedJvmRunner::MarkExecutorDead() {
+  if (executor_ == nullptr) return;
+  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
+  executor_->Shutdown().ok();
+  executor_.reset();
 }
 
 Result<Value> IsolatedJvmRunner::DoInvoke(const std::vector<Value>& args,
                                           UdfContext* ctx) {
-  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("isolated_jvm_udf", arg_types_, args));
-  BufferWriter w;
-  w.PutU32(static_cast<uint32_t>(args.size()));
-  for (const Value& v : args) v.WriteTo(&w);
-  JAGUAR_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> result,
-      executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx)));
-  BufferReader r((Slice(result)));
-  JAGUAR_ASSIGN_OR_RETURN(Value out, Value::ReadFrom(&r));
-  return out;
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> results,
+                          DoInvokeBatch({args}, ctx));
+  return std::move(results[0]);
+}
+
+Result<std::vector<Value>> IsolatedJvmRunner::DoInvokeBatch(
+    const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx) {
+  for (const std::vector<Value>& args : args_batch) {
+    JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("isolated_jvm_udf", arg_types_, args));
+  }
+  JAGUAR_RETURN_IF_ERROR(EnsureExecutor());
+
+  const size_t header_bytes = 4;
+  std::vector<Value> results;
+  results.reserve(args_batch.size());
+  size_t begin = 0;
+  while (begin < args_batch.size()) {
+    const size_t end =
+        BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity_);
+    BufferWriter w;
+    BatchCodec::WriteCount(&w, end - begin);
+    for (size_t row = begin; row < end; ++row) {
+      w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
+      for (const Value& v : args_batch[row]) v.WriteTo(&w);
+    }
+    if (end - begin > 1) BatchMessages()->Add();
+    Result<std::vector<uint8_t>> reply =
+        executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx));
+    if (!reply.ok()) {
+      if (reply.status().IsIoError()) MarkExecutorDead();
+      return reply.status();
+    }
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
+                            DecodeResultBatch(Slice(*reply), end - begin));
+    for (Value& v : chunk) results.push_back(std::move(v));
+    begin = end;
+  }
+  return results;
 }
 
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(

@@ -10,6 +10,14 @@
 /// callback requests until the result (or an error) comes back — the exact
 /// hand-off protocol of Section 4.1. The process-switch cost this design
 /// pays per crossing is what Figures 5 and 8 measure.
+///
+/// Request/response payloads are uniformly count-prefixed (`BatchCodec`): a
+/// scalar invocation is a batch of one, and `InvokeBatch` ships a whole
+/// argument batch in **one** semaphore round trip (chunked only when the
+/// serialized batch would overflow the shared-memory segment) — the Section
+/// 2.5 batching amortization. If the executor child dies mid-request
+/// (detected as an IoError on the channel), the whole batch fails cleanly
+/// and the runner forks a fresh executor on the next invocation.
 
 #include <memory>
 
@@ -33,24 +41,39 @@ class IsolatedNativeRunner : public UdfRunner {
 
   std::string design_label() const override { return "IC++"; }
 
-  /// The executor child's pid (tests assert liveness/cleanup).
-  pid_t child_pid() const { return executor_->child_pid(); }
+  /// The executor child's pid (tests assert liveness/cleanup), or -1 when
+  /// the executor died and has not been respawned yet.
+  pid_t child_pid() const {
+    return executor_ != nullptr ? executor_->child_pid() : -1;
+  }
 
   /// Receive timeout for the shared-memory channel, forwarded to
-  /// `ShmChannel::set_timeout_seconds`. Fault-injection tests shorten it so
-  /// a killed child fails the invocation quickly.
+  /// `ShmChannel::set_timeout_seconds` (and re-applied after a respawn).
+  /// Fault-injection tests shorten it so a killed child fails the
+  /// invocation quickly.
   void set_ipc_timeout_seconds(unsigned seconds);
 
  protected:
   Result<Value> DoInvoke(const std::vector<Value>& args,
                          UdfContext* ctx) override;
+  Result<std::vector<Value>> DoInvokeBatch(
+      const std::vector<std::vector<Value>>& args_batch,
+      UdfContext* ctx) override;
 
  private:
   IsolatedNativeRunner() = default;
 
+  /// Respawns the executor if the previous one was declared dead.
+  Status EnsureExecutor();
+  /// Kills + reaps the executor after a transport failure; the next
+  /// invocation respawns it.
+  void MarkExecutorDead();
+
   std::string impl_name_;
   TypeId return_type_ = TypeId::kInt;
   std::vector<TypeId> arg_types_;
+  size_t shm_capacity_ = 1 << 20;
+  int timeout_seconds_ = 0;
   std::unique_ptr<ipc::RemoteExecutor> executor_;
 };
 
@@ -72,17 +95,32 @@ class IsolatedJvmRunner : public UdfRunner {
 
   std::string design_label() const override { return "IJNI"; }
 
-  pid_t child_pid() const { return executor_->child_pid(); }
+  pid_t child_pid() const {
+    return executor_ != nullptr ? executor_->child_pid() : -1;
+  }
+
+  /// See IsolatedNativeRunner::set_ipc_timeout_seconds.
+  void set_ipc_timeout_seconds(unsigned seconds);
 
  protected:
   Result<Value> DoInvoke(const std::vector<Value>& args,
                          UdfContext* ctx) override;
+  Result<std::vector<Value>> DoInvokeBatch(
+      const std::vector<std::vector<Value>>& args_batch,
+      UdfContext* ctx) override;
 
  private:
   IsolatedJvmRunner() = default;
 
+  Status EnsureExecutor();
+  void MarkExecutorDead();
+
   TypeId return_type_ = TypeId::kInt;
   std::vector<TypeId> arg_types_;
+  size_t shm_capacity_ = 1 << 20;
+  int timeout_seconds_ = 0;
+  /// Kept so a dead executor can be respawned with the same child state.
+  ipc::RemoteExecutor::RequestHandler handler_;
   std::unique_ptr<ipc::RemoteExecutor> executor_;
 };
 

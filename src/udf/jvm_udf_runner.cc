@@ -117,15 +117,9 @@ Result<std::unique_ptr<JvmUdfRunner>> JvmUdfRunner::Create(
   return runner;
 }
 
-Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
-                                     UdfContext* ctx) {
-  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(method_name_, arg_types_, args));
-
-  // One ExecContext per invocation: fresh heap pool, fresh budget, the UDF
-  // context riding along for the Jaguar.* natives.
-  jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
-
-  // Marshal arguments (copies across the language boundary).
+Result<std::vector<int64_t>> JvmUdfRunner::MarshalArgs(
+    jvm::ExecContext* exec, const std::vector<Value>& args) {
+  // Copies across the language boundary (byte arrays into the VM heap).
   std::vector<int64_t> slots;
   slots.reserve(args.size());
   for (const Value& v : args) {
@@ -141,7 +135,7 @@ Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
         break;
       case TypeId::kBytes: {
         JAGUAR_ASSIGN_OR_RETURN(jvm::ArrayObject * arr,
-                                exec.NewByteArray(Slice(v.AsBytes())));
+                                exec->NewByteArray(Slice(v.AsBytes())));
         slots.push_back(reinterpret_cast<int64_t>(arr));
         break;
       }
@@ -149,11 +143,10 @@ Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
         return NotSupported("unsupported JJava UDF argument type");
     }
   }
+  return slots;
+}
 
-  JAGUAR_ASSIGN_OR_RETURN(int64_t raw,
-                          exec.CallStatic(class_name_, method_name_, slots));
-
-  // Marshal the result back out (the heap pool dies with `exec`).
+Result<Value> JvmUdfRunner::UnmarshalResult(int64_t raw) const {
   switch (return_type_) {
     case TypeId::kInt:
       return Value::Int(raw);
@@ -166,6 +159,45 @@ Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
     default:
       return Internal("unexpected JJava UDF return type");
   }
+}
+
+Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
+                                     UdfContext* ctx) {
+  JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(method_name_, arg_types_, args));
+
+  // One ExecContext per invocation: fresh heap pool, fresh budget, the UDF
+  // context riding along for the Jaguar.* natives.
+  jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<int64_t> slots,
+                          MarshalArgs(&exec, args));
+  JAGUAR_ASSIGN_OR_RETURN(int64_t raw,
+                          exec.CallStatic(class_name_, method_name_, slots));
+  // The heap pool dies with `exec`; UnmarshalResult copies bytes out first.
+  return UnmarshalResult(raw);
+}
+
+Result<std::vector<Value>> JvmUdfRunner::DoInvokeBatch(
+    const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx) {
+  for (const std::vector<Value>& args : args_batch) {
+    JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(method_name_, arg_types_, args));
+  }
+  // One boundary crossing for the whole batch: a single ExecContext and one
+  // name resolution, recycled between items (Section 2.5's amortization).
+  jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
+  JAGUAR_ASSIGN_OR_RETURN(jvm::ExecContext::ResolvedStatic target,
+                          exec.ResolveStatic(class_name_, method_name_));
+  std::vector<Value> results;
+  results.reserve(args_batch.size());
+  for (size_t row = 0; row < args_batch.size(); ++row) {
+    if (row > 0) exec.ResetForNextItem();
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<int64_t> slots,
+                            MarshalArgs(&exec, args_batch[row]));
+    JAGUAR_ASSIGN_OR_RETURN(int64_t raw, exec.CallResolvedStatic(target, slots));
+    // Copy the result out before the next item resets the heap pool.
+    JAGUAR_ASSIGN_OR_RETURN(Value out, UnmarshalResult(raw));
+    results.push_back(std::move(out));
+  }
+  return results;
 }
 
 UdfManager::RunnerFactory MakeJvmRunnerFactory(jvm::Jvm* vm,

@@ -46,9 +46,21 @@ class JvmUdfRunner : public UdfRunner {
  protected:
   Result<Value> DoInvoke(const std::vector<Value>& args,
                          UdfContext* ctx) override;
+  /// Crosses the language boundary **once** for the whole batch: a single
+  /// ExecContext, the entry point resolved once, and the context recycled
+  /// (`ResetForNextItem`) between items so per-invocation quotas still hold.
+  Result<std::vector<Value>> DoInvokeBatch(
+      const std::vector<std::vector<Value>>& args_batch,
+      UdfContext* ctx) override;
 
  private:
   JvmUdfRunner() = default;
+
+  /// Copies one argument row into `exec`'s heap as raw call slots.
+  Result<std::vector<int64_t>> MarshalArgs(jvm::ExecContext* exec,
+                                           const std::vector<Value>& args);
+  /// Copies a raw result slot back out of the VM (heap-independent Value).
+  Result<Value> UnmarshalResult(int64_t raw) const;
 
   jvm::Jvm* vm_ = nullptr;
   std::unique_ptr<jvm::ClassLoader> loader_;  ///< This UDF's namespace.

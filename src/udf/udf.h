@@ -10,10 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -98,6 +101,42 @@ class NativeUdfRegistry {
   std::map<std::string, NativeUdfEntry> entries_;
 };
 
+/// Size-bounded LRU memo of UDF results keyed by serialized arguments.
+/// UDFs are side-effect-free expressions (Section 4), so a deterministic
+/// invocation is a pure function of its arguments and repeated invocations
+/// can be short-circuited without crossing any boundary at all. The runner
+/// only memoizes invocations that made **zero callbacks** — a callback both
+/// makes the result potentially server-state-dependent and is an observable
+/// side effect the figures count. `UdfManager` owns one cache per cached
+/// runner (opt-in via the engine's `udf_memo_entries` option) and drops it
+/// whenever the runner cache is invalidated, so re-registering a UDF can
+/// never serve results of the old implementation.
+class UdfMemoCache {
+ public:
+  explicit UdfMemoCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Canonical lookup key: argument count + each value's wire encoding.
+  static std::string KeyFor(const std::vector<Value>& args);
+
+  /// \return The cached result, or null on a miss. A hit refreshes the
+  /// entry's LRU position. The pointer is valid until the next mutation.
+  const Value* Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// when the cache is at capacity.
+  void Insert(const std::string& key, const Value& result);
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, Value>;
+
+  size_t capacity_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
 /// One invocable UDF, bound to a concrete execution design. Implementations:
 /// `IntegratedNativeRunner` (Design 1), `IsolatedNativeRunner` (Design 2),
 /// `JvmUdfRunner` (Design 3), `SfiNativeRunner` (Section 2.3).
@@ -118,6 +157,26 @@ class UdfRunner {
   /// Applies the UDF to `args`. `ctx` carries the callback channel.
   Result<Value> Invoke(const std::vector<Value>& args, UdfContext* ctx);
 
+  /// Applies the UDF to every argument row of `args_batch`, returning one
+  /// result per row in order — semantically a loop over `Invoke`, and by
+  /// default implemented as one (`DoInvokeBatch` loops `DoInvoke`). Runners
+  /// with a real boundary override `DoInvokeBatch` to cross it **once per
+  /// batch**: the isolated designs ship the whole batch in one shm round
+  /// trip, the JagVM design enters the VM once and loops inside. Any row
+  /// failing fails the whole batch. Per-design `udf.<design>.invocations` /
+  /// `arg_bytes` / `result_bytes` still count per row (they measure UDF
+  /// applications); `udf.<design>.latency_ns` records one sample per batch,
+  /// and `udf.batch.*` counters record the batch entries themselves.
+  Result<std::vector<Value>> InvokeBatch(
+      const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx);
+
+  /// Attaches (or detaches, with null) a result memo consulted by `Invoke`
+  /// and `InvokeBatch` before crossing into the UDF. Memo hits bypass
+  /// `DoInvoke` entirely — including the per-design counters — and count
+  /// under `udf.memo.hits`. The caller owns the cache and must keep it
+  /// alive as long as the runner may be invoked.
+  void set_memo_cache(UdfMemoCache* memo) { memo_ = memo; }
+
   /// \return The label used in the paper's graphs ("C++", "IC++", "JNI"...).
   virtual std::string design_label() const = 0;
 
@@ -132,10 +191,22 @@ class UdfRunner {
   virtual Result<Value> DoInvoke(const std::vector<Value>& args,
                                  UdfContext* ctx) = 0;
 
+  /// Design-specific batch invocation; the default loops `DoInvoke` (correct
+  /// for in-process designs, which have no crossing to amortize). Called
+  /// only through `InvokeBatch`, never with an empty batch.
+  virtual Result<std::vector<Value>> DoInvokeBatch(
+      const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx);
+
  private:
   /// Resolves the cached metric pointers on first use (design_label() is
   /// virtual, so this cannot run in the constructor).
   void EnsureMetrics();
+
+  /// `DoInvoke` wrapped in the per-design metrics (no memo consultation).
+  Result<Value> InvokeCounted(const std::vector<Value>& args, UdfContext* ctx);
+  /// `DoInvokeBatch` wrapped in the per-design + batch metrics.
+  Result<std::vector<Value>> InvokeBatchCounted(
+      const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx);
 
   std::once_flag metrics_once_;
   obs::Counter* invocations_ = nullptr;
@@ -143,6 +214,7 @@ class UdfRunner {
   obs::Counter* arg_bytes_ = nullptr;
   obs::Counter* result_bytes_ = nullptr;
   obs::Histogram* latency_ns_ = nullptr;
+  UdfMemoCache* memo_ = nullptr;  ///< Owned by the resolver; may be null.
 };
 
 /// Design 1: the UDF is a function pointer inside the server process. Fastest

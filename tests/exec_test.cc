@@ -183,6 +183,90 @@ TEST_F(OperatorTest, LimitZeroAndOverLimit) {
   }
 }
 
+TEST_F(OperatorTest, NextBatchMatchesScalarAcrossBatchSizes) {
+  // The batch path must yield exactly the scalar rows, in order, for batch
+  // sizes of 1, a non-divisor of both the table and intermediate
+  // cardinalities, and far beyond the row count.
+  auto build = [&]() -> OperatorPtr {
+    auto scan =
+        std::make_unique<SeqScanOp>(engine_.get(), first_page_, schema_);
+    auto filter = std::make_unique<FilterOp>(std::move(scan),
+                                             BindText("id % 2 = 0"), nullptr);
+    std::vector<BoundExprPtr> exprs;
+    exprs.push_back(BindText("id * 100"));
+    exprs.push_back(BindText("name"));
+    Schema out({{"x", TypeId::kInt}, {"name", TypeId::kString}});
+    return std::make_unique<ProjectOp>(std::move(filter), std::move(exprs),
+                                       out, nullptr);
+  };
+
+  std::vector<std::string> scalar_rows;
+  {
+    OperatorPtr op = build();
+    while (true) {
+      auto t = op->Next().value();
+      if (!t.has_value()) break;
+      scalar_rows.push_back(Slice(t->Serialize()).ToString());
+    }
+  }
+  ASSERT_EQ(scalar_rows.size(), 5u);
+
+  for (size_t batch_size : {size_t{1}, size_t{3}, size_t{256}}) {
+    OperatorPtr op = build();
+    std::vector<std::string> batch_rows;
+    TupleBatch batch(batch_size);
+    while (true) {
+      ASSERT_TRUE(op->NextBatch(&batch).ok());
+      if (batch.empty()) break;
+      EXPECT_LE(batch.size(), batch_size);
+      for (const Tuple& t : batch.tuples()) {
+        batch_rows.push_back(Slice(t.Serialize()).ToString());
+      }
+    }
+    EXPECT_EQ(batch_rows, scalar_rows) << "batch size " << batch_size;
+    // Exhausted operators keep returning empty batches.
+    ASSERT_TRUE(op->NextBatch(&batch).ok());
+    EXPECT_TRUE(batch.empty());
+  }
+}
+
+TEST_F(OperatorTest, NextBatchRespectsLimitAndTail) {
+  // LIMIT 7 over 10 rows with batch size 4: batches of 4, 3 (clamped at the
+  // limit), then end of stream — the non-divisor tail case.
+  auto scan = std::make_unique<SeqScanOp>(engine_.get(), first_page_, schema_);
+  LimitOp limit(std::move(scan), 7);
+  TupleBatch batch(4);
+  std::vector<size_t> sizes;
+  int64_t next_id = 0;
+  while (true) {
+    ASSERT_TRUE(limit.NextBatch(&batch).ok());
+    if (batch.empty()) break;
+    sizes.push_back(batch.size());
+    for (const Tuple& t : batch.tuples()) {
+      EXPECT_EQ(t.value(0).AsInt(), next_id++);
+    }
+  }
+  EXPECT_EQ(sizes, (std::vector<size_t>{4, 3}));
+  EXPECT_EQ(next_id, 7);
+}
+
+TEST_F(OperatorTest, NextBatchErrorPropagates) {
+  auto scan = std::make_unique<SeqScanOp>(engine_.get(), first_page_, schema_);
+  auto filter = std::make_unique<FilterOp>(
+      std::move(scan), BindText("1 / (id - 5) > 0"), nullptr);
+  TupleBatch batch(4);
+  Status error;
+  while (true) {
+    Status s = filter->NextBatch(&batch);
+    if (!s.ok()) {
+      error = s;
+      break;
+    }
+    if (batch.empty()) break;
+  }
+  EXPECT_TRUE(error.IsRuntimeError());
+}
+
 TEST_F(OperatorTest, FilterErrorPropagates) {
   auto scan = std::make_unique<SeqScanOp>(engine_.get(), first_page_, schema_);
   // 1 / (id - 5): division by zero on row 5 surfaces as RuntimeError.

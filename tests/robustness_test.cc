@@ -447,6 +447,65 @@ TEST(IsolatedRunnerFaultTest, KilledChildFailsCleanlyAndIsObservable) {
   EXPECT_EQ(ok->type(), TypeId::kInt);
 }
 
+/// Parent-side callback handler that SIGKILLs the executor child from
+/// *inside* a batched crossing — the worst possible moment.
+class ChildKillingHandler : public UdfCallbackHandler {
+ public:
+  explicit ChildKillingHandler(pid_t victim) : victim_(victim) {}
+  Result<int64_t> Callback(int64_t, int64_t arg) override {
+    kill(victim_, SIGKILL);
+    return arg;
+  }
+  Result<std::vector<uint8_t>> FetchBytes(int64_t, uint64_t,
+                                          uint64_t) override {
+    return Internal("unexpected fetch");
+  }
+
+ private:
+  pid_t victim_;
+};
+
+TEST(IsolatedRunnerFaultTest, KilledMidBatchFailsWholeBatchAndRespawns) {
+  // SIGKILL the executor while it is halfway through a batch (triggered by
+  // the first row's callback). The whole batch must fail with one clean
+  // error — no hang, no partial results — and the *same* runner must
+  // transparently respawn a fresh executor on the next batch.
+  RegisterGenericUdfs();
+  auto runner = IsolatedNativeRunner::Spawn(
+                    "generic_udf", TypeId::kInt,
+                    {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt})
+                    .value();
+  runner->set_ipc_timeout_seconds(1);
+  const pid_t doomed = runner->child_pid();
+  ASSERT_GT(doomed, 0);
+
+  // Row 0 makes one callback (which kills the child); rows 1-3 never run.
+  auto row = [](int64_t callbacks) {
+    return std::vector<Value>{Value::Bytes(std::vector<uint8_t>(8, 1)),
+                              Value::Int(2), Value::Int(2),
+                              Value::Int(callbacks)};
+  };
+  std::vector<std::vector<Value>> batch = {row(1), row(0), row(0), row(0)};
+
+  ChildKillingHandler killer(doomed);
+  UdfContext ctx(&killer);
+  Result<std::vector<Value>> dead = runner->InvokeBatch(batch, &ctx);
+  EXPECT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsIoError()) << dead.status();
+  // The corpse was reaped; the runner knows its executor is gone.
+  EXPECT_EQ(runner->child_pid(), -1);
+
+  // Next batch: a fresh executor is forked automatically and the full batch
+  // completes.
+  std::vector<std::vector<Value>> clean = {row(0), row(0), row(0), row(0)};
+  UdfContext ctx2(nullptr);
+  Result<std::vector<Value>> revived = runner->InvokeBatch(clean, &ctx2);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_EQ(revived->size(), clean.size());
+  EXPECT_GT(runner->child_pid(), 0);
+  EXPECT_NE(runner->child_pid(), doomed);
+}
+
 TEST(VmEdgeCaseTest, ZeroLengthArraysEverywhere) {
   jvm::Jvm vm;
   auto cf = jvm::Assemble(R"(
