@@ -11,6 +11,8 @@
 //  * For the largest bytearray, JNI is marginally worse than IC++ (cost of
 //    mapping large byte arrays into the VM).
 
+#include <thread>
+
 #include "bench/harness.h"
 
 namespace jaguar {
@@ -99,6 +101,34 @@ int Run() {
     PrintSeriesRow(points[p].size, batched_cost);
   }
 
+  // Parallel counterpart (beyond the paper): the batched series with 4
+  // morsel-driven workers, each isolated-design worker crossing through its
+  // own pooled executor process.
+  const size_t workers = 4;
+  const unsigned cores = std::thread::hardware_concurrency();
+  DatabaseOptions parallel_options = batched_options;
+  parallel_options.num_workers = workers;
+  auto parallel_env = BenchEnv::Create(PaperRelations(), card,
+                                       parallel_options);
+  std::printf("\nBatched + %zu workers (executor pool, host has %u cores):\n",
+              workers, cores);
+  PrintSeriesHeader("array bytes", {"IC++", "IJNI"});
+  // [point][0]=IC++, [1]=IJNI: batched 1-worker vs batched 4-worker times.
+  std::vector<std::vector<double>> pool_serial(points.size());
+  std::vector<std::vector<double>> pool_parallel(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    std::vector<double> row;
+    for (const char* fn : {"g_icpp", "g_ijni"}) {
+      pool_serial[p].push_back(
+          batched_env->TimeGeneric(fn, points[p].rel, card, 0, 0, 0, repeats));
+      pool_parallel[p].push_back(
+          parallel_env->TimeGeneric(fn, points[p].rel, card, 0, 0, 0,
+                                    repeats));
+      row.push_back(pool_parallel[p].back());
+    }
+    PrintSeriesRow(points[p].size, row);
+  }
+
   std::printf("\nShape checks (vs the paper):\n");
   bool ok = true;
   // Batching must cut boundary crossings by at least 2x for the designs
@@ -132,6 +162,26 @@ int Run() {
                                 gap_small * 1e3, gap_large * 1e3));
   ok &= ShapeCheck(cost[0][2] < 0.5,
                    "10,000 JNI invocations cost only marginal absolute time");
+  // Scaling shape: with an executor pool, 4 workers must at least double the
+  // batched throughput of the isolated designs on the largest arrays (where
+  // there is real serialization + crossing work to spread). Unachievable on
+  // small hosts, so skipped there.
+  if (cores >= workers) {
+    ok &= ShapeCheck(
+        pool_serial[2][0] >= 2.0 * pool_parallel[2][0],
+        StringPrintf("IC++ batched, 4 workers >= 2x 1 worker (%.1fms -> "
+                     "%.1fms)",
+                     pool_serial[2][0] * 1e3, pool_parallel[2][0] * 1e3));
+    ok &= ShapeCheck(
+        pool_serial[2][1] >= 2.0 * pool_parallel[2][1],
+        StringPrintf("IJNI batched, 4 workers >= 2x 1 worker (%.1fms -> "
+                     "%.1fms)",
+                     pool_serial[2][1] * 1e3, pool_parallel[2][1] * 1e3));
+  } else {
+    std::printf("  [SKIP] pool scaling checks need >= %zu cores (host has "
+                "%u)\n",
+                workers, cores);
+  }
   return ok ? 0 : 1;
 }
 

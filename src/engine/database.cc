@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "exec/expression.h"
 #include "exec/operators.h"
+#include "exec/parallel.h"
 #include "sql/parser.h"
 #include "udf/builtins.h"
 #include "udf/isolated_udf_runner.h"
@@ -122,14 +123,18 @@ Result<std::unique_ptr<Database>> Database::Open(
   limits.heap_quota_bytes = options.udf_heap_quota_bytes;
   db->udf_manager_->SetRunnerFactory(
       UdfLanguage::kJJava, MakeJvmRunnerFactory(db->vm_.get(), limits));
+  // Isolated designs get one executor process per parallel worker, so the
+  // morsel workers never serialize on a single child.
+  const size_t pool_size = std::max<size_t>(1, options.num_workers);
   db->udf_manager_->SetRunnerFactory(
       UdfLanguage::kNativeIsolated,
-      MakeIsolatedRunnerFactory(options.isolated_shm_bytes));
+      MakeIsolatedRunnerFactory(options.isolated_shm_bytes, pool_size));
   db->udf_manager_->SetRunnerFactory(UdfLanguage::kNativeSfi,
                                      MakeSfiRunnerFactory());
   db->udf_manager_->SetRunnerFactory(
       UdfLanguage::kJJavaIsolated,
-      MakeIsolatedJvmRunnerFactory(limits, options.isolated_shm_bytes));
+      MakeIsolatedJvmRunnerFactory(limits, options.isolated_shm_bytes,
+                                   pool_size));
 
   db->lobs_ = std::make_unique<LobStore>(db->storage_.get(), db->catalog_.get());
   JAGUAR_RETURN_IF_ERROR(db->lobs_->Init());
@@ -436,17 +441,17 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
 
-  // Plan: SeqScan -> [Filter] -> Project -> [Limit].
+  // Plan: SeqScan -> [Filter] -> Project -> [Limit]. The predicate is bound
+  // here but only wrapped into a FilterOp on the serial path — the parallel
+  // scan evaluates it per worker against the shared expression tree.
   exec::OperatorPtr op = std::make_unique<exec::SeqScanOp>(
       storage_.get(), table->first_page, table->schema);
 
+  exec::BoundExprPtr predicate;
   if (sel.where != nullptr) {
     JAGUAR_ASSIGN_OR_RETURN(
-        exec::BoundExprPtr predicate,
-        exec::Bind(*sel.where, table->schema, sel.table, sel.table_alias,
-                   udf_manager_.get()));
-    op = std::make_unique<exec::FilterOp>(std::move(op), std::move(predicate),
-                                          &ctx);
+        predicate, exec::Bind(*sel.where, table->schema, sel.table,
+                              sel.table_alias, udf_manager_.get()));
   }
 
   std::vector<exec::BoundExprPtr> out_exprs;
@@ -486,6 +491,29 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
   QueryResult result;
   result.schema = out_schema;
   if (order_key == nullptr) {
+    // Morsel-driven parallel scan: order-insensitive vectorized plans only
+    // (ORDER BY sorts serially anyway; LIMIT would make workers race for
+    // the cutoff). The merged result is in serial scan order regardless.
+    const bool parallel = options_.num_workers > 1 &&
+                          options_.vectorized_execution && sel.limit < 0;
+    if (parallel) {
+      exec::ParallelScanSpec pspec;
+      pspec.engine = storage_.get();
+      pspec.first_page = table->first_page;
+      pspec.predicate = predicate.get();
+      pspec.out_exprs = &out_exprs;
+      pspec.batch_size = options_.batch_size;
+      pspec.num_workers = options_.num_workers;
+      pspec.callback_handler = this;
+      pspec.callback_quota = options_.udf_callback_quota;
+      JAGUAR_ASSIGN_OR_RETURN(result.rows, exec::RunParallelScan(pspec));
+      result.rows_affected = result.rows.size();
+      return result;
+    }
+    if (predicate != nullptr) {
+      op = std::make_unique<exec::FilterOp>(std::move(op),
+                                            std::move(predicate), &ctx);
+    }
     op = std::make_unique<exec::ProjectOp>(std::move(op), std::move(out_exprs),
                                            out_schema, &ctx);
     if (sel.limit >= 0) {
@@ -506,6 +534,10 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
       }
     }
   } else {
+    if (predicate != nullptr) {
+      op = std::make_unique<exec::FilterOp>(std::move(op),
+                                            std::move(predicate), &ctx);
+    }
     std::vector<std::pair<Value, Tuple>> keyed;
     if (options_.vectorized_execution) {
       // Materialize via the batch path: order key and output expressions are

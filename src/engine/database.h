@@ -16,6 +16,7 @@
 ///               "WHERE S.type = 'tech' AND InvestVal(S.history) > 5");
 /// ```
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,11 @@ struct DatabaseOptions {
   /// each runner; 0 = disabled. Only deterministic, callback-free
   /// invocations are memoized, and re-registration drops the memo.
   size_t udf_memo_entries = 0;
+  /// Morsel-driven intra-query parallelism: worker threads per SELECT scan
+  /// (1 = serial). Requires `vectorized_execution`; plans with ORDER BY,
+  /// LIMIT or aggregates fall back to serial. Isolated UDF designs get an
+  /// executor pool of this size (one child process per worker).
+  size_t num_workers = 1;
 };
 
 /// Server-side large-object store: the target of UDF handle callbacks
@@ -123,7 +129,7 @@ class Database : public UdfCallbackHandler {
                                           uint64_t len) override;
 
   /// Total callbacks served since open (calibration/visibility).
-  uint64_t callbacks_served() const { return callbacks_served_; }
+  uint64_t callbacks_served() const { return callbacks_served_.load(); }
 
   Catalog* catalog() { return catalog_.get(); }
   StorageEngine* storage() { return storage_.get(); }
@@ -155,7 +161,8 @@ class Database : public UdfCallbackHandler {
   std::unique_ptr<jvm::Jvm> vm_;
   std::unique_ptr<UdfManager> udf_manager_;
   std::unique_ptr<LobStore> lobs_;
-  uint64_t callbacks_served_ = 0;
+  /// Atomic: parallel scan workers serve callbacks concurrently.
+  std::atomic<uint64_t> callbacks_served_{0};
 };
 
 }  // namespace jaguar

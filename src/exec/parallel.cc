@@ -1,0 +1,169 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "storage/table_heap.h"
+
+namespace jaguar {
+namespace exec {
+
+namespace {
+
+struct ParallelMetrics {
+  obs::Counter* queries;
+  obs::Counter* workers;
+  obs::Counter* morsels;
+  obs::Counter* tuples;
+};
+
+ParallelMetrics* Metrics() {
+  static ParallelMetrics* m = [] {
+    obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+    return new ParallelMetrics{
+        reg->GetCounter("exec.parallel.queries"),
+        reg->GetCounter("exec.parallel.workers"),
+        reg->GetCounter("exec.parallel.morsels"),
+        reg->GetCounter("exec.parallel.tuples"),
+    };
+  }();
+  return m;
+}
+
+/// Filters + projects one batch of scanned tuples, appending the projected
+/// rows to `out`. Mirrors FilterOp/ProjectOp::NextBatch semantics (UDFs
+/// cross once per batch; any row error fails the batch).
+Status ProcessBatch(const ParallelScanSpec& spec, std::vector<Tuple>* batch,
+                    UdfContext* ctx, std::vector<Tuple>* out) {
+  if (batch->empty()) return Status::OK();
+  std::vector<Tuple> survivors;
+  if (spec.predicate != nullptr) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<char> passes,
+                            EvalPredicateBatch(*spec.predicate, *batch, ctx));
+    for (size_t i = 0; i < batch->size(); ++i) {
+      if (passes[i]) survivors.push_back(std::move((*batch)[i]));
+    }
+  } else {
+    survivors = std::move(*batch);
+  }
+  batch->clear();
+  if (survivors.empty()) return Status::OK();
+
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(spec.out_exprs->size());
+  for (const BoundExprPtr& e : *spec.out_exprs) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> column,
+                            EvalBatch(*e, survivors, ctx));
+    columns.push_back(std::move(column));
+  }
+  for (size_t row = 0; row < survivors.size(); ++row) {
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (std::vector<Value>& column : columns) {
+      values.push_back(std::move(column[row]));
+    }
+    out->push_back(Tuple(std::move(values)));
+  }
+  return Status::OK();
+}
+
+/// Scans one morsel (a run of heap pages) through filter+project into
+/// `out`, batch-at-a-time.
+Status RunMorsel(const ParallelScanSpec& spec, TableHeap* heap,
+                 const std::vector<PageId>& pages, size_t page_begin,
+                 size_t page_end, UdfContext* ctx, std::vector<Tuple>* out) {
+  std::vector<Tuple> batch;
+  batch.reserve(spec.batch_size);
+  for (size_t p = page_begin; p < page_end; ++p) {
+    TableHeap::Iterator it = heap->ScanPage(pages[p]);
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+      if (!rec.has_value()) break;
+      JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+      batch.push_back(std::move(t));
+      if (batch.size() >= spec.batch_size) {
+        JAGUAR_RETURN_IF_ERROR(ProcessBatch(spec, &batch, ctx, out));
+      }
+    }
+  }
+  return ProcessBatch(spec, &batch, ctx, out);
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
+  if (spec.engine == nullptr || spec.out_exprs == nullptr) {
+    return InvalidArgument("parallel scan spec is missing engine or exprs");
+  }
+  const size_t morsel_pages = spec.morsel_pages > 0 ? spec.morsel_pages : 1;
+  const size_t batch_cap = spec.batch_size > 0 ? spec.batch_size : 1;
+
+  TableHeap heap(spec.engine, spec.first_page);
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<PageId> pages, heap.ListPages());
+  const size_t num_morsels = (pages.size() + morsel_pages - 1) / morsel_pages;
+  const size_t num_workers =
+      std::max<size_t>(1, std::min(spec.num_workers,
+                                   std::max<size_t>(1, num_morsels)));
+
+  Metrics()->queries->Add();
+  Metrics()->workers->Add(num_workers);
+  Metrics()->morsels->Add(num_morsels);
+
+  // One result slot per morsel: merging in morsel index order reproduces
+  // the serial scan order exactly, whichever worker ran which morsel.
+  std::vector<std::vector<Tuple>> morsel_results(num_morsels);
+  std::atomic<size_t> dispenser{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&] {
+    // Per-worker cursor and callback context; everything else the worker
+    // touches (buffer pool, runners, metrics) is shared and thread-safe.
+    TableHeap worker_heap(spec.engine, spec.first_page);
+    UdfContext ctx(spec.callback_handler);
+    ctx.set_callback_quota(spec.callback_quota);
+    ParallelScanSpec local = spec;
+    local.batch_size = batch_cap;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t m = dispenser.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) break;
+      const size_t page_begin = m * morsel_pages;
+      const size_t page_end = std::min(pages.size(), page_begin + morsel_pages);
+      Status s = RunMorsel(local, &worker_heap, pages, page_begin, page_end,
+                           &ctx, &morsel_results[m]);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = std::move(s);
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  if (num_workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  JAGUAR_RETURN_IF_ERROR(first_error);
+
+  std::vector<Tuple> rows;
+  size_t total = 0;
+  for (const std::vector<Tuple>& chunk : morsel_results) total += chunk.size();
+  rows.reserve(total);
+  for (std::vector<Tuple>& chunk : morsel_results) {
+    for (Tuple& t : chunk) rows.push_back(std::move(t));
+  }
+  Metrics()->tuples->Add(rows.size());
+  return rows;
+}
+
+}  // namespace exec
+}  // namespace jaguar

@@ -1,0 +1,67 @@
+#ifndef JAGUAR_EXEC_PARALLEL_H_
+#define JAGUAR_EXEC_PARALLEL_H_
+
+/// \file parallel.h
+/// Morsel-driven intra-query parallelism for scan→filter→project plans.
+///
+/// The table heap's page chain is split into fixed-size *morsels* (runs of
+/// consecutive pages); `num_workers` threads pull morsel indices from a
+/// shared atomic dispenser and push each morsel's tuples through their own
+/// filter/project evaluation — batch-at-a-time, so UDF calls cross their
+/// design's boundary once per batch exactly as in the serial vectorized
+/// path. Per-morsel outputs are merged in morsel order, so the result is
+/// byte-identical to the serial scan.
+///
+/// Shared state touched by workers (buffer pool, UDF runners + memo,
+/// metrics, the JagVM) is thread-safe; each worker gets its own TableHeap
+/// cursor and UdfContext (the callback quota applies per worker — contexts
+/// are per-invocation state). Plans with ORDER BY, LIMIT or aggregates fall
+/// back to serial execution in the engine.
+///
+/// Metrics:
+///   exec.parallel.queries   parallel scans run
+///   exec.parallel.workers   worker threads launched (sums over queries)
+///   exec.parallel.morsels   morsels dispensed
+///   exec.parallel.tuples    tuples produced by parallel scans
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expression.h"
+#include "storage/storage_engine.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "udf/udf.h"
+
+namespace jaguar {
+namespace exec {
+
+struct ParallelScanSpec {
+  StorageEngine* engine = nullptr;
+  PageId first_page = kInvalidPageId;
+  /// Predicate over the input schema; null = no filter.
+  const BoundExpr* predicate = nullptr;
+  /// Output expressions over the input schema (the projection).
+  const std::vector<BoundExprPtr>* out_exprs = nullptr;
+  /// Tuples per evaluation batch (the vectorized-execution batch size).
+  size_t batch_size = 256;
+  /// Worker threads; must be >= 1 (1 degenerates to a serial scan).
+  size_t num_workers = 2;
+  /// Heap pages per morsel. Small enough to balance skewed filters, large
+  /// enough that the dispenser is not contended.
+  size_t morsel_pages = 4;
+  /// Callback target for UDFs (each worker wraps it in its own UdfContext).
+  UdfCallbackHandler* callback_handler = nullptr;
+  /// Per-context callback quota (0 = unlimited).
+  uint64_t callback_quota = 0;
+};
+
+/// Runs the parallel scan and returns the projected rows in serial scan
+/// order. The first worker error cancels the query and is returned.
+Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec);
+
+}  // namespace exec
+}  // namespace jaguar
+
+#endif  // JAGUAR_EXEC_PARALLEL_H_

@@ -79,8 +79,24 @@ Status RemoteExecutor::Shutdown() {
 
 Result<std::vector<uint8_t>> RemoteExecutor::Execute(
     Slice request, const CallbackHandler& on_callback) {
+  JAGUAR_RETURN_IF_ERROR(BeginExecute(request));
+  return FinishExecute(on_callback);
+}
+
+Status RemoteExecutor::BeginExecute(Slice request) {
   if (child_pid_ < 0) return Internal("remote executor already shut down");
+  if (in_flight_) {
+    return Internal("remote executor already has a request in flight");
+  }
   JAGUAR_RETURN_IF_ERROR(channel_->SendToChild(MsgType::kRequest, request));
+  in_flight_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RemoteExecutor::FinishExecute(
+    const CallbackHandler& on_callback) {
+  if (!in_flight_) return Internal("no request in flight");
+  in_flight_ = false;
   while (true) {
     JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveInParent());
     switch (msg.first) {

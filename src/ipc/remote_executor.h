@@ -58,9 +58,24 @@ class RemoteExecutor {
   RemoteExecutor& operator=(const RemoteExecutor&) = delete;
 
   /// Parent side: executes one request, servicing callbacks until the result
-  /// arrives.
+  /// arrives. Equivalent to BeginExecute + FinishExecute.
   Result<std::vector<uint8_t>> Execute(Slice request,
                                        const CallbackHandler& on_callback);
+
+  /// Parent side, pipelined form: ships the request to the child and returns
+  /// immediately, leaving it in flight. The caller overlaps useful work —
+  /// serializing the *next* request — with the child's execution, then calls
+  /// FinishExecute to collect the result. At most one request may be in
+  /// flight per executor (the channel has a single message slot per
+  /// direction); a second BeginExecute before FinishExecute is an error.
+  Status BeginExecute(Slice request);
+
+  /// Parent side: services callbacks for the in-flight request until its
+  /// result (or error) arrives. Must follow a successful BeginExecute.
+  Result<std::vector<uint8_t>> FinishExecute(const CallbackHandler& on_callback);
+
+  /// True between a successful BeginExecute and its FinishExecute.
+  bool in_flight() const { return in_flight_; }
 
   /// Asks the child to exit and reaps it. Called by the destructor too.
   Status Shutdown();
@@ -73,6 +88,7 @@ class RemoteExecutor {
 
   std::unique_ptr<ShmChannel> channel_;
   pid_t child_pid_ = -1;
+  bool in_flight_ = false;
 };
 
 }  // namespace ipc

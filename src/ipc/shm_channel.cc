@@ -72,16 +72,37 @@ Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
   static obs::Histogram* wait_ns =
       obs::MetricsRegistry::Global()->GetHistogram("ipc.shm.wait_ns");
   obs::Timer wait_timer(wait_ns);
-  struct timespec deadline;
-  ::clock_gettime(CLOCK_REALTIME, &deadline);
-  deadline.tv_sec += timeout_seconds_;
-  while (::sem_timedwait(sem, &deadline) != 0) {
-    if (errno == EINTR) continue;
-    if (errno == ETIMEDOUT) {
+  // The overall timeout is measured on CLOCK_MONOTONIC, but sem_timedwait
+  // only takes CLOCK_REALTIME deadlines — which jump under clock adjustment,
+  // turning one long wait into "never fires" or "fires immediately". So wait
+  // in short realtime slices and re-check the monotonic budget between them:
+  // a dead peer (or a clock step) can delay us by at most one slice.
+  constexpr long kSliceNs = 100 * 1000 * 1000;  // 100ms
+  struct timespec start;
+  ::clock_gettime(CLOCK_MONOTONIC, &start);
+  const int64_t budget_ns = static_cast<int64_t>(timeout_seconds_) * 1000000000;
+  while (true) {
+    struct timespec slice;
+    ::clock_gettime(CLOCK_REALTIME, &slice);
+    slice.tv_nsec += kSliceNs;
+    if (slice.tv_nsec >= 1000000000) {
+      slice.tv_nsec -= 1000000000;
+      ++slice.tv_sec;
+    }
+    if (::sem_timedwait(sem, &slice) == 0) break;
+    if (errno == EINTR) continue;  // retry the same slice's worth of waiting
+    if (errno != ETIMEDOUT) {
+      return IoError(StringPrintf("sem_timedwait failed: %s",
+                                  std::strerror(errno)));
+    }
+    struct timespec now;
+    ::clock_gettime(CLOCK_MONOTONIC, &now);
+    const int64_t elapsed_ns =
+        (now.tv_sec - start.tv_sec) * 1000000000 +
+        (now.tv_nsec - start.tv_nsec);
+    if (elapsed_ns >= budget_ns) {
       return IoError("shm channel receive timed out (peer dead?)");
     }
-    return IoError(StringPrintf("sem_timedwait failed: %s",
-                                std::strerror(errno)));
   }
   uint64_t len = *len_field;
   if (len > capacity_) return Corruption("shm message length out of range");

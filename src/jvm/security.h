@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,6 +32,10 @@ namespace jvm {
 /// [is] no mechanism to trace the responsible UDF classes"). Every
 /// security-manager decision can be recorded with the principal (UDF name)
 /// that triggered it, so operators can trace violations back to uploads.
+///
+/// Thread-safe: one server-wide log is written by every worker thread of a
+/// parallel query, so the ring and counters sit behind a mutex (readers get
+/// copies).
 class AuditLog {
  public:
   struct Event {
@@ -44,17 +49,28 @@ class AuditLog {
 
   void Record(const std::string& principal, const std::string& permission,
               bool granted) {
+    std::lock_guard<std::mutex> lock(mutex_);
     granted ? ++grants_ : ++denials_;
     if (events_.size() >= max_events_) events_.pop_front();
     events_.push_back({principal, permission, granted});
   }
 
-  uint64_t denials() const { return denials_; }
-  uint64_t grants() const { return grants_; }
-  const std::deque<Event>& events() const { return events_; }
+  uint64_t denials() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return denials_;
+  }
+  uint64_t grants() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return grants_;
+  }
+  std::deque<Event> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
 
   /// \return Denial events for one principal (tracing a suspect UDF).
   std::vector<Event> DenialsFor(const std::string& principal) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<Event> out;
     for (const Event& e : events_) {
       if (!e.granted && e.principal == principal) out.push_back(e);
@@ -63,6 +79,7 @@ class AuditLog {
   }
 
  private:
+  mutable std::mutex mutex_;
   size_t max_events_;
   uint64_t denials_ = 0;
   uint64_t grants_ = 0;

@@ -54,6 +54,7 @@ Result<const NativeMethod*> Jvm::FindNative(const std::string& name) const {
 
 Result<const void*> Jvm::GetJitEntry(const LoadedClass& cls,
                                      const VerifiedMethod& method) {
+  std::lock_guard<std::mutex> lock(jit_mutex_);
   auto it = jit_cache_.find(&method);
   if (it != jit_cache_.end()) {
     return it->second ? static_cast<const void*>(
@@ -91,8 +92,20 @@ Result<const void*> Jvm::GetJitEntry(const LoadedClass& cls,
 // Resolution
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Guards the per-class resolution caches (LoadedClass::method_cache /
+/// native_cache), which are lazily filled on first call and may be hit from
+/// every worker thread of a parallel query. Resolution is rare (once per
+/// call site per class), so one process-wide mutex is plenty.
+std::mutex& ResolveMutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
 Result<LoadedClass::ResolvedMethod> ResolveCall(const LoadedClass& cls,
                                                 uint32_t cpool_idx) {
+  std::lock_guard<std::mutex> lock(ResolveMutex());
   if (cls.method_cache.size() <= cpool_idx) {
     cls.method_cache.resize(cls.cls.cf.cpool.size());
   }
@@ -130,6 +143,7 @@ Result<LoadedClass::ResolvedMethod> ResolveCall(const LoadedClass& cls,
 
 Result<const NativeMethod*> ResolveNative(Jvm* vm, const LoadedClass& cls,
                                           uint32_t cpool_idx) {
+  std::lock_guard<std::mutex> lock(ResolveMutex());
   if (cls.native_cache.size() <= cpool_idx) {
     cls.native_cache.resize(cls.cls.cf.cpool.size(), nullptr);
   }

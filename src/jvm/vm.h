@@ -16,10 +16,12 @@
 /// call API. Values cross the boundary as 64-bit slots; references are
 /// `ArrayObject*` within the VM.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,11 +87,12 @@ struct JvmOptions {
   ResourceLimits default_limits;
 };
 
-/// Statistics counters (cumulative per Jvm).
+/// Statistics counters (cumulative per Jvm). Atomics: one Jvm serves every
+/// worker thread of a parallel query.
 struct JvmStats {
-  uint64_t invocations = 0;
-  uint64_t methods_jitted = 0;
-  uint64_t native_calls = 0;
+  std::atomic<uint64_t> invocations{0};
+  std::atomic<uint64_t> methods_jitted{0};
+  std::atomic<uint64_t> native_calls{0};
 };
 
 class Jvm {
@@ -126,7 +129,12 @@ class Jvm {
   ClassLoader system_loader_;
   AuditLog audit_log_;
   std::map<std::string, NativeMethod> natives_;
+  /// Serializes JIT compilation and cache mutation: parallel workers share
+  /// one Jvm, and the first call to a method from two threads at once must
+  /// not compile (or insert) twice.
+  std::mutex jit_mutex_;
   /// JIT artifacts keyed by method identity; owns executable memory.
+  /// Guarded by jit_mutex_.
   std::unordered_map<const VerifiedMethod*, std::unique_ptr<class JitArtifact>>
       jit_cache_;
   JvmStats stats_;

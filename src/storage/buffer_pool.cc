@@ -18,7 +18,7 @@ obs::Counter* PoolCounter(const char* which) {
 }  // namespace
 
 void PageGuard::MarkDirty() {
-  if (pool_ != nullptr) pool_->frames_[frame_].dirty = true;
+  if (pool_ != nullptr) pool_->MarkFrameDirty(frame_);
 }
 
 void PageGuard::Release() {
@@ -67,7 +67,13 @@ Result<size_t> BufferPool::GetVictimFrame() {
   return f;
 }
 
+void BufferPool::MarkFrameDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_[frame].dirty = true;
+}
+
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
@@ -100,6 +106,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mutex_);
   JAGUAR_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
   JAGUAR_ASSIGN_OR_RETURN(size_t f, GetVictimFrame());
   Frame& frame = frames_[f];
@@ -112,6 +119,7 @@ Result<PageGuard> BufferPool::NewPage() {
 }
 
 void BufferPool::Unpin(size_t f, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& frame = frames_[f];
   JAGUAR_CHECK(frame.pin_count > 0);
   if (dirty) frame.dirty = true;
@@ -123,6 +131,7 @@ void BufferPool::Unpin(size_t f, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (Frame& frame : frames_) {
     if (frame.id != kInvalidPageId && frame.dirty) {
       JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
@@ -133,6 +142,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Discard(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   Frame& frame = frames_[it->second];
@@ -150,7 +160,23 @@ Status BufferPool::Discard(PageId id) {
   return Status::OK();
 }
 
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+uint64_t BufferPool::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
 size_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   size_t n = 0;
   for (const Frame& f : frames_) {
     if (f.id != kInvalidPageId && f.pin_count > 0) ++n;

@@ -7,10 +7,17 @@
 /// Callers obtain pages through RAII `PageGuard`s: a guard pins its frame for
 /// its lifetime, so forgetting to unpin is impossible by construction. Dirty
 /// pages are written back on eviction and on `FlushAll`.
+///
+/// Thread safety: every public entry point (and the guard's Unpin/MarkDirty)
+/// takes one internal mutex, so parallel scan workers can fetch pages
+/// concurrently. Page *data* is read outside the lock — safe because a pin
+/// keeps the frame resident, and parallel execution only runs read-only
+/// plans.
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -88,10 +95,10 @@ class BufferPool {
   Status Discard(PageId id);
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
   /// Occupied frames reclaimed to satisfy a fetch/new-page request.
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const;
   /// Number of currently pinned frames (for leak tests).
   size_t pinned_frames() const;
 
@@ -108,8 +115,11 @@ class BufferPool {
   };
 
   void Unpin(size_t frame, bool dirty);
+  void MarkFrameDirty(size_t frame);
+  /// Requires `mutex_` held.
   Result<size_t> GetVictimFrame();
 
+  mutable std::mutex mutex_;
   DiskManager* disk_;
   size_t capacity_;
   std::vector<Frame> frames_;

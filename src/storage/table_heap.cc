@@ -256,10 +256,24 @@ TableHeap::Iterator::Next() {
       JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, heap_->Get(rid));
       return std::make_optional(std::make_pair(rid, std::move(bytes)));
     }
-    page_ = sp.next_page_id();
+    page_ = single_page_ ? kInvalidPageId : sp.next_page_id();
     slot_ = 0;
   }
   return std::optional<std::pair<RecordId, std::vector<uint8_t>>>();
+}
+
+Result<std::vector<PageId>> TableHeap::ListPages() {
+  std::vector<PageId> pages;
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    pages.push_back(pid);
+    JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                            engine_->buffer_pool()->FetchPage(pid));
+    SlottedPage sp(page.data());
+    pid = sp.next_page_id();
+    if (pages.size() > (1u << 24)) return Corruption("page chain cycle");
+  }
+  return pages;
 }
 
 }  // namespace jaguar

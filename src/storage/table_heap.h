@@ -57,13 +57,25 @@ class TableHeap {
 
    private:
     friend class TableHeap;
-    Iterator(TableHeap* heap, PageId page) : heap_(heap), page_(page) {}
+    Iterator(TableHeap* heap, PageId page, bool single_page = false)
+        : heap_(heap), page_(page), single_page_(single_page) {}
     TableHeap* heap_;
     PageId page_;
     uint16_t slot_ = 0;
+    bool single_page_;  ///< Stop at the end of `page` (morsel scans).
   };
 
   Iterator Scan() { return Iterator(this, first_page_); }
+
+  /// Scan bounded to one chain page (overflow chains of its records are
+  /// still followed) — the unit a parallel morsel worker processes.
+  Iterator ScanPage(PageId page) {
+    return Iterator(this, page, /*single_page=*/true);
+  }
+
+  /// The heap's chain pages in scan order — the morsel source for parallel
+  /// scans. Overflow pages are not listed (records reassemble them on read).
+  Result<std::vector<PageId>> ListPages();
 
  private:
   Result<std::vector<uint8_t>> ReadOverflow(uint64_t total_len, PageId first);

@@ -1,0 +1,161 @@
+#include "udf/executor_pool.h"
+
+#include <signal.h>
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace jaguar {
+
+namespace {
+
+obs::Counter* PoolSpawns() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.pool.spawns");
+  return c;
+}
+obs::Counter* PoolAcquires() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.pool.acquires");
+  return c;
+}
+obs::Counter* PoolWaits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.pool.waits");
+  return c;
+}
+obs::Counter* PoolDiscards() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.pool.discards");
+  return c;
+}
+
+}  // namespace
+
+ExecutorPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), executor_(std::move(other.executor_)) {
+  other.pool_ = nullptr;
+}
+
+ExecutorPool::Lease& ExecutorPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    if (executor_ != nullptr) pool_->Return(std::move(executor_));
+    pool_ = other.pool_;
+    executor_ = std::move(other.executor_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ExecutorPool::Lease::~Lease() {
+  if (executor_ != nullptr) pool_->Return(std::move(executor_));
+}
+
+void ExecutorPool::Lease::Discard() {
+  if (executor_ == nullptr) return;
+  // The child may be wedged rather than dead; make sure waitpid in Shutdown
+  // cannot hang.
+  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
+  executor_->Shutdown().ok();
+  pool_->OnDiscard(executor_.get());
+  executor_.reset();
+}
+
+ExecutorPool::ExecutorPool(SpawnFn spawn, size_t max_size)
+    : spawn_(std::move(spawn)), max_size_(std::max<size_t>(1, max_size)) {}
+
+ExecutorPool::~ExecutorPool() = default;
+
+Result<std::unique_ptr<ipc::RemoteExecutor>> ExecutorPool::SpawnLocked() {
+  JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ipc::RemoteExecutor> executor,
+                          spawn_());
+  if (timeout_seconds_ != 0) {
+    executor->channel()->set_timeout_seconds(timeout_seconds_);
+  }
+  ++live_;
+  registry_.push_back(executor.get());
+  PoolSpawns()->Add();
+  return executor;
+}
+
+Result<ExecutorPool::Lease> ExecutorPool::Acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  PoolAcquires()->Add();
+  bool waited = false;
+  while (true) {
+    if (!idle_.empty()) {
+      std::unique_ptr<ipc::RemoteExecutor> executor = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(this, std::move(executor));
+    }
+    if (live_ < max_size_) {
+      JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ipc::RemoteExecutor> executor,
+                              SpawnLocked());
+      return Lease(this, std::move(executor));
+    }
+    if (!waited) {
+      waited = true;
+      PoolWaits()->Add();
+    }
+    cv_.wait(lock);
+  }
+}
+
+Status ExecutorPool::Prewarm(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t target = std::min(n, max_size_);
+  while (live_ < target) {
+    JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ipc::RemoteExecutor> executor,
+                            SpawnLocked());
+    idle_.push_back(std::move(executor));
+  }
+  return Status::OK();
+}
+
+void ExecutorPool::set_timeout_seconds(int seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timeout_seconds_ = seconds;
+  for (ipc::RemoteExecutor* executor : registry_) {
+    executor->channel()->set_timeout_seconds(seconds);
+  }
+}
+
+pid_t ExecutorPool::first_child_pid() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (registry_.empty()) return -1;
+  return registry_.front()->child_pid();
+}
+
+std::vector<pid_t> ExecutorPool::executor_pids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<pid_t> pids;
+  pids.reserve(registry_.size());
+  for (ipc::RemoteExecutor* executor : registry_) {
+    pids.push_back(executor->child_pid());
+  }
+  return pids;
+}
+
+size_t ExecutorPool::live_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_;
+}
+
+void ExecutorPool::Return(std::unique_ptr<ipc::RemoteExecutor> executor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(executor));
+  cv_.notify_one();
+}
+
+void ExecutorPool::OnDiscard(ipc::RemoteExecutor* executor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_.erase(std::remove(registry_.begin(), registry_.end(), executor),
+                  registry_.end());
+  --live_;
+  PoolDiscards()->Add();
+  // A waiter can now fork a replacement (live_ dropped below the cap).
+  cv_.notify_one();
+}
+
+}  // namespace jaguar

@@ -1,0 +1,128 @@
+#ifndef JAGUAR_UDF_EXECUTOR_POOL_H_
+#define JAGUAR_UDF_EXECUTOR_POOL_H_
+
+/// \file executor_pool.h
+/// A pool of remote executor processes backing one isolated UDF runner.
+///
+/// The paper assigns "one remote executor process per UDF in the query";
+/// morsel-driven parallel scans put N worker threads behind the same UDF, so
+/// the isolated designs scale the paper's policy to one executor process per
+/// *worker*: the pool pre-spawns up to `max_size` children (one shm channel
+/// each) and worker threads lease them for the duration of a batch crossing.
+/// A leased executor serves exactly one thread, so the single-slot shm
+/// protocol needs no cross-process locking.
+///
+/// Death handling: when a crossing fails with IoError the worker discards its
+/// lease — the child is killed and reaped, only that worker's in-flight batch
+/// fails, and the next Acquire() respawns a replacement lazily.
+///
+/// Metrics:
+///   udf.pool.spawns     executor children forked
+///   udf.pool.acquires   leases handed out
+///   udf.pool.waits      acquires that had to block on a busy pool
+///   udf.pool.discards   executors discarded after a transport failure
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "ipc/remote_executor.h"
+
+namespace jaguar {
+
+class ExecutorPool {
+ public:
+  /// Forks one executor child (the pool respawns with this after a death).
+  using SpawnFn =
+      std::function<Result<std::unique_ptr<ipc::RemoteExecutor>>()>;
+
+  /// Exclusive use of one executor. Returns it to the pool on destruction
+  /// unless Discard() was called. Must not outlive the pool.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    ipc::RemoteExecutor* get() const { return executor_.get(); }
+    ipc::RemoteExecutor* operator->() const { return executor_.get(); }
+
+    /// Kills + reaps the leased executor and drops it from the pool (after a
+    /// transport failure the child is dead or wedged). The pool slot frees
+    /// up; the next Acquire() forks a replacement.
+    void Discard();
+
+   private:
+    friend class ExecutorPool;
+    Lease(ExecutorPool* pool, std::unique_ptr<ipc::RemoteExecutor> executor)
+        : pool_(pool), executor_(std::move(executor)) {}
+
+    ExecutorPool* pool_ = nullptr;
+    std::unique_ptr<ipc::RemoteExecutor> executor_;
+  };
+
+  /// \param max_size concurrent-executor cap (>= 1); Acquire() blocks once
+  /// `max_size` leases are outstanding.
+  ExecutorPool(SpawnFn spawn, size_t max_size);
+
+  /// Shuts down every pooled executor. All leases must have been returned.
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Leases an idle executor, forking one if the pool is below its cap, or
+  /// blocking until a lease is returned (or discarded) otherwise.
+  Result<Lease> Acquire();
+
+  /// Ensures at least `min(n, max_size)` executors are alive, forking the
+  /// shortfall. Called before a parallel section so no worker forks
+  /// mid-query.
+  Status Prewarm(size_t n);
+
+  /// Receive timeout applied to every live and future executor channel.
+  void set_timeout_seconds(int seconds);
+
+  /// Pid of one live executor child (tests assert liveness/cleanup), or -1
+  /// when none is alive.
+  pid_t first_child_pid() const;
+
+  /// Pids of every live executor child, leased or idle.
+  std::vector<pid_t> executor_pids() const;
+
+  /// Executors currently alive (idle + leased).
+  size_t live_count() const;
+
+  size_t max_size() const { return max_size_; }
+
+ private:
+  /// Forks + registers one executor. Requires mutex_ held.
+  Result<std::unique_ptr<ipc::RemoteExecutor>> SpawnLocked();
+  /// Lease hand-back path.
+  void Return(std::unique_ptr<ipc::RemoteExecutor> executor);
+  /// Lease discard bookkeeping (the lease already killed + reaped the child).
+  void OnDiscard(ipc::RemoteExecutor* executor);
+
+  SpawnFn spawn_;
+  size_t max_size_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int timeout_seconds_ = 0;
+  size_t live_ = 0;  ///< Spawned and not discarded (idle + leased).
+  std::vector<std::unique_ptr<ipc::RemoteExecutor>> idle_;
+  /// Every live executor, leased or idle — for pid queries only.
+  std::vector<ipc::RemoteExecutor*> registry_;
+};
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_UDF_EXECUTOR_POOL_H_

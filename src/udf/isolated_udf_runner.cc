@@ -1,7 +1,5 @@
 #include "udf/isolated_udf_runner.h"
 
-#include <signal.h>
-
 #include "common/bytes.h"
 #include "common/string_util.h"
 #include "jvm/vm.h"
@@ -17,6 +15,14 @@ namespace {
 obs::Counter* BatchMessages() {
   static obs::Counter* c =
       obs::MetricsRegistry::Global()->GetCounter("ipc.batch_messages");
+  return c;
+}
+
+/// Chunks whose serialization overlapped the child's execution of the
+/// previous chunk (the double-buffered IPC pipeline).
+obs::Counter* PipelinedChunks() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.pipelined_chunks");
   return c;
 }
 
@@ -154,6 +160,65 @@ ipc::RemoteExecutor::CallbackHandler MakeParentCallbackBridge(
   };
 }
 
+/// Ships `args_batch` through a leased executor, chunked to the shm segment
+/// and pipelined: while the child executes chunk k, the parent serializes
+/// chunk k+1, so for multi-chunk batches the serialization cost hides behind
+/// the child's execution (double buffering across the process boundary).
+/// `write_header` prepends the design-specific request header to each chunk;
+/// `header_bytes` is its serialized size (for the chunking budget).
+Result<std::vector<Value>> RunChunkedBatch(
+    ipc::RemoteExecutor* executor,
+    const std::vector<std::vector<Value>>& args_batch, size_t header_bytes,
+    size_t shm_capacity, UdfContext* ctx,
+    const std::function<void(BufferWriter*)>& write_header) {
+  auto serialize = [&](size_t begin, size_t end) {
+    BufferWriter w;
+    write_header(&w);
+    BatchCodec::WriteCount(&w, end - begin);
+    for (size_t row = begin; row < end; ++row) {
+      w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
+      for (const Value& v : args_batch[row]) v.WriteTo(&w);
+    }
+    return w.Release();
+  };
+
+  std::vector<Value> results;
+  results.reserve(args_batch.size());
+  size_t begin = 0;
+  size_t end = BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity);
+  std::vector<uint8_t> request = serialize(begin, end);
+  while (true) {
+    if (end - begin > 1) BatchMessages()->Add();
+    JAGUAR_RETURN_IF_ERROR(executor->BeginExecute(Slice(request)));
+
+    // Chunk `begin..end` is now in flight; serialize the next chunk while
+    // the child works. (Callbacks the child issues meanwhile just wait in
+    // the channel until FinishExecute services them.)
+    const size_t next_begin = end;
+    size_t next_end = next_begin;
+    std::vector<uint8_t> next_request;
+    if (next_begin < args_batch.size()) {
+      next_end =
+          BatchChunkEnd(args_batch, next_begin, header_bytes, shm_capacity);
+      next_request = serialize(next_begin, next_end);
+      PipelinedChunks()->Add();
+    }
+
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                            executor->FinishExecute(
+                                MakeParentCallbackBridge(ctx)));
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
+                            DecodeResultBatch(Slice(reply), end - begin));
+    for (Value& v : chunk) results.push_back(std::move(v));
+
+    if (next_begin >= args_batch.size()) break;
+    begin = next_begin;
+    end = next_end;
+    request = std::move(next_request);
+  }
+  return results;
+}
+
 /// Reads one argument row (`u32 nargs | values`) off a batch request.
 Result<std::vector<Value>> ReadArgRow(BufferReader* r) {
   JAGUAR_ASSIGN_OR_RETURN(uint32_t nargs, r->ReadU32());
@@ -195,7 +260,7 @@ Result<std::vector<uint8_t>> ChildHandleRequest(Slice request,
 
 Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
     const std::string& impl_name, TypeId return_type,
-    std::vector<TypeId> arg_types, size_t shm_capacity) {
+    std::vector<TypeId> arg_types, size_t shm_capacity, size_t pool_size) {
   // Fail fast in the parent if the function does not exist (the child would
   // only discover it at first request).
   JAGUAR_RETURN_IF_ERROR(
@@ -206,37 +271,19 @@ Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
   runner->return_type_ = return_type;
   runner->arg_types_ = std::move(arg_types);
   runner->shm_capacity_ = shm_capacity;
-  JAGUAR_ASSIGN_OR_RETURN(
-      runner->executor_,
-      ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest));
+  runner->pool_ = std::make_unique<ExecutorPool>(
+      [shm_capacity] {
+        return ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest);
+      },
+      pool_size);
+  // Pre-spawn every executor now (runner creation happens on the query's
+  // bind path, single-threaded) so no parallel worker forks mid-query.
+  JAGUAR_RETURN_IF_ERROR(runner->pool_->Prewarm(pool_size));
   return runner;
 }
 
 void IsolatedNativeRunner::set_ipc_timeout_seconds(unsigned seconds) {
-  timeout_seconds_ = static_cast<int>(seconds);
-  if (executor_ != nullptr) {
-    executor_->channel()->set_timeout_seconds(timeout_seconds_);
-  }
-}
-
-Status IsolatedNativeRunner::EnsureExecutor() {
-  if (executor_ != nullptr) return Status::OK();
-  JAGUAR_ASSIGN_OR_RETURN(
-      executor_, ipc::RemoteExecutor::Spawn(shm_capacity_,
-                                            &ChildHandleRequest));
-  if (timeout_seconds_ != 0) {
-    executor_->channel()->set_timeout_seconds(timeout_seconds_);
-  }
-  return Status::OK();
-}
-
-void IsolatedNativeRunner::MarkExecutorDead() {
-  if (executor_ == nullptr) return;
-  // The child may be wedged rather than dead; make sure waitpid in
-  // Shutdown cannot hang.
-  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
-  executor_->Shutdown().ok();
-  executor_.reset();
+  pool_->set_timeout_seconds(static_cast<int>(seconds));
 }
 
 Result<Value> IsolatedNativeRunner::DoInvoke(const std::vector<Value>& args,
@@ -251,44 +298,26 @@ Result<std::vector<Value>> IsolatedNativeRunner::DoInvokeBatch(
   for (const std::vector<Value>& args : args_batch) {
     JAGUAR_RETURN_IF_ERROR(CheckUdfArgs(impl_name_, arg_types_, args));
   }
-  JAGUAR_RETURN_IF_ERROR(EnsureExecutor());
+  JAGUAR_ASSIGN_OR_RETURN(ExecutorPool::Lease lease, pool_->Acquire());
 
   const size_t header_bytes = 4 + impl_name_.size() + 4;
-  std::vector<Value> results;
-  results.reserve(args_batch.size());
-  size_t begin = 0;
-  while (begin < args_batch.size()) {
-    const size_t end =
-        BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity_);
-    BufferWriter w;
-    w.PutString(impl_name_);
-    BatchCodec::WriteCount(&w, end - begin);
-    for (size_t row = begin; row < end; ++row) {
-      w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
-      for (const Value& v : args_batch[row]) v.WriteTo(&w);
-    }
-    if (end - begin > 1) BatchMessages()->Add();
-    Result<std::vector<uint8_t>> reply =
-        executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx));
-    if (!reply.ok()) {
-      if (reply.status().IsIoError()) MarkExecutorDead();
-      return reply.status();
-    }
-    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
-                            DecodeResultBatch(Slice(*reply), end - begin));
-    for (Value& v : chunk) results.push_back(std::move(v));
-    begin = end;
-  }
+  Result<std::vector<Value>> results = RunChunkedBatch(
+      lease.get(), args_batch, header_bytes, shm_capacity_, ctx,
+      [this](BufferWriter* w) { w->PutString(impl_name_); });
+  // A transport failure means the child is dead or wedged; only this
+  // worker's batch fails, and the pool respawns on a later acquire.
+  if (!results.ok() && results.status().IsIoError()) lease.Discard();
   return results;
 }
 
-UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity) {
-  return [shm_capacity](const UdfInfo& info)
+UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity,
+                                                    size_t pool_size) {
+  return [shm_capacity, pool_size](const UdfInfo& info)
              -> Result<std::unique_ptr<UdfRunner>> {
     JAGUAR_ASSIGN_OR_RETURN(
         std::unique_ptr<IsolatedNativeRunner> runner,
         IsolatedNativeRunner::Spawn(info.impl_name, info.return_type,
-                                    info.arg_types, shm_capacity));
+                                    info.arg_types, shm_capacity, pool_size));
     return std::unique_ptr<UdfRunner>(std::move(runner));
   };
 }
@@ -387,7 +416,8 @@ Result<std::vector<uint8_t>> ChildHandleVmRequest(
 }  // namespace
 
 Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
-    const UdfInfo& info, jvm::ResourceLimits limits, size_t shm_capacity) {
+    const UdfInfo& info, jvm::ResourceLimits limits, size_t shm_capacity,
+    size_t pool_size) {
   size_t dot = info.impl_name.find('.');
   if (dot == std::string::npos) {
     return InvalidArgument("Design-4 UDF entry point must be 'Class.method'");
@@ -419,34 +449,18 @@ Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
   runner->handler_ = [state](Slice request, ipc::ShmChannel* channel) {
     return ChildHandleVmRequest(state.get(), request, channel);
   };
-  JAGUAR_ASSIGN_OR_RETURN(
-      runner->executor_,
-      ipc::RemoteExecutor::Spawn(shm_capacity, runner->handler_));
+  ipc::RemoteExecutor::RequestHandler handler = runner->handler_;
+  runner->pool_ = std::make_unique<ExecutorPool>(
+      [shm_capacity, handler] {
+        return ipc::RemoteExecutor::Spawn(shm_capacity, handler);
+      },
+      pool_size);
+  JAGUAR_RETURN_IF_ERROR(runner->pool_->Prewarm(pool_size));
   return runner;
 }
 
 void IsolatedJvmRunner::set_ipc_timeout_seconds(unsigned seconds) {
-  timeout_seconds_ = static_cast<int>(seconds);
-  if (executor_ != nullptr) {
-    executor_->channel()->set_timeout_seconds(timeout_seconds_);
-  }
-}
-
-Status IsolatedJvmRunner::EnsureExecutor() {
-  if (executor_ != nullptr) return Status::OK();
-  JAGUAR_ASSIGN_OR_RETURN(
-      executor_, ipc::RemoteExecutor::Spawn(shm_capacity_, handler_));
-  if (timeout_seconds_ != 0) {
-    executor_->channel()->set_timeout_seconds(timeout_seconds_);
-  }
-  return Status::OK();
-}
-
-void IsolatedJvmRunner::MarkExecutorDead() {
-  if (executor_ == nullptr) return;
-  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
-  executor_->Shutdown().ok();
-  executor_.reset();
+  pool_->set_timeout_seconds(static_cast<int>(seconds));
 }
 
 Result<Value> IsolatedJvmRunner::DoInvoke(const std::vector<Value>& args,
@@ -461,43 +475,23 @@ Result<std::vector<Value>> IsolatedJvmRunner::DoInvokeBatch(
   for (const std::vector<Value>& args : args_batch) {
     JAGUAR_RETURN_IF_ERROR(CheckUdfArgs("isolated_jvm_udf", arg_types_, args));
   }
-  JAGUAR_RETURN_IF_ERROR(EnsureExecutor());
+  JAGUAR_ASSIGN_OR_RETURN(ExecutorPool::Lease lease, pool_->Acquire());
 
   const size_t header_bytes = 4;
-  std::vector<Value> results;
-  results.reserve(args_batch.size());
-  size_t begin = 0;
-  while (begin < args_batch.size()) {
-    const size_t end =
-        BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity_);
-    BufferWriter w;
-    BatchCodec::WriteCount(&w, end - begin);
-    for (size_t row = begin; row < end; ++row) {
-      w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
-      for (const Value& v : args_batch[row]) v.WriteTo(&w);
-    }
-    if (end - begin > 1) BatchMessages()->Add();
-    Result<std::vector<uint8_t>> reply =
-        executor_->Execute(w.AsSlice(), MakeParentCallbackBridge(ctx));
-    if (!reply.ok()) {
-      if (reply.status().IsIoError()) MarkExecutorDead();
-      return reply.status();
-    }
-    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
-                            DecodeResultBatch(Slice(*reply), end - begin));
-    for (Value& v : chunk) results.push_back(std::move(v));
-    begin = end;
-  }
+  Result<std::vector<Value>> results =
+      RunChunkedBatch(lease.get(), args_batch, header_bytes, shm_capacity_,
+                      ctx, [](BufferWriter*) {});
+  if (!results.ok() && results.status().IsIoError()) lease.Discard();
   return results;
 }
 
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
-    jvm::ResourceLimits limits, size_t shm_capacity) {
-  return [limits, shm_capacity](const UdfInfo& info)
+    jvm::ResourceLimits limits, size_t shm_capacity, size_t pool_size) {
+  return [limits, shm_capacity, pool_size](const UdfInfo& info)
              -> Result<std::unique_ptr<UdfRunner>> {
     JAGUAR_ASSIGN_OR_RETURN(
         std::unique_ptr<IsolatedJvmRunner> runner,
-        IsolatedJvmRunner::Spawn(info, limits, shm_capacity));
+        IsolatedJvmRunner::Spawn(info, limits, shm_capacity, pool_size));
     return std::unique_ptr<UdfRunner>(std::move(runner));
   };
 }

@@ -15,15 +15,23 @@
 /// scalar invocation is a batch of one, and `InvokeBatch` ships a whole
 /// argument batch in **one** semaphore round trip (chunked only when the
 /// serialized batch would overflow the shared-memory segment) — the Section
-/// 2.5 batching amortization. If the executor child dies mid-request
-/// (detected as an IoError on the channel), the whole batch fails cleanly
-/// and the runner forks a fresh executor on the next invocation.
+/// 2.5 batching amortization. When a batch spans multiple chunks the
+/// crossing is *pipelined*: the parent serializes chunk k+1 while the child
+/// executes chunk k (double buffering across the boundary).
+///
+/// The runner is backed by an `ExecutorPool` of up to `pool_size` executor
+/// processes, so the N worker threads of a morsel-driven parallel scan can
+/// cross the boundary concurrently, each through its own leased child. If an
+/// executor child dies mid-request (detected as an IoError on the channel),
+/// only the leasing worker's batch fails; the dead child is discarded and
+/// the pool forks a replacement on the next acquire.
 
 #include <memory>
 
 #include "catalog/catalog.h"
 #include "ipc/remote_executor.h"
 #include "jvm/security.h"
+#include "udf/executor_pool.h"
 #include "udf/udf.h"
 #include "udf/udf_manager.h"
 
@@ -31,23 +39,31 @@ namespace jaguar {
 
 class IsolatedNativeRunner : public UdfRunner {
  public:
-  /// Forks an executor for the native function `impl_name` (resolved in the
-  /// child from the inherited native registry).
+  /// Forks an executor pool for the native function `impl_name` (resolved in
+  /// each child from the inherited native registry). All `pool_size`
+  /// executors are pre-spawned so no worker thread forks mid-query.
   /// \param shm_capacity per-direction shared-memory data size; must hold
   /// the largest serialized argument list (default fits Rel10000 rows).
+  /// \param pool_size executor processes (one per parallel scan worker).
   static Result<std::unique_ptr<IsolatedNativeRunner>> Spawn(
       const std::string& impl_name, TypeId return_type,
-      std::vector<TypeId> arg_types, size_t shm_capacity = 1 << 20);
+      std::vector<TypeId> arg_types, size_t shm_capacity = 1 << 20,
+      size_t pool_size = 1);
 
   std::string design_label() const override { return "IC++"; }
 
-  /// The executor child's pid (tests assert liveness/cleanup), or -1 when
-  /// the executor died and has not been respawned yet.
-  pid_t child_pid() const {
-    return executor_ != nullptr ? executor_->child_pid() : -1;
-  }
+  /// Pid of one live executor child (tests assert liveness/cleanup), or -1
+  /// when every executor died and none has been respawned yet.
+  pid_t child_pid() const { return pool_->first_child_pid(); }
 
-  /// Receive timeout for the shared-memory channel, forwarded to
+  /// Pids of all live executor children (fault-injection tests pick one to
+  /// kill).
+  std::vector<pid_t> executor_pids() const { return pool_->executor_pids(); }
+
+  /// Ensures at least n executors are alive (capped at the pool size).
+  Status Prewarm(size_t n) { return pool_->Prewarm(n); }
+
+  /// Receive timeout for the shared-memory channels, forwarded to
   /// `ShmChannel::set_timeout_seconds` (and re-applied after a respawn).
   /// Fault-injection tests shorten it so a killed child fails the
   /// invocation quickly.
@@ -63,23 +79,16 @@ class IsolatedNativeRunner : public UdfRunner {
  private:
   IsolatedNativeRunner() = default;
 
-  /// Respawns the executor if the previous one was declared dead.
-  Status EnsureExecutor();
-  /// Kills + reaps the executor after a transport failure; the next
-  /// invocation respawns it.
-  void MarkExecutorDead();
-
   std::string impl_name_;
   TypeId return_type_ = TypeId::kInt;
   std::vector<TypeId> arg_types_;
   size_t shm_capacity_ = 1 << 20;
-  int timeout_seconds_ = 0;
-  std::unique_ptr<ipc::RemoteExecutor> executor_;
+  std::unique_ptr<ExecutorPool> pool_;
 };
 
 /// UdfManager factory for `UdfLanguage::kNativeIsolated`.
 UdfManager::RunnerFactory MakeIsolatedRunnerFactory(
-    size_t shm_capacity = 1 << 20);
+    size_t shm_capacity = 1 << 20, size_t pool_size = 1);
 
 /// Design 4 ("IJNI"): a JJava UDF inside a JagVM hosted by a separate
 /// executor process — Table 1's fourth cell, which the paper only
@@ -91,13 +100,16 @@ class IsolatedJvmRunner : public UdfRunner {
  public:
   static Result<std::unique_ptr<IsolatedJvmRunner>> Spawn(
       const UdfInfo& info, jvm::ResourceLimits limits,
-      size_t shm_capacity = 1 << 20);
+      size_t shm_capacity = 1 << 20, size_t pool_size = 1);
 
   std::string design_label() const override { return "IJNI"; }
 
-  pid_t child_pid() const {
-    return executor_ != nullptr ? executor_->child_pid() : -1;
-  }
+  /// See IsolatedNativeRunner::child_pid.
+  pid_t child_pid() const { return pool_->first_child_pid(); }
+
+  std::vector<pid_t> executor_pids() const { return pool_->executor_pids(); }
+
+  Status Prewarm(size_t n) { return pool_->Prewarm(n); }
 
   /// See IsolatedNativeRunner::set_ipc_timeout_seconds.
   void set_ipc_timeout_seconds(unsigned seconds);
@@ -112,21 +124,19 @@ class IsolatedJvmRunner : public UdfRunner {
  private:
   IsolatedJvmRunner() = default;
 
-  Status EnsureExecutor();
-  void MarkExecutorDead();
-
   TypeId return_type_ = TypeId::kInt;
   std::vector<TypeId> arg_types_;
   size_t shm_capacity_ = 1 << 20;
-  int timeout_seconds_ = 0;
-  /// Kept so a dead executor can be respawned with the same child state.
+  /// Captured by the pool's spawn function: every executor child inherits
+  /// the same pre-loaded VM state at fork.
   ipc::RemoteExecutor::RequestHandler handler_;
-  std::unique_ptr<ipc::RemoteExecutor> executor_;
+  std::unique_ptr<ExecutorPool> pool_;
 };
 
 /// UdfManager factory for `UdfLanguage::kJJavaIsolated`.
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
-    jvm::ResourceLimits limits, size_t shm_capacity = 1 << 20);
+    jvm::ResourceLimits limits, size_t shm_capacity = 1 << 20,
+    size_t pool_size = 1);
 
 }  // namespace jaguar
 

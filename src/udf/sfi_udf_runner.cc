@@ -93,6 +93,9 @@ Result<Value> SfiNativeRunner::DoInvoke(const std::vector<Value>& args,
     return InvalidArgument("SFI UDFs take a BYTEARRAY first argument");
   }
   const std::vector<uint8_t>& data = args[0].AsBytes();
+  // One sandbox region per runner: parallel workers sharing the runner must
+  // take turns, or their CopyIn/execute pairs would interleave.
+  std::lock_guard<std::mutex> lock(region_mutex_);
   // The trusted crossing: copy the data into the sandbox. (Histogram space
   // is reserved past the data by the UDFs that need it.)
   if (data.size() + 4096 > region_.size()) {

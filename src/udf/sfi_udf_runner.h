@@ -18,6 +18,7 @@
 /// the masking overhead.
 
 #include <memory>
+#include <mutex>
 
 #include "catalog/catalog.h"
 #include "sfi/sfi.h"
@@ -53,6 +54,8 @@ class SfiNativeRunner : public UdfRunner {
   SfiUdfFn fn_ = nullptr;
   TypeId return_type_ = TypeId::kInt;
   std::vector<TypeId> arg_types_;
+  /// Serializes invocations: the runner owns a single sandbox region.
+  std::mutex region_mutex_;
   sfi::SfiRegion region_;
 };
 

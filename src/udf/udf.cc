@@ -32,15 +32,22 @@ std::string UdfMemoCache::KeyFor(const std::vector<Value>& args) {
                      w.size());
 }
 
-const Value* UdfMemoCache::Lookup(const std::string& key) {
+std::optional<Value> UdfMemoCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end()) return std::nullopt;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->second;
+  return it->second->second;
+}
+
+size_t UdfMemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
 }
 
 void UdfMemoCache::Insert(const std::string& key, const Value& result) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = result;
@@ -188,9 +195,9 @@ Result<Value> UdfRunner::Invoke(const std::vector<Value>& args,
   EnsureMetrics();
   if (memo_ == nullptr) return InvokeCounted(args, ctx);
   const std::string key = UdfMemoCache::KeyFor(args);
-  if (const Value* hit = memo_->Lookup(key)) {
+  if (std::optional<Value> hit = memo_->Lookup(key)) {
     MemoHits()->Add();
-    return *hit;
+    return *std::move(hit);
   }
   MemoMisses()->Add();
   const uint64_t callbacks_before = ctx != nullptr ? ctx->callbacks_made() : 0;
@@ -259,9 +266,9 @@ Result<std::vector<Value>> UdfRunner::InvokeBatch(
   std::vector<size_t> miss_rows;
   for (size_t row = 0; row < args_batch.size(); ++row) {
     keys[row] = UdfMemoCache::KeyFor(args_batch[row]);
-    if (const Value* hit = memo_->Lookup(keys[row])) {
+    if (std::optional<Value> hit = memo_->Lookup(keys[row])) {
       MemoHits()->Add();
-      results[row] = *hit;
+      results[row] = *std::move(hit);
     } else {
       MemoMisses()->Add();
       miss_rows.push_back(row);

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -111,6 +112,10 @@ class NativeUdfRegistry {
 /// runner (opt-in via the engine's `udf_memo_entries` option) and drops it
 /// whenever the runner cache is invalidated, so re-registering a UDF can
 /// never serve results of the old implementation.
+///
+/// Thread-safe: parallel scan workers share one runner (and therefore one
+/// memo); lookups return the value by copy because the LRU list mutates on
+/// every hit.
 class UdfMemoCache {
  public:
   explicit UdfMemoCache(size_t capacity) : capacity_(capacity) {}
@@ -118,20 +123,21 @@ class UdfMemoCache {
   /// Canonical lookup key: argument count + each value's wire encoding.
   static std::string KeyFor(const std::vector<Value>& args);
 
-  /// \return The cached result, or null on a miss. A hit refreshes the
-  /// entry's LRU position. The pointer is valid until the next mutation.
-  const Value* Lookup(const std::string& key);
+  /// \return The cached result, or nullopt on a miss. A hit refreshes the
+  /// entry's LRU position.
+  std::optional<Value> Lookup(const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the least recently used entry
   /// when the cache is at capacity.
   void Insert(const std::string& key, const Value& result);
 
-  size_t size() const { return index_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
 
  private:
   using Entry = std::pair<std::string, Value>;
 
+  mutable std::mutex mutex_;
   size_t capacity_;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;

@@ -108,12 +108,12 @@ TEST(UdfMemoCacheTest, LruEvictionAndKeying) {
 
   memo.Insert(k1, Value::Int(10));
   memo.Insert(k2, Value::Int(20));
-  ASSERT_NE(memo.Lookup(k1), nullptr);  // refreshes k1: k2 is now LRU
-  memo.Insert(k3, Value::Int(30));      // evicts k2
-  EXPECT_EQ(memo.Lookup(k2), nullptr);
-  ASSERT_NE(memo.Lookup(k1), nullptr);
+  ASSERT_TRUE(memo.Lookup(k1).has_value());  // refreshes k1: k2 is now LRU
+  memo.Insert(k3, Value::Int(30));           // evicts k2
+  EXPECT_FALSE(memo.Lookup(k2).has_value());
+  ASSERT_TRUE(memo.Lookup(k1).has_value());
   EXPECT_EQ(memo.Lookup(k1)->AsInt(), 10);
-  ASSERT_NE(memo.Lookup(k3), nullptr);
+  ASSERT_TRUE(memo.Lookup(k3).has_value());
   EXPECT_EQ(memo.size(), 2u);
 }
 
