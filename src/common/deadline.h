@@ -1,0 +1,76 @@
+#ifndef JAGUAR_COMMON_DEADLINE_H_
+#define JAGUAR_COMMON_DEADLINE_H_
+
+/// \file deadline.h
+/// Query wall-clock deadline token (Section 4 of the paper: the DBMS must be
+/// able to *stop* a misbehaving UDF). A `QueryDeadline` is created once per
+/// query by the engine and propagated by pointer through the operators, the
+/// UDF runners, and the IPC layer. All layers poll it cooperatively; the
+/// isolated designs additionally use it to decide when to SIGKILL a wedged
+/// executor child (the "watchdog").
+///
+/// The default-constructed deadline is inactive: `Expired()` is always false
+/// and `Check()` always returns OK, so unbounded queries pay only a null/flag
+/// test on the hot path.
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace jaguar {
+
+class QueryDeadline {
+ public:
+  /// Inactive deadline — never expires.
+  QueryDeadline() = default;
+
+  /// \return A deadline expiring `timeout_ms` milliseconds from now.
+  /// `timeout_ms <= 0` yields an inactive deadline.
+  static QueryDeadline After(int64_t timeout_ms) {
+    QueryDeadline d;
+    if (timeout_ms > 0) {
+      d.active_ = true;
+      d.timeout_ms_ = timeout_ms;
+      d.expires_at_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return d;
+  }
+
+  bool active() const { return active_; }
+  int64_t timeout_ms() const { return timeout_ms_; }
+
+  bool Expired() const { return active_ && Clock::now() >= expires_at_; }
+
+  /// \return Nanoseconds until expiry; negative once expired. Only meaningful
+  /// when `active()`.
+  int64_t RemainingNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(expires_at_ -
+                                                                Clock::now())
+        .count();
+  }
+
+  /// \return OK while the deadline has not passed, `DeadlineExceeded`
+  /// afterwards. Safe to call on an inactive deadline (always OK).
+  Status Check() const {
+    if (!Expired()) return Status::OK();
+    return DeadlineExceeded("query exceeded its deadline of " +
+                            std::to_string(timeout_ms_) + " ms");
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool active_ = false;
+  int64_t timeout_ms_ = 0;
+  Clock::time_point expires_at_{};
+};
+
+/// \return OK if `deadline` is null or not yet expired; the usual pattern for
+/// layers that hold an optional `const QueryDeadline*`.
+inline Status CheckDeadline(const QueryDeadline* deadline) {
+  return deadline ? deadline->Check() : Status::OK();
+}
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_COMMON_DEADLINE_H_

@@ -16,6 +16,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kRuntimeError: return "RuntimeError";
     case StatusCode::kVerificationError: return "VerificationError";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -62,6 +63,9 @@ Status RuntimeError(std::string msg) {
 }
 Status VerificationError(std::string msg) {
   return Status(StatusCode::kVerificationError, std::move(msg));
+}
+Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 }  // namespace jaguar

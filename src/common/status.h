@@ -33,7 +33,8 @@ enum class StatusCode : uint8_t {
   kSecurityViolation = 8, ///< Sandbox/security-manager denied an action.
   kResourceExhausted = 9, ///< Quota exceeded (CPU budget, heap, callbacks).
   kRuntimeError = 10,     ///< UDF/VM runtime fault (bounds, null, div-zero).
-  kVerificationError = 11 ///< Bytecode failed load-time verification.
+  kVerificationError = 11,///< Bytecode failed load-time verification.
+  kDeadlineExceeded = 12  ///< Query wall-clock deadline passed (cancellation).
 };
 
 /// \return Human-readable name of a status code (e.g. "InvalidArgument").
@@ -76,6 +77,7 @@ class Status {
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
   bool IsVerificationError() const { return code() == StatusCode::kVerificationError; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code();
@@ -105,6 +107,7 @@ Status SecurityViolation(std::string msg);
 Status ResourceExhausted(std::string msg);
 Status RuntimeError(std::string msg);
 Status VerificationError(std::string msg);
+Status DeadlineExceeded(std::string msg);
 
 /// A value-or-error: holds either a `T` or a non-OK `Status`.
 template <typename T>

@@ -18,6 +18,18 @@ namespace jaguar {
 namespace {
 /// Hidden catalog table backing the LOB store.
 constexpr char kLobTableName[] = "__lobs";
+
+obs::Counter* DeadlineQueries() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global()->GetCounter("exec.deadline.queries");
+  return counter;
+}
+
+obs::Counter* DeadlineExceededQueries() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global()->GetCounter("exec.deadline.exceeded");
+  return counter;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -118,6 +130,7 @@ Result<std::unique_ptr<Database>> Database::Open(
 
   db->udf_manager_ = std::make_unique<UdfManager>(db->catalog_.get());
   db->udf_manager_->set_memo_capacity(options.udf_memo_entries);
+  db->udf_manager_->set_quarantine(&db->quarantine_);
   jvm::ResourceLimits limits;
   limits.instruction_budget = options.udf_instruction_budget;
   limits.heap_quota_bytes = options.udf_heap_quota_bytes;
@@ -143,11 +156,21 @@ Result<std::unique_ptr<Database>> Database::Open(
 
 Result<QueryResult> Database::Execute(const std::string& sql_text) {
   JAGUAR_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql_text));
+  // Per-query cancellation token: session `SET TIMEOUT` override wins over
+  // the open-time default; 0 in both places means no deadline.
+  const int64_t timeout_ms = session_timeout_ms_ > 0
+                                 ? session_timeout_ms_
+                                 : options_.query_timeout_ms;
+  const QueryDeadline deadline = QueryDeadline::After(timeout_ms);
+  if (deadline.active()) DeadlineQueries()->Add();
   // Bracket execution with registry snapshots so callers get the exact
   // boundary-crossing counts this statement caused (Figures 5/6/8 quantities)
   // without having to diff the global registry themselves.
   obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
-  Result<QueryResult> result = ExecuteStatement(stmt);
+  Result<QueryResult> result = ExecuteStatement(stmt, deadline);
+  if (!result.ok() && result.status().IsDeadlineExceeded()) {
+    DeadlineExceededQueries()->Add();
+  }
   if (result.ok()) {
     result->metrics_delta =
         obs::SnapshotDelta(before, obs::MetricsRegistry::Global()->Snapshot());
@@ -155,10 +178,11 @@ Result<QueryResult> Database::Execute(const std::string& sql_text) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt,
+                                               const QueryDeadline& deadline) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
-      return ExecuteSelect(stmt);
+      return ExecuteSelect(stmt, deadline);
     case sql::StatementKind::kShowMetrics:
       return ExecuteShowMetrics(stmt);
     case sql::StatementKind::kCreateTable: {
@@ -169,11 +193,21 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
       return result;
     }
     case sql::StatementKind::kInsert:
-      return ExecuteInsert(stmt);
+      return ExecuteInsert(stmt, deadline);
     case sql::StatementKind::kDelete:
-      return ExecuteDelete(stmt);
+      return ExecuteDelete(stmt, deadline);
     case sql::StatementKind::kUpdate:
-      return ExecuteUpdate(stmt);
+      return ExecuteUpdate(stmt, deadline);
+    case sql::StatementKind::kSetTimeout: {
+      session_timeout_ms_ = stmt.set_timeout.timeout_ms;
+      QueryResult result;
+      result.message =
+          session_timeout_ms_ > 0
+              ? StringPrintf("query timeout set to %lld ms",
+                             static_cast<long long>(session_timeout_ms_))
+              : "query timeout override cleared";
+      return result;
+    }
     case sql::StatementKind::kDropTable: {
       if (EqualsIgnoreCase(stmt.drop_table.table, kLobTableName)) {
         return InvalidArgument("cannot drop the internal LOB table");
@@ -277,7 +311,8 @@ Value Finalize(const AggSpec& spec, const AggAccum& acc) {
 
 }  // namespace
 
-Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt,
+                                               const QueryDeadline& deadline) {
   const sql::SelectStmt& sel = stmt.select;
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(sel.table));
   if (sel.order_by != nullptr) {
@@ -285,6 +320,7 @@ Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt) {
   }
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
+  ctx.set_deadline(&deadline);
 
   exec::OperatorPtr op = std::make_unique<exec::SeqScanOp>(
       storage_.get(), table->first_page, table->schema);
@@ -384,6 +420,7 @@ Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt) {
     groups[""] = Group{{}, std::vector<AggAccum>(specs.size())};
   }
   while (true) {
+    JAGUAR_RETURN_IF_ERROR(deadline.Check());
     JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
     if (!t.has_value()) break;
     std::vector<Value> keys;
@@ -431,15 +468,17 @@ Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
+                                            const QueryDeadline& deadline) {
   const sql::SelectStmt& sel = stmt.select;
   if (HasAggregate(sel) || !sel.group_by.empty()) {
-    return ExecuteAggregate(stmt);
+    return ExecuteAggregate(stmt, deadline);
   }
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(sel.table));
 
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
+  ctx.set_deadline(&deadline);
 
   // Plan: SeqScan -> [Filter] -> Project -> [Limit]. The predicate is bound
   // here but only wrapped into a FilterOp on the serial path — the parallel
@@ -506,6 +545,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
       pspec.num_workers = options_.num_workers;
       pspec.callback_handler = this;
       pspec.callback_quota = options_.udf_callback_quota;
+      pspec.deadline = &deadline;
       JAGUAR_ASSIGN_OR_RETURN(result.rows, exec::RunParallelScan(pspec));
       result.rows_affected = result.rows.size();
       return result;
@@ -522,12 +562,14 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
     if (options_.vectorized_execution) {
       exec::TupleBatch batch(options_.batch_size);
       while (true) {
+        JAGUAR_RETURN_IF_ERROR(deadline.Check());
         JAGUAR_RETURN_IF_ERROR(op->NextBatch(&batch));
         if (batch.empty()) break;
         for (Tuple& t : batch.tuples()) result.rows.push_back(std::move(t));
       }
     } else {
       while (true) {
+        JAGUAR_RETURN_IF_ERROR(deadline.Check());
         JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
         if (!t.has_value()) break;
         result.rows.push_back(std::move(*t));
@@ -544,6 +586,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
       // evaluated batch-at-a-time (UDFs in either cross once per batch).
       exec::TupleBatch batch(options_.batch_size);
       while (true) {
+        JAGUAR_RETURN_IF_ERROR(deadline.Check());
         JAGUAR_RETURN_IF_ERROR(op->NextBatch(&batch));
         if (batch.empty()) break;
         JAGUAR_ASSIGN_OR_RETURN(
@@ -565,6 +608,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
       }
     } else {
       while (true) {
+        JAGUAR_RETURN_IF_ERROR(deadline.Check());
         JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
         if (!t.has_value()) break;
         JAGUAR_ASSIGN_OR_RETURN(Value key, exec::Eval(*order_key, *t, &ctx));
@@ -605,7 +649,8 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt,
+                                            const QueryDeadline& deadline) {
   const sql::DeleteStmt& del = stmt.delete_stmt;
   if (EqualsIgnoreCase(del.table, kLobTableName)) {
     return InvalidArgument("cannot delete from the internal LOB table");
@@ -613,6 +658,7 @@ Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt) {
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(del.table));
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
+  ctx.set_deadline(&deadline);
 
   exec::BoundExprPtr predicate;
   if (del.where != nullptr) {
@@ -627,6 +673,7 @@ Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt) {
   std::vector<RecordId> victims;
   TableHeap::Iterator it = heap.Scan();
   while (true) {
+    JAGUAR_RETURN_IF_ERROR(deadline.Check());
     JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
     if (!rec.has_value()) break;
     JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
@@ -646,7 +693,8 @@ Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt,
+                                            const QueryDeadline& deadline) {
   const sql::UpdateStmt& upd = stmt.update;
   if (EqualsIgnoreCase(upd.table, kLobTableName)) {
     return InvalidArgument("cannot update the internal LOB table");
@@ -654,6 +702,7 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt) {
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(upd.table));
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
+  ctx.set_deadline(&deadline);
 
   exec::BoundExprPtr predicate;
   if (upd.where != nullptr) {
@@ -682,6 +731,7 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt) {
   std::vector<std::pair<RecordId, Tuple>> updates;
   TableHeap::Iterator it = heap.Scan();
   while (true) {
+    JAGUAR_RETURN_IF_ERROR(deadline.Check());
     JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
     if (!rec.has_value()) break;
     JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
@@ -713,16 +763,19 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt) {
   return result;
 }
 
-Result<QueryResult> Database::ExecuteInsert(const sql::Statement& stmt) {
+Result<QueryResult> Database::ExecuteInsert(const sql::Statement& stmt,
+                                            const QueryDeadline& deadline) {
   const sql::InsertStmt& ins = stmt.insert;
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(ins.table));
 
   UdfContext ctx(this);
+  ctx.set_deadline(&deadline);
   const Schema empty_schema;
   const Tuple empty_tuple;
   TableHeap heap(storage_.get(), table->first_page);
   uint64_t inserted = 0;
   for (const std::vector<sql::ExprPtr>& row : ins.rows) {
+    JAGUAR_RETURN_IF_ERROR(deadline.Check());
     std::vector<Value> values;
     values.reserve(row.size());
     for (const sql::ExprPtr& expr : row) {
@@ -767,14 +820,19 @@ Status Database::RegisterUdf(UdfInfo info) {
     JAGUAR_RETURN_IF_ERROR(
         JvmUdfRunner::Create(vm_.get(), info, limits).status());
   }
+  const std::string name = info.name;
   JAGUAR_RETURN_IF_ERROR(catalog_->RegisterUdf(std::move(info)));
   udf_manager_->InvalidateCache();
+  // Re-registration is the operator's "I fixed it" signal: clear any
+  // quarantine verdict and strike streak.
+  quarantine_.Reset(name);
   return Status::OK();
 }
 
 Status Database::DropUdf(const std::string& name) {
   JAGUAR_RETURN_IF_ERROR(catalog_->DropUdf(name));
   udf_manager_->InvalidateCache();
+  quarantine_.Reset(name);
   return Status::OK();
 }
 

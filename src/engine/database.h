@@ -22,8 +22,10 @@
 #include <unordered_map>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "engine/query_result.h"
+#include "udf/quarantine.h"
 #include "jvm/vm.h"
 #include "storage/storage_engine.h"
 #include "udf/udf.h"
@@ -70,6 +72,14 @@ struct DatabaseOptions {
   /// LIMIT or aggregates fall back to serial. Isolated UDF designs get an
   /// executor pool of this size (one child process per worker).
   size_t num_workers = 1;
+  /// Wall-clock deadline per query in milliseconds (0 = unlimited). When it
+  /// passes, serial and parallel operators stop between tuples/batches,
+  /// JagVM UDFs abort via the instruction-budget/deadline check, and wedged
+  /// isolated executor children are SIGKILLed by the watchdog; the query
+  /// fails with DeadlineExceeded. Integrated C++ UDFs remain unkillable
+  /// mid-invocation (the paper's Table 1 security column). `SET TIMEOUT <ms>`
+  /// overrides this per session.
+  int64_t query_timeout_ms = 0;
 };
 
 /// Server-side large-object store: the target of UDF handle callbacks
@@ -147,18 +157,33 @@ class Database : public UdfCallbackHandler {
 
   /// Dispatches a parsed statement; `Execute` wraps this with the
   /// before/after metrics snapshots that fill `QueryResult::metrics_delta`.
-  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
-  Result<QueryResult> ExecuteSelect(const sql::Statement& stmt);
-  Result<QueryResult> ExecuteAggregate(const sql::Statement& stmt);
-  Result<QueryResult> ExecuteInsert(const sql::Statement& stmt);
-  Result<QueryResult> ExecuteDelete(const sql::Statement& stmt);
-  Result<QueryResult> ExecuteUpdate(const sql::Statement& stmt);
+  /// `deadline` is the query's cancellation token (inactive when unbounded);
+  /// it lives in `Execute`'s frame for the duration of the statement.
+  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt,
+                                       const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteSelect(const sql::Statement& stmt,
+                                    const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteAggregate(const sql::Statement& stmt,
+                                       const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteInsert(const sql::Statement& stmt,
+                                    const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteDelete(const sql::Statement& stmt,
+                                    const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteUpdate(const sql::Statement& stmt,
+                                    const QueryDeadline& deadline);
   Result<QueryResult> ExecuteShowMetrics(const sql::Statement& stmt);
 
   DatabaseOptions options_;
+  /// Session-level `SET TIMEOUT` override in ms; 0 = none (use
+  /// `options_.query_timeout_ms`).
+  int64_t session_timeout_ms_ = 0;
   std::unique_ptr<StorageEngine> storage_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<jvm::Jvm> vm_;
+  /// Disables UDFs that keep timing out or crashing (consecutive-strike
+  /// policy); re-registration clears the entry. Declared before
+  /// `udf_manager_` so it outlives the runners reporting outcomes to it.
+  QuarantineTracker quarantine_;
   std::unique_ptr<UdfManager> udf_manager_;
   std::unique_ptr<LobStore> lobs_;
   /// Atomic: parallel scan workers serve callbacks concurrently.

@@ -39,6 +39,9 @@ ParallelMetrics* Metrics() {
 Status ProcessBatch(const ParallelScanSpec& spec, std::vector<Tuple>* batch,
                     UdfContext* ctx, std::vector<Tuple>* out) {
   if (batch->empty()) return Status::OK();
+  // Per-batch cancellation point: an expired deadline stops this worker
+  // before the next round of (potentially expensive) UDF evaluation.
+  JAGUAR_RETURN_IF_ERROR(CheckDeadline(spec.deadline));
   std::vector<Tuple> survivors;
   if (spec.predicate != nullptr) {
     JAGUAR_ASSIGN_OR_RETURN(std::vector<char> passes,
@@ -126,6 +129,7 @@ Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
     TableHeap worker_heap(spec.engine, spec.first_page);
     UdfContext ctx(spec.callback_handler);
     ctx.set_callback_quota(spec.callback_quota);
+    ctx.set_deadline(spec.deadline);
     ParallelScanSpec local = spec;
     local.batch_size = batch_cap;
     while (!stop.load(std::memory_order_relaxed)) {

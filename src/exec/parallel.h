@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "exec/expression.h"
 #include "storage/storage_engine.h"
@@ -55,6 +56,9 @@ struct ParallelScanSpec {
   UdfCallbackHandler* callback_handler = nullptr;
   /// Per-context callback quota (0 = unlimited).
   uint64_t callback_quota = 0;
+  /// Query deadline; workers check it between batches and stop the scan
+  /// (first error wins) once it expires. Null or inactive = unbounded.
+  const QueryDeadline* deadline = nullptr;
 };
 
 /// Runs the parallel scan and returns the projected rows in serial scan

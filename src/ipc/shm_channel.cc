@@ -68,7 +68,9 @@ Status ShmChannel::Send(sem_t* sem, uint32_t* type_field, uint64_t* len_field,
 
 Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
     sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
-    const uint8_t* data_area) {
+    const uint8_t* data_area, const QueryDeadline* deadline) {
+  // A deadline that is already dead on entry fails before any waiting.
+  JAGUAR_RETURN_IF_ERROR(CheckDeadline(deadline));
   static obs::Histogram* wait_ns =
       obs::MetricsRegistry::Global()->GetHistogram("ipc.shm.wait_ns");
   obs::Timer wait_timer(wait_ns);
@@ -95,6 +97,9 @@ Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
       return IoError(StringPrintf("sem_timedwait failed: %s",
                                   std::strerror(errno)));
     }
+    // Between slices: first the query deadline (watchdog tick), then the
+    // dead-peer budget. Expiry mid-wait is detected at most one slice late.
+    JAGUAR_RETURN_IF_ERROR(CheckDeadline(deadline));
     struct timespec now;
     ::clock_gettime(CLOCK_MONOTONIC, &now);
     const int64_t elapsed_ns =
@@ -122,14 +127,16 @@ Status ShmChannel::SendToParent(MsgType type, Slice payload) {
 }
 
 Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::ReceiveInChild() {
+  // Children never observe a query deadline: the parent enforces it by
+  // killing them from outside.
   return Receive(&header_->to_child_sem, &header_->to_child_type,
-                 &header_->to_child_len, to_child_data_);
+                 &header_->to_child_len, to_child_data_, nullptr);
 }
 
 Result<std::pair<MsgType, std::vector<uint8_t>>>
 ShmChannel::ReceiveInParent() {
   return Receive(&header_->to_parent_sem, &header_->to_parent_type,
-                 &header_->to_parent_len, to_parent_data_);
+                 &header_->to_parent_len, to_parent_data_, parent_deadline_);
 }
 
 }  // namespace ipc

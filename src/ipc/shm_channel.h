@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -63,6 +64,17 @@ class ShmChannel {
   /// Wait timeout for receives, seconds (guards against a dead peer).
   void set_timeout_seconds(int seconds) { timeout_seconds_ = seconds; }
 
+  /// Attaches (or clears, with null) the query deadline observed by
+  /// `ReceiveInParent`. The parent already wakes every 100ms slice to
+  /// re-check its monotonic budget; with a deadline installed it also checks
+  /// the deadline and abandons the wait with `DeadlineExceeded` — this is the
+  /// watchdog tick that lets the runner SIGKILL a wedged executor child at
+  /// most ~100ms after the deadline passes. Not owned; the caller must keep
+  /// the deadline alive across the receive (and clear it afterwards).
+  void set_parent_deadline(const QueryDeadline* deadline) {
+    parent_deadline_ = deadline;
+  }
+
  private:
   ShmChannel() = default;
 
@@ -79,7 +91,7 @@ class ShmChannel {
               uint8_t* data_area, MsgType type, Slice payload);
   Result<std::pair<MsgType, std::vector<uint8_t>>> Receive(
       sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
-      const uint8_t* data_area);
+      const uint8_t* data_area, const QueryDeadline* deadline);
 
   void* mem_ = nullptr;
   size_t total_size_ = 0;
@@ -88,6 +100,7 @@ class ShmChannel {
   uint8_t* to_child_data_ = nullptr;
   uint8_t* to_parent_data_ = nullptr;
   int timeout_seconds_ = 30;
+  const QueryDeadline* parent_deadline_ = nullptr;
 };
 
 }  // namespace ipc

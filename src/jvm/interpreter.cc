@@ -58,7 +58,22 @@ Result<int64_t> Interpret(ExecContext* ctx, const LoadedClass& cls,
     const Instr& ins = code[pc];
     ++ops;
     if (--*budget < 0) {
+      // With a deadline armed, the budget may be the deadline-derived probe
+      // cap rather than a configured quota — attribute accordingly.
+      const QueryDeadline* dl = ctx->deadline();
+      if (dl != nullptr && (ctx->deadline_budget() || dl->Expired())) {
+        return DeadlineExceeded("query exceeded its deadline of " +
+                                std::to_string(dl->timeout_ms()) + " ms");
+      }
       return ResourceExhausted("UDF exceeded its instruction budget");
+    }
+    // Poll the wall-clock deadline every 64Ki bytecodes: cheap enough to be
+    // free, frequent enough to stop an interpreted busy-loop within
+    // a millisecond of expiry.
+    if ((ops & 0xFFFF) == 0) {
+      if (const QueryDeadline* dl = ctx->deadline()) {
+        JAGUAR_RETURN_IF_ERROR(dl->Check());
+      }
     }
     switch (ins.op) {
       case Op::kNop:

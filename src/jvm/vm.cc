@@ -188,6 +188,14 @@ Result<int64_t> InvokeNative(ExecContext* ctx, const NativeMethod& native,
 namespace {
 // "Unlimited" still uses a finite sentinel so `instructions_retired` works.
 constexpr int64_t kUnlimitedBudget = int64_t{1} << 62;
+// Deadline probe rate for JIT code: an estimate of how many bytecodes per
+// millisecond the machine can retire. The probe budget derived from the
+// remaining wall time bounds how much longer a runaway loop survives past
+// expiry; on machines that retire faster than this rate the probe can trap
+// somewhat *before* the wall deadline, which is why a trap on a
+// deadline-derived budget is always reported as DeadlineExceeded — the
+// budget exists solely to enforce the deadline.
+constexpr int64_t kDeadlineInstructionsPerMs = 4'000'000;
 }  // namespace
 
 ExecContext::ExecContext(Jvm* vm, const ClassLoader* loader,
@@ -263,6 +271,24 @@ void ExecContext::ResetForNextItem() {
   heap_.Reset();
   budget_ = initial_budget_;
   pending_error_ = Status::OK();
+  ApplyDeadlineBudgetCap();
+}
+
+void ExecContext::set_deadline(const QueryDeadline* deadline) {
+  deadline_ = deadline;
+  ApplyDeadlineBudgetCap();
+}
+
+void ExecContext::ApplyDeadlineBudgetCap() {
+  if (deadline_ == nullptr || !deadline_->active()) return;
+  // A configured finite budget is the tighter bound already; only an
+  // unlimited budget needs a cap for JIT code to remain stoppable.
+  if (initial_budget_ != kUnlimitedBudget) return;
+  const int64_t remaining_ms = deadline_->RemainingNanos() / 1000000;
+  const int64_t probe =
+      remaining_ms > 0 ? remaining_ms * kDeadlineInstructionsPerMs : 1;
+  if (probe < budget_) budget_ = probe;
+  deadline_budget_ = true;
 }
 
 Result<int64_t> ExecContext::CallResolved(const LoadedClass& cls,
@@ -295,6 +321,16 @@ Result<int64_t> ExecContext::CallResolved(const LoadedClass& cls,
       if (frame.trap != 0) {
         Status s = TrapToStatus(static_cast<Trap>(frame.trap), pending_error_);
         pending_error_ = Status::OK();
+        // A budget trap on a deadline-derived budget (or any budget trap
+        // after the deadline passed) is the deadline firing through the
+        // JIT's only interruption point.
+        if (static_cast<Trap>(frame.trap) == Trap::kBudget &&
+            deadline_ != nullptr &&
+            (deadline_budget_ || deadline_->Expired())) {
+          s = DeadlineExceeded("query exceeded its deadline of " +
+                               std::to_string(deadline_->timeout_ms()) +
+                               " ms (JIT budget probe)");
+        }
         return s;
       }
       return ret;

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "jvm/class_loader.h"
@@ -210,6 +211,19 @@ class ExecContext {
   const SecurityManager* security() const { return security_; }
   void* user_data() const { return user_data_; }
 
+  /// Arms the query deadline for this crossing (null = unbounded). The
+  /// interpreter polls it periodically; JIT-compiled code can only be
+  /// stopped by its per-block budget checks, so when the configured
+  /// instruction budget is unlimited it is capped to a finite
+  /// deadline-derived probe — a runaway JIT loop then traps on kBudget,
+  /// which is reported as DeadlineExceeded once the deadline has passed.
+  void set_deadline(const QueryDeadline* deadline);
+  const QueryDeadline* deadline() const { return deadline_; }
+  /// True when the current budget is the deadline-derived probe cap rather
+  /// than a user-configured quota — a budget trap then means the deadline
+  /// mechanism fired, and is reported as DeadlineExceeded.
+  bool deadline_budget() const { return deadline_budget_; }
+
   int64_t* budget_ptr() { return &budget_; }
   uint64_t instructions_retired() const {
     return static_cast<uint64_t>(initial_budget_ - budget_);
@@ -225,6 +239,8 @@ class ExecContext {
   void LeaveCall() { --depth_; }
 
  private:
+  void ApplyDeadlineBudgetCap();
+
   Jvm* vm_;
   const ClassLoader* loader_;
   const SecurityManager* security_;
@@ -236,6 +252,8 @@ class ExecContext {
   void* user_data_;
   Status pending_error_;
   uint64_t native_calls_ = 0;
+  const QueryDeadline* deadline_ = nullptr;
+  bool deadline_budget_ = false;
 };
 
 /// Internal: resolves a `call` target through the defining loader, checking

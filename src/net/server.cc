@@ -53,13 +53,33 @@ void Server::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
+  // Wake every serving thread first — a client idling between requests
+  // leaves its thread blocked in ReadFrame forever, and joining it without
+  // this shutdown would hang Stop until the client went away on its own.
+  for (const std::unique_ptr<Connection>& conn : conns) {
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::unique_ptr<Connection>& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+void Server::ReapFinishedLocked() {
+  for (size_t i = 0; i < conns_.size();) {
+    if (!conns_[i]->done.load(std::memory_order_acquire)) {
+      ++i;
+      continue;
+    }
+    if (conns_[i]->thread.joinable()) conns_[i]->thread.join();
+    ::close(conns_[i]->fd);
+    conns_[i] = std::move(conns_.back());
+    conns_.pop_back();
   }
 }
 
@@ -72,21 +92,33 @@ void Server::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, client] { ServeClient(client); });
+    auto conn = std::make_unique<Connection>();
+    conn->fd = client;
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    // Disconnected clients' threads are collected here, so a long-lived
+    // server churning through short connections does not accumulate one
+    // dead std::thread per client ever served.
+    ReapFinishedLocked();
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { ServeClient(raw); });
   }
 }
 
-void Server::ServeClient(int client_fd) {
+void Server::ServeClient(Connection* conn) {
   while (running_.load()) {
     Result<std::pair<FrameType, std::vector<uint8_t>>> frame =
-        ReadFrame(client_fd);
+        ReadFrame(conn->fd);
     if (!frame.ok()) break;  // disconnect
     ++requests_served_;
     auto [type, response] = HandleRequest(frame->first, Slice(frame->second));
-    if (!WriteFrame(client_fd, type, Slice(response)).ok()) break;
+    if (!WriteFrame(conn->fd, type, Slice(response)).ok()) break;
   }
-  ::close(client_fd);
+  // Signal EOF to the peer now, but keep the fd open until the reaper or
+  // Stop joins this thread — closing here would race Stop's shutdown() on a
+  // reused descriptor.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
 }
 
 std::pair<FrameType, std::vector<uint8_t>> Server::HandleRequest(
@@ -97,10 +129,12 @@ std::pair<FrameType, std::vector<uint8_t>> Server::HandleRequest(
     return std::make_pair(FrameType::kError, w.Release());
   };
 
+  // Liveness probes must not queue behind a long-running query: answer
+  // kPing before taking the database mutex.
+  if (type == FrameType::kPing) return {FrameType::kPong, {}};
+
   std::lock_guard<std::mutex> lock(db_mutex_);
   switch (type) {
-    case FrameType::kPing:
-      return {FrameType::kPong, {}};
     case FrameType::kExecuteSql: {
       Result<QueryResult> result = db_->Execute(payload.ToString());
       if (!result.ok()) return error(result.status());

@@ -45,8 +45,21 @@ class Server {
   uint64_t requests_served() const { return requests_served_.load(); }
 
  private:
+  /// One live client connection: its socket and the thread serving it.
+  /// The fd is owned here and closed only after the thread is joined, so
+  /// `Stop` can safely `shutdown()` it to wake a blocked `ReadFrame` without
+  /// racing a concurrent close (fd-reuse hazard).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
-  void ServeClient(int client_fd);
+  void ServeClient(Connection* conn);
+  /// Joins and frees connections whose serving thread has finished.
+  /// Requires `conns_mutex_`.
+  void ReapFinishedLocked();
   /// Handles one request frame; returns the response frame.
   std::pair<FrameType, std::vector<uint8_t>> HandleRequest(
       FrameType type, Slice payload);
@@ -58,8 +71,8 @@ class Server {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_served_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
 };
 
 }  // namespace net

@@ -94,6 +94,7 @@ enum class StatementKind : uint8_t {
   kDelete,
   kUpdate,
   kShowMetrics,
+  kSetTimeout,
 };
 
 /// One SELECT output item: expression plus optional alias.
@@ -148,6 +149,12 @@ struct ShowMetricsStmt {
   std::string like_prefix;  ///< Empty shows every metric.
 };
 
+/// SET TIMEOUT <ms> — session-level query deadline override.
+/// 0 clears the override, falling back to `DatabaseOptions::query_timeout_ms`.
+struct SetTimeoutStmt {
+  int64_t timeout_ms = 0;
+};
+
 struct Statement {
   StatementKind kind;
   SelectStmt select;
@@ -157,6 +164,7 @@ struct Statement {
   DeleteStmt delete_stmt;
   UpdateStmt update;
   ShowMetricsStmt show_metrics;
+  SetTimeoutStmt set_timeout;
 };
 
 }  // namespace sql

@@ -38,9 +38,13 @@ class Parser {
     } else if (PeekKeyword("SHOW")) {
       stmt.kind = StatementKind::kShowMetrics;
       JAGUAR_ASSIGN_OR_RETURN(stmt.show_metrics, ParseShowMetrics());
+    } else if (PeekKeyword("SET")) {
+      stmt.kind = StatementKind::kSetTimeout;
+      JAGUAR_ASSIGN_OR_RETURN(stmt.set_timeout, ParseSetTimeout());
     } else {
       return Error(
-          "expected SELECT, CREATE, INSERT, UPDATE, DELETE, DROP or SHOW");
+          "expected SELECT, CREATE, INSERT, UPDATE, DELETE, DROP, SET or "
+          "SHOW");
     }
     if (Peek().IsSymbol(";")) Advance();
     if (Peek().kind != TokenKind::kEnd) {
@@ -276,6 +280,21 @@ class Parser {
         return Error("expected a quoted prefix after LIKE");
       }
       stmt.like_prefix = Advance().text;
+    }
+    return stmt;
+  }
+
+  // SET TIMEOUT <ms> (0 clears the session override)
+  Result<SetTimeoutStmt> ParseSetTimeout() {
+    SetTimeoutStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("TIMEOUT"));
+    if (Peek().kind != TokenKind::kInteger) {
+      return Error("expected integer milliseconds after SET TIMEOUT");
+    }
+    stmt.timeout_ms = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    if (stmt.timeout_ms < 0) {
+      return Error("SET TIMEOUT requires a non-negative millisecond count");
     }
     return stmt;
   }

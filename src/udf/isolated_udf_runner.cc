@@ -26,6 +26,49 @@ obs::Counter* PipelinedChunks() {
   return c;
 }
 
+/// Executor children SIGKILLed because their query's deadline passed while
+/// they were still executing (the isolated designs' "stop button", Section 4).
+obs::Counter* WatchdogKills() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.watchdog.kills");
+  return c;
+}
+
+Result<std::vector<Value>> RunChunkedBatch(
+    ipc::RemoteExecutor* executor,
+    const std::vector<std::vector<Value>>& args_batch, size_t header_bytes,
+    size_t shm_capacity, UdfContext* ctx,
+    const std::function<void(BufferWriter*)>& write_header);
+
+/// Runs one chunked batch through a leased executor with the query deadline
+/// (if any) armed on the lease's channel, then settles the lease:
+///   - DeadlineExceeded: the child is still chewing on the UDF (or wedged) —
+///     the watchdog SIGKILLs it via Discard and the pool respawns lazily.
+///     Only this worker's lease dies; concurrent workers' leases are healthy.
+///   - IoError: the child died on its own; discard as before.
+/// Shared by Designs 2 (IC++) and 4 (IJNI) — the two "kill the process"
+/// cells of Table 1's security column.
+Result<std::vector<Value>> RunGuardedBatch(
+    ExecutorPool::Lease* lease,
+    const std::vector<std::vector<Value>>& args_batch, size_t header_bytes,
+    size_t shm_capacity, UdfContext* ctx,
+    const std::function<void(BufferWriter*)>& write_header) {
+  ipc::ShmChannel* channel = lease->get()->channel();
+  channel->set_parent_deadline(ctx != nullptr ? ctx->deadline() : nullptr);
+  Result<std::vector<Value>> results = RunChunkedBatch(
+      lease->get(), args_batch, header_bytes, shm_capacity, ctx, write_header);
+  channel->set_parent_deadline(nullptr);
+  if (!results.ok()) {
+    if (results.status().IsDeadlineExceeded()) {
+      WatchdogKills()->Add();
+      lease->Discard();
+    } else if (results.status().IsIoError()) {
+      lease->Discard();
+    }
+  }
+  return results;
+}
+
 /// Bytes one argument row adds to a request payload (u32 arg count + each
 /// value's wire encoding).
 size_t ArgRowSerializedSize(const std::vector<Value>& args) {
@@ -301,13 +344,10 @@ Result<std::vector<Value>> IsolatedNativeRunner::DoInvokeBatch(
   JAGUAR_ASSIGN_OR_RETURN(ExecutorPool::Lease lease, pool_->Acquire());
 
   const size_t header_bytes = 4 + impl_name_.size() + 4;
-  Result<std::vector<Value>> results = RunChunkedBatch(
-      lease.get(), args_batch, header_bytes, shm_capacity_, ctx,
-      [this](BufferWriter* w) { w->PutString(impl_name_); });
-  // A transport failure means the child is dead or wedged; only this
-  // worker's batch fails, and the pool respawns on a later acquire.
-  if (!results.ok() && results.status().IsIoError()) lease.Discard();
-  return results;
+  // A transport failure or deadline expiry means the child is dead or must
+  // die; only this worker's batch fails, and the pool respawns later.
+  return RunGuardedBatch(&lease, args_batch, header_bytes, shm_capacity_, ctx,
+                         [this](BufferWriter* w) { w->PutString(impl_name_); });
 }
 
 UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity,
@@ -478,11 +518,8 @@ Result<std::vector<Value>> IsolatedJvmRunner::DoInvokeBatch(
   JAGUAR_ASSIGN_OR_RETURN(ExecutorPool::Lease lease, pool_->Acquire());
 
   const size_t header_bytes = 4;
-  Result<std::vector<Value>> results =
-      RunChunkedBatch(lease.get(), args_batch, header_bytes, shm_capacity_,
-                      ctx, [](BufferWriter*) {});
-  if (!results.ok() && results.status().IsIoError()) lease.Discard();
-  return results;
+  return RunGuardedBatch(&lease, args_batch, header_bytes, shm_capacity_, ctx,
+                         [](BufferWriter*) {});
 }
 
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(

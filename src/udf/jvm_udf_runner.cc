@@ -168,6 +168,7 @@ Result<Value> JvmUdfRunner::DoInvoke(const std::vector<Value>& args,
   // One ExecContext per invocation: fresh heap pool, fresh budget, the UDF
   // context riding along for the Jaguar.* natives.
   jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
+  if (ctx != nullptr) exec.set_deadline(ctx->deadline());
   JAGUAR_ASSIGN_OR_RETURN(std::vector<int64_t> slots,
                           MarshalArgs(&exec, args));
   JAGUAR_ASSIGN_OR_RETURN(int64_t raw,
@@ -184,6 +185,7 @@ Result<std::vector<Value>> JvmUdfRunner::DoInvokeBatch(
   // One boundary crossing for the whole batch: a single ExecContext and one
   // name resolution, recycled between items (Section 2.5's amortization).
   jvm::ExecContext exec(vm_, loader_.get(), &security_, limits_, ctx);
+  if (ctx != nullptr) exec.set_deadline(ctx->deadline());
   JAGUAR_ASSIGN_OR_RETURN(jvm::ExecContext::ResolvedStatic target,
                           exec.ResolveStatic(class_name_, method_name_));
   std::vector<Value> results;

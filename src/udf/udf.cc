@@ -187,11 +187,15 @@ Result<Value> UdfRunner::InvokeCounted(const std::vector<Value>& args,
   } else {
     failures_->Add();
   }
+  if (outcome_listener_) outcome_listener_(result.status());
   return result;
 }
 
 Result<Value> UdfRunner::Invoke(const std::vector<Value>& args,
                                 UdfContext* ctx) {
+  // Fail fast once the query deadline has passed: no design should start a
+  // fresh boundary crossing for a query that is already dead.
+  if (ctx != nullptr) JAGUAR_RETURN_IF_ERROR(ctx->CheckDeadline());
   EnsureMetrics();
   if (memo_ == nullptr) return InvokeCounted(args, ctx);
   const std::string key = UdfMemoCache::KeyFor(args);
@@ -242,9 +246,11 @@ Result<std::vector<Value>> UdfRunner::InvokeBatchCounted(
   if (results.ok()) {
     if (results->size() != args_batch.size()) {
       failures_->Add();
-      return Internal(StringPrintf(
+      Status mismatch = Internal(StringPrintf(
           "UDF batch returned %zu results for %zu argument rows",
           results->size(), args_batch.size()));
+      if (outcome_listener_) outcome_listener_(mismatch);
+      return mismatch;
     }
     uint64_t out_bytes = 0;
     for (const Value& v : *results) out_bytes += v.SerializedSize();
@@ -252,12 +258,14 @@ Result<std::vector<Value>> UdfRunner::InvokeBatchCounted(
   } else {
     failures_->Add();
   }
+  if (outcome_listener_) outcome_listener_(results.status());
   return results;
 }
 
 Result<std::vector<Value>> UdfRunner::InvokeBatch(
     const std::vector<std::vector<Value>>& args_batch, UdfContext* ctx) {
   if (args_batch.empty()) return std::vector<Value>();
+  if (ctx != nullptr) JAGUAR_RETURN_IF_ERROR(ctx->CheckDeadline());
   EnsureMetrics();
   if (memo_ == nullptr) return InvokeBatchCounted(args_batch, ctx);
 

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "types/value.h"
@@ -65,12 +66,22 @@ class UdfContext {
   /// (0 = unlimited). Exceeding it fails with ResourceExhausted.
   void set_callback_quota(uint64_t quota) { callback_quota_ = quota; }
 
+  /// Attaches the query's deadline token. The context does not own it; the
+  /// engine keeps it alive for the duration of the query. May be null
+  /// (unbounded query).
+  void set_deadline(const QueryDeadline* deadline) { deadline_ = deadline; }
+  const QueryDeadline* deadline() const { return deadline_; }
+
+  /// \return OK while the query deadline (if any) has not passed.
+  Status CheckDeadline() const { return jaguar::CheckDeadline(deadline_); }
+
  private:
   Status ChargeCallback();
 
   UdfCallbackHandler* handler_;
   uint64_t callbacks_made_ = 0;
   uint64_t callback_quota_ = 0;
+  const QueryDeadline* deadline_ = nullptr;
 };
 
 /// Signature of a native (C++) UDF. Mirrors PREDATOR's original Design 1
@@ -183,6 +194,15 @@ class UdfRunner {
   /// alive as long as the runner may be invoked.
   void set_memo_cache(UdfMemoCache* memo) { memo_ = memo; }
 
+  /// Observer called with the outcome `Status` of every counted invocation
+  /// (per batch for `InvokeBatch`). Installed by the resolver to feed the
+  /// per-UDF quarantine tracker; memo hits and deadline fail-fasts (where the
+  /// UDF never ran) are not reported. May be empty.
+  using OutcomeListener = std::function<void(const Status&)>;
+  void set_outcome_listener(OutcomeListener listener) {
+    outcome_listener_ = std::move(listener);
+  }
+
   /// \return The label used in the paper's graphs ("C++", "IC++", "JNI"...).
   virtual std::string design_label() const = 0;
 
@@ -221,6 +241,7 @@ class UdfRunner {
   obs::Counter* result_bytes_ = nullptr;
   obs::Histogram* latency_ns_ = nullptr;
   UdfMemoCache* memo_ = nullptr;  ///< Owned by the resolver; may be null.
+  OutcomeListener outcome_listener_;
 };
 
 /// Design 1: the UDF is a function pointer inside the server process. Fastest

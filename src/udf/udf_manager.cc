@@ -57,6 +57,9 @@ Result<UdfRunner*> UdfManager::Resolve(const std::string& name,
   static obs::Counter* cache_misses =
       obs::MetricsRegistry::Global()->GetCounter("udf.runner_cache_misses");
   const std::string key = ToLower(name);
+  if (quarantine_ != nullptr) {
+    JAGUAR_RETURN_IF_ERROR(quarantine_->CheckAllowed(key));
+  }
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     cache_misses->Add();
@@ -64,6 +67,12 @@ Result<UdfRunner*> UdfManager::Resolve(const std::string& name,
     if (memo_capacity_ > 0) {
       built.memo = std::make_unique<UdfMemoCache>(memo_capacity_);
       built.runner->set_memo_cache(built.memo.get());
+    }
+    if (quarantine_ != nullptr) {
+      QuarantineTracker* tracker = quarantine_;
+      built.runner->set_outcome_listener([tracker, key](const Status& s) {
+        tracker->RecordOutcome(key, s);
+      });
     }
     it = cache_.emplace(key, std::move(built)).first;
   } else {

@@ -21,6 +21,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "udf/quarantine.h"
 #include "udf/udf.h"
 
 namespace jaguar {
@@ -54,6 +55,14 @@ class UdfManager : public UdfResolver {
   /// memoized results never outlive a re-registration).
   void InvalidateCache() { cache_.clear(); }
 
+  /// Attaches the per-UDF quarantine tracker (not owned; may be null to
+  /// disable). Resolution rejects quarantined names and every runner built
+  /// afterwards reports its invocation outcomes to the tracker.
+  void set_quarantine(QuarantineTracker* quarantine) {
+    quarantine_ = quarantine;
+  }
+  QuarantineTracker* quarantine() const { return quarantine_; }
+
  private:
   struct CachedRunner {
     std::unique_ptr<UdfRunner> runner;
@@ -69,6 +78,7 @@ class UdfManager : public UdfResolver {
   std::map<UdfLanguage, RunnerFactory> factories_;
   std::map<std::string, CachedRunner> cache_;
   size_t memo_capacity_ = 0;
+  QuarantineTracker* quarantine_ = nullptr;
 };
 
 }  // namespace jaguar

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "udf/generic_udf.h"
+#include "udf/udf.h"
 
 namespace jaguar {
 namespace net {
@@ -243,6 +245,88 @@ TEST_F(NetTest, ConcurrentClientsAreSerializedSafely) {
   for (const Tuple& row : pairs.rows) {
     EXPECT_EQ(row.value(1).AsInt(), kOps);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle: Stop() vs idle and mid-query clients, ping liveness
+// ---------------------------------------------------------------------------
+
+/// Sleeps for args[0] milliseconds — a stand-in for any slow server-side
+/// query, so lifecycle tests can hold the database mutex for a known time.
+Status SleepMsUdf(const std::vector<Value>& args, UdfContext* ctx,
+                  Value* out) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(args[0].AsInt()));
+  *out = Value::Int(0);
+  return Status::OK();
+}
+
+int64_t MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+class NetLifecycleTest : public NetTest {
+ protected:
+  void SetUp() override {
+    NetTest::SetUp();
+    static const bool registered = [] {
+      NativeUdfRegistry::Global()
+          ->Register({"sleep_ms_udf", TypeId::kInt, {TypeId::kInt},
+                      &SleepMsUdf})
+          .ok();
+      return true;
+    }();
+    (void)registered;
+    UdfInfo info;
+    info.name = "sleep_ms";
+    info.language = UdfLanguage::kNative;
+    info.return_type = TypeId::kInt;
+    info.arg_types = {TypeId::kInt};
+    info.impl_name = "sleep_ms_udf";
+    ASSERT_TRUE(db_->RegisterUdf(info).ok());
+    ASSERT_TRUE(client_->Execute("CREATE TABLE t (a INT)").ok());
+    ASSERT_TRUE(client_->Execute("INSERT INTO t VALUES (1)").ok());
+  }
+};
+
+TEST_F(NetLifecycleTest, StopReturnsWithIdleAndMidQueryClients) {
+  // The regression this guards: an idle client (the fixture's `client_`,
+  // connected but sending nothing) used to leave its serving thread blocked
+  // in ReadFrame forever, so Stop() hung on the join. Stop must wake it via
+  // shutdown() and return even while a second client is mid-query.
+  std::thread slow([&] {
+    auto c = Client::Connect("127.0.0.1", server_->port());
+    if (c.ok()) {
+      // Outcome irrelevant — the connection is torn down under the query.
+      (*c)->Execute("SELECT sleep_ms(400) FROM t").ok();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto start = std::chrono::steady_clock::now();
+  server_->Stop();
+  // Bounded by the in-flight query (~300 ms left) plus slack — crucially not
+  // by the idle client, which would block forever.
+  EXPECT_LT(MsSince(start), 5000);
+  slow.join();
+}
+
+TEST_F(NetLifecycleTest, PingAnswersDuringSlowQuery) {
+  // kPing is answered before taking the database mutex, so liveness probes
+  // work even while another client's query holds the engine.
+  std::thread slow([&] {
+    auto c = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE((*c)->Execute("SELECT sleep_ms(1500) FROM t").ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client_->Ping().ok());
+  // Well under the ~1300 ms the slow query still holds the db mutex.
+  EXPECT_LT(MsSince(start), 800);
+  slow.join();
 }
 
 TEST_F(NetTest, GenericUdfOverTheWire) {

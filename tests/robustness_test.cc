@@ -12,11 +12,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "engine/database.h"
+#include "jjc/jjc.h"
 #include "jvm/assembler.h"
 #include "jvm/class_loader.h"
 #include "jvm/verifier.h"
@@ -26,6 +30,7 @@
 #include "obs/metrics.h"
 #include "udf/generic_udf.h"
 #include "udf/isolated_udf_runner.h"
+#include "udf/udf.h"
 
 namespace jaguar {
 namespace {
@@ -504,6 +509,271 @@ TEST(IsolatedRunnerFaultTest, KilledMidBatchFailsWholeBatchAndRespawns) {
   EXPECT_EQ(revived->size(), clean.size());
   EXPECT_GT(runner->child_pid(), 0);
   EXPECT_NE(runner->child_pid(), doomed);
+}
+
+// ---------------------------------------------------------------------------
+// Query deadlines: runaway-UDF termination and quarantine
+// ---------------------------------------------------------------------------
+
+/// A hostile native UDF that never returns — the exact scenario Table 1's
+/// security column is about. Under the integrated C++ design this would wedge
+/// the server forever (documented, by design); under IC++/IJNI the parent's
+/// watchdog SIGKILLs the executor child when the deadline passes.
+Status SpinForeverUdf(const std::vector<Value>& args, UdfContext* ctx,
+                      Value* out) {
+  volatile uint64_t sink = 0;
+  for (;;) sink = sink + 1;
+}
+
+void RegisterSpinUdf() {
+  static const bool registered = [] {
+    NativeUdfRegistry::Global()
+        ->Register({"spin_forever_udf", TypeId::kInt, {TypeId::kInt},
+                    &SpinForeverUdf})
+        .ok();
+    return true;
+  }();
+  (void)registered;
+}
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// SnapshotDelta drops unchanged entries, so a missing key means "zero".
+uint64_t DeltaOf(const obs::MetricsSnapshot& delta, const std::string& name) {
+  auto it = delta.find(name);
+  return it == delta.end() ? 0 : it->second;
+}
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterSpinUdf();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("jaguar_deadline_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".db"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    db_.reset();
+    std::remove(path_.c_str());
+  }
+
+  void Open() {
+    db_ = Database::Open(path_, options_).value();
+    ASSERT_TRUE(db_->Execute("CREATE TABLE t (a INT)").ok());
+    ASSERT_TRUE(db_->Execute("INSERT INTO t VALUES (1)").ok());
+  }
+
+  /// Registers the spinning native UDF as `name` under `lang` (kNative or
+  /// kNativeIsolated).
+  void RegisterSpin(const std::string& name, UdfLanguage lang) {
+    UdfInfo info;
+    info.name = name;
+    info.language = lang;
+    info.return_type = TypeId::kInt;
+    info.arg_types = {TypeId::kInt};
+    info.impl_name = "spin_forever_udf";
+    ASSERT_TRUE(db_->RegisterUdf(info).ok());
+  }
+
+  /// Registers an infinite-loop JJava UDF as `name` under kJJava or
+  /// kJJavaIsolated.
+  void RegisterJJavaSpin(const std::string& name, UdfLanguage lang) {
+    const char* spin_src = R"(
+class DSpin {
+  static int run(int a) {
+    int x = 0;
+    while (0 == 0) { x = x + 1; }
+    return x;
+  }
+})";
+    UdfInfo info;
+    info.name = name;
+    info.language = lang;
+    info.return_type = TypeId::kInt;
+    info.arg_types = {TypeId::kInt};
+    info.impl_name = "DSpin.run";
+    info.payload = jjc::Compile(spin_src).value().Serialize();
+    ASSERT_TRUE(db_->RegisterUdf(info).ok());
+  }
+
+  DatabaseOptions options_;
+  std::string path_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedNativeUdf) {
+  // The tentpole scenario: an IC++ UDF that loops forever is SIGKILLed by
+  // the watchdog within query_timeout_ms + one 100 ms watchdog tick, the
+  // query fails with DeadlineExceeded (NOT IoError — the child did not die
+  // on its own), and the pool respawns for the next query.
+  options_.query_timeout_ms = 300;
+  Open();
+  RegisterSpin("spin", UdfLanguage::kNativeIsolated);
+  RegisterGenericUdfs();
+  UdfInfo healthy;
+  healthy.name = "g_ic";
+  healthy.language = UdfLanguage::kNativeIsolated;
+  healthy.return_type = TypeId::kInt;
+  healthy.arg_types = {TypeId::kBytes, TypeId::kInt, TypeId::kInt,
+                       TypeId::kInt};
+  healthy.impl_name = "generic_udf";
+  ASSERT_TRUE(db_->RegisterUdf(healthy).ok());
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> dead = db_->Execute("SELECT spin(a) FROM t");
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  // 300 ms deadline + 100 ms watchdog tick + generous scheduling slack.
+  EXPECT_LT(elapsed, 3000) << "watchdog took too long";
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot());
+  EXPECT_GE(DeltaOf(delta, "udf.watchdog.kills"), 1u);
+  EXPECT_GE(DeltaOf(delta, "exec.deadline.exceeded"), 1u);
+  EXPECT_GE(DeltaOf(delta, "exec.deadline.queries"), 1u);
+
+  // The pool respawned a fresh child: the same query times out cleanly again
+  // (a dead, never-respawned executor would surface as IoError instead).
+  Result<QueryResult> again = db_->Execute("SELECT spin(a) FROM t");
+  EXPECT_TRUE(again.status().IsDeadlineExceeded()) << again.status();
+
+  // Other isolated executors were never touched by the kills: a healthy
+  // IC++ UDF still runs to completion on its own pool.
+  Result<QueryResult> ok =
+      db_->Execute("SELECT g_ic(zerobytes(8), 2, 1, 0) FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->rows.size(), 1u);
+}
+
+TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedJvmUdf) {
+  // Design 4 (IJNI): the child's JagVM executes an unbounded JJava loop
+  // (no instruction budget configured); only the parent-side watchdog can
+  // stop it, by killing the whole executor process.
+  options_.query_timeout_ms = 300;
+  Open();
+  RegisterJJavaSpin("spin4", UdfLanguage::kJJavaIsolated);
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> dead = db_->Execute("SELECT spin4(a) FROM t");
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  EXPECT_LT(elapsed, 3000);
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot());
+  EXPECT_GE(DeltaOf(delta, "udf.watchdog.kills"), 1u);
+  EXPECT_GE(DeltaOf(delta, "exec.deadline.exceeded"), 1u);
+
+  // Server (and a fresh executor) keep working.
+  Result<QueryResult> ok = db_->Execute("SELECT a FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST_F(DeadlineTest, InterpreterStopsInProcessJJavaAtDeadline) {
+  // Design 3 (JNI): the in-process JagVM is cooperative — the interpreter
+  // polls the wall clock every 64Ki bytecodes, so a busy loop stops within
+  // a millisecond of expiry with DeadlineExceeded even though no instruction
+  // budget is configured.
+  options_.query_timeout_ms = 200;
+  options_.udf_jit = false;
+  Open();
+  RegisterJJavaSpin("spin3", UdfLanguage::kJJava);
+
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> dead = db_->Execute("SELECT spin3(a) FROM t");
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  EXPECT_LT(elapsed, 2000);
+  EXPECT_TRUE(db_->Execute("SELECT a FROM t").ok());
+}
+
+TEST_F(DeadlineTest, JitBudgetProbeStopsInProcessJJavaAtDeadline) {
+  // JIT-compiled code cannot poll a clock mid-loop; with no configured
+  // budget, the deadline caps the budget to a deliberately generous
+  // instructions-per-ms probe, so the loop traps on the budget check and the
+  // trap is attributed to the (by then expired) deadline.
+  options_.query_timeout_ms = 100;
+  options_.udf_jit = true;
+  Open();
+  RegisterJJavaSpin("spinjit", UdfLanguage::kJJava);
+
+  Result<QueryResult> dead = db_->Execute("SELECT spinjit(a) FROM t");
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  EXPECT_TRUE(db_->Execute("SELECT a FROM t").ok());
+}
+
+TEST_F(DeadlineTest, SetTimeoutOverridesAndClears) {
+  Open();  // no open-time timeout
+  RegisterSpin("spin", UdfLanguage::kNativeIsolated);
+
+  QueryResult set = db_->Execute("SET TIMEOUT 250").value();
+  EXPECT_NE(set.message.find("250"), std::string::npos);
+  Result<QueryResult> dead = db_->Execute("SELECT spin(a) FROM t");
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+
+  QueryResult cleared = db_->Execute("SET TIMEOUT 0").value();
+  EXPECT_NE(cleared.message.find("cleared"), std::string::npos);
+  // Back to unbounded: ordinary statements run with no deadline armed.
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  EXPECT_TRUE(db_->Execute("SELECT a FROM t").ok());
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot());
+  EXPECT_EQ(DeltaOf(delta, "exec.deadline.queries"), 0u);
+}
+
+TEST_F(DeadlineTest, QuarantineDisablesRepeatOffenderUntilReRegistered) {
+  // Three consecutive watchdog kills trip the quarantine: the fourth query
+  // is refused outright (SecurityViolation, no child is even spawned), and
+  // re-registering the UDF clears the verdict.
+  options_.query_timeout_ms = 250;
+  Open();
+  RegisterSpin("spin", UdfLanguage::kNativeIsolated);
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResult> dead = db_->Execute("SELECT spin(a) FROM t");
+    EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << i << dead.status();
+  }
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot());
+  EXPECT_EQ(DeltaOf(delta, "udf.quarantine.trips"), 1u);
+  EXPECT_GE(DeltaOf(delta, "udf.quarantine.strikes"), 3u);
+
+  Result<QueryResult> refused = db_->Execute("SELECT spin(a) FROM t");
+  EXPECT_TRUE(refused.status().IsSecurityViolation()) << refused.status();
+  EXPECT_NE(refused.status().message().find("quarantined"), std::string::npos);
+
+  // Re-registration is the explicit re-enable gesture.
+  ASSERT_TRUE(db_->DropUdf("spin").ok());
+  RegisterSpin("spin", UdfLanguage::kNativeIsolated);
+  Result<QueryResult> back = db_->Execute("SELECT spin(a) FROM t");
+  EXPECT_TRUE(back.status().IsDeadlineExceeded()) << back.status();
+}
+
+TEST(QueryDeadlineTest, TokenSemantics) {
+  QueryDeadline inactive;
+  EXPECT_FALSE(inactive.active());
+  EXPECT_FALSE(inactive.Expired());
+  EXPECT_TRUE(inactive.Check().ok());
+  EXPECT_TRUE(QueryDeadline::After(0).Check().ok());
+  EXPECT_FALSE(QueryDeadline::After(0).active());
+  EXPECT_TRUE(CheckDeadline(nullptr).ok());
+
+  QueryDeadline soon = QueryDeadline::After(30);
+  EXPECT_TRUE(soon.active());
+  EXPECT_EQ(soon.timeout_ms(), 30);
+  EXPECT_TRUE(soon.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(soon.Expired());
+  EXPECT_TRUE(soon.Check().IsDeadlineExceeded());
+  EXPECT_LE(soon.RemainingNanos(), 0);
 }
 
 TEST(VmEdgeCaseTest, ZeroLengthArraysEverywhere) {

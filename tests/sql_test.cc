@@ -125,6 +125,21 @@ TEST(ParserTest, DropTable) {
   EXPECT_EQ(stmt.drop_table.table, "old_stuff");
 }
 
+TEST(ParserTest, SetTimeout) {
+  auto stmt = Parse("SET TIMEOUT 500").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kSetTimeout);
+  EXPECT_EQ(stmt.set_timeout.timeout_ms, 500);
+
+  // Keywords are case-insensitive; 0 clears the session override.
+  auto cleared = Parse("set timeout 0").value();
+  ASSERT_EQ(cleared.kind, StatementKind::kSetTimeout);
+  EXPECT_EQ(cleared.set_timeout.timeout_ms, 0);
+
+  EXPECT_TRUE(Parse("SET TIMEOUT").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SET TIMEOUT forever").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SET TIMEOUT -5").status().IsInvalidArgument());
+}
+
 TEST(ParserTest, OperatorPrecedence) {
   EXPECT_EQ(ParseExpression("1 + 2 * 3").value()->ToString(),
             "(1 + (2 * 3))");
