@@ -78,14 +78,13 @@ Status Catalog::Load(PageId root) {
 }
 
 Status Catalog::Persist() {
-  // Rewrite: drop the old heap, build a fresh one, update the root pointer.
-  {
-    TableHeap old_heap(engine_, root_);
-    JAGUAR_RETURN_IF_ERROR(old_heap.DropAll());
-  }
-  JAGUAR_ASSIGN_OR_RETURN(root_, TableHeap::Create(engine_));
-  JAGUAR_RETURN_IF_ERROR(engine_->SetCatalogRoot(root_));
-  TableHeap heap(engine_, root_);
+  // Rewrite: build a fully populated fresh heap, switch the root pointer to
+  // it, and only then drop the old heap. The root switch is one logged
+  // header write, so crash recovery sees either the complete old catalog or
+  // the complete new one — never a root pointing at a half-built heap.
+  const PageId old_root = root_;
+  JAGUAR_ASSIGN_OR_RETURN(PageId new_root, TableHeap::Create(engine_));
+  TableHeap heap(engine_, new_root);
   for (const auto& [key, info] : tables_) {
     BufferWriter w;
     w.PutU8(kTableTag);
@@ -105,6 +104,12 @@ Status Catalog::Persist() {
     w.PutString(info.impl_name);
     w.PutLengthPrefixed(Slice(info.payload));
     JAGUAR_RETURN_IF_ERROR(heap.Insert(w.AsSlice()).status());
+  }
+  JAGUAR_RETURN_IF_ERROR(engine_->SetCatalogRoot(new_root));
+  root_ = new_root;
+  if (old_root != kInvalidPageId) {
+    TableHeap old_heap(engine_, old_root);
+    JAGUAR_RETURN_IF_ERROR(old_heap.DropAll());
   }
   return Status::OK();
 }

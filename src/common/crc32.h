@@ -1,0 +1,46 @@
+#ifndef JAGUAR_COMMON_CRC32_H_
+#define JAGUAR_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// CRC-32 (the reflected 0xEDB88320 polynomial, as used by zlib) over a byte
+/// range. Used to frame write-ahead log records so a torn append is detected
+/// by the recovery tail scan instead of being replayed as garbage.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace jaguar {
+
+namespace internal {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace internal
+
+/// CRC of `len` bytes at `data`; `seed` allows incremental computation by
+/// passing a previous result.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = internal::Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace jaguar
+
+#endif  // JAGUAR_COMMON_CRC32_H_

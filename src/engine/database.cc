@@ -116,8 +116,13 @@ Result<std::unique_ptr<Database>> Database::Open(
   RegisterGenericUdfs();
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
-  JAGUAR_ASSIGN_OR_RETURN(db->storage_,
-                          StorageEngine::Open(path, options.buffer_pool_pages));
+  wal::WalOptions wal_options;
+  wal_options.enabled = options.wal_enabled;
+  wal_options.fsync_on_commit = options.wal_fsync;
+  wal_options.checkpoint_bytes = options.wal_checkpoint_bytes;
+  JAGUAR_ASSIGN_OR_RETURN(
+      db->storage_,
+      StorageEngine::Open(path, options.buffer_pool_pages, wal_options));
   JAGUAR_ASSIGN_OR_RETURN(db->catalog_, Catalog::Open(db->storage_.get()));
 
   // One JagVM per server, created at startup (Section 4.2: "a single JVM is
@@ -170,6 +175,22 @@ Result<QueryResult> Database::Execute(const std::string& sql_text) {
   Result<QueryResult> result = ExecuteStatement(stmt, deadline);
   if (!result.ok() && result.status().IsDeadlineExceeded()) {
     DeadlineExceededQueries()->Add();
+  }
+  // Statement-level commit: a mutating statement is durable once Execute
+  // returns OK. One Commit() covers every record the statement appended
+  // (group commit), and the hook also auto-checkpoints a grown log.
+  if (result.ok()) {
+    switch (stmt.kind) {
+      case sql::StatementKind::kCreateTable:
+      case sql::StatementKind::kDropTable:
+      case sql::StatementKind::kInsert:
+      case sql::StatementKind::kDelete:
+      case sql::StatementKind::kUpdate:
+        JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
+        break;
+      default:
+        break;
+    }
   }
   if (result.ok()) {
     result->metrics_delta =
@@ -822,6 +843,7 @@ Status Database::RegisterUdf(UdfInfo info) {
   }
   const std::string name = info.name;
   JAGUAR_RETURN_IF_ERROR(catalog_->RegisterUdf(std::move(info)));
+  JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
   udf_manager_->InvalidateCache();
   // Re-registration is the operator's "I fixed it" signal: clear any
   // quarantine verdict and strike streak.
@@ -831,13 +853,16 @@ Status Database::RegisterUdf(UdfInfo info) {
 
 Status Database::DropUdf(const std::string& name) {
   JAGUAR_RETURN_IF_ERROR(catalog_->DropUdf(name));
+  JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
   udf_manager_->InvalidateCache();
   quarantine_.Reset(name);
   return Status::OK();
 }
 
 Result<int64_t> Database::StoreLob(const std::vector<uint8_t>& data) {
-  return lobs_->Store(data);
+  JAGUAR_ASSIGN_OR_RETURN(int64_t handle, lobs_->Store(data));
+  JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
+  return handle;
 }
 
 Result<std::vector<uint8_t>> Database::FetchLob(int64_t handle,
@@ -868,6 +893,6 @@ Result<std::vector<uint8_t>> Database::FetchBytes(int64_t handle,
   return lobs_->Fetch(handle, offset, len);
 }
 
-Status Database::Flush() { return storage_->buffer_pool()->FlushAll(); }
+Status Database::Flush() { return storage_->Checkpoint(); }
 
 }  // namespace jaguar

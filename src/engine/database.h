@@ -80,6 +80,16 @@ struct DatabaseOptions {
   /// mid-invocation (the paper's Table 1 security column). `SET TIMEOUT <ms>`
   /// overrides this per session.
   int64_t query_timeout_ms = 0;
+  /// Write-ahead logging (crash recovery). Off = pre-WAL behavior: no log
+  /// file, durability only at Flush()/Close().
+  bool wal_enabled = true;
+  /// fsync the log after every mutating statement. Disabling keeps write
+  /// ordering (the WAL rule) but lets a crash lose the last few statements;
+  /// benchmarks use this so figures measure UDF costs, not fsyncs.
+  bool wal_fsync = true;
+  /// Auto-checkpoint (flush + log truncation) once the log exceeds this many
+  /// bytes.
+  uint64_t wal_checkpoint_bytes = 8ull << 20;
 };
 
 /// Server-side large-object store: the target of UDF handle callbacks

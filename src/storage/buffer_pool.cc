@@ -29,8 +29,9 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity) {
+BufferPool::BufferPool(DiskManager* disk, size_t capacity,
+                       wal::LogManager* wal)
+    : disk_(disk), wal_(wal), capacity_(capacity) {
   JAGUAR_CHECK(capacity > 0);
   frames_.resize(capacity);
   free_frames_.reserve(capacity);
@@ -41,6 +42,17 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity)
 }
 
 BufferPool::~BufferPool() { FlushAll().ok(); }
+
+Status BufferPool::WriteBackFrame(Frame& frame) {
+  if (wal_ != nullptr) {
+    // WAL rule: the record that produced this page image must be durable
+    // before the image can reach the data file.
+    JAGUAR_RETURN_IF_ERROR(wal_->EnsureDurable(PageLsn(frame.data.get())));
+  }
+  JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+  frame.dirty = false;
+  return Status::OK();
+}
 
 Result<size_t> BufferPool::GetVictimFrame() {
   if (!free_frames_.empty()) {
@@ -59,8 +71,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
   static obs::Counter* evictions = PoolCounter("evictions");
   evictions->Add();
   if (frame.dirty) {
-    JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
-    frame.dirty = false;
+    JAGUAR_RETURN_IF_ERROR(WriteBackFrame(frame));
   }
   page_table_.erase(frame.id);
   frame.id = kInvalidPageId;
@@ -134,8 +145,7 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Frame& frame : frames_) {
     if (frame.id != kInvalidPageId && frame.dirty) {
-      JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
-      frame.dirty = false;
+      JAGUAR_RETURN_IF_ERROR(WriteBackFrame(frame));
     }
   }
   return disk_->Sync();

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "wal/log_manager.h"
 
 namespace jaguar {
 
@@ -75,7 +76,11 @@ class BufferPool {
  public:
   /// \param disk backing store (must outlive the pool).
   /// \param capacity number of frames.
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// \param wal when non-null, the pool enforces the WAL rule: before a
+  ///        dirty page is written back (eviction or FlushAll), the log is
+  ///        made durable up to that page's footer LSN. Must outlive the pool.
+  BufferPool(DiskManager* disk, size_t capacity,
+             wal::LogManager* wal = nullptr);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -118,9 +123,13 @@ class BufferPool {
   void MarkFrameDirty(size_t frame);
   /// Requires `mutex_` held.
   Result<size_t> GetVictimFrame();
+  /// WAL rule + write-back of one dirty frame. Requires `mutex_` held (safe:
+  /// the log manager has its own lock and never calls back into the pool).
+  Status WriteBackFrame(Frame& frame);
 
   mutable std::mutex mutex_;
   DiskManager* disk_;
+  wal::LogManager* wal_;
   size_t capacity_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "wal/crash_point.h"
 
 namespace jaguar {
 
@@ -62,6 +63,17 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   if (id >= num_pages_) {
     return InvalidArgument(StringPrintf("write of unallocated page %u", id));
   }
+  JAGUAR_CRASH_POINT("storage.before_page_write");
+#ifndef JAGUAR_DISABLE_CRASH_POINTS
+  if (wal::CrashPoints::IsArmed("storage.mid_page_write")) {
+    // Simulate a torn page: the kernel persisted only the first half of the
+    // 8 KiB write before power was lost. Only the leading half is written, so
+    // the LSN footer (in the trailing half) still describes the *old* page
+    // contents and redo will repair the page from the log.
+    ::pwrite(fd_, data, kPageSize / 2, static_cast<off_t>(id) * kPageSize);
+    wal::CrashPoints::Die("storage.mid_page_write");
+  }
+#endif
   ssize_t n = ::pwrite(fd_, data, kPageSize,
                        static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
@@ -78,6 +90,14 @@ Result<PageId> DiskManager::AllocatePage() {
   if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
   ++num_pages_;
   return id;
+}
+
+Status DiskManager::EnsureSize(uint32_t num_pages) {
+  if (!is_open()) return Internal("disk manager not open");
+  while (num_pages_ < num_pages) {
+    JAGUAR_RETURN_IF_ERROR(AllocatePage().status());
+  }
+  return Status::OK();
 }
 
 Status DiskManager::Sync() {

@@ -11,13 +11,17 @@
 
 #include "common/status.h"
 #include "storage/page.h"
+#include "wal/log_manager.h"
 
 namespace jaguar {
 
-class DiskManager {
+/// Implements `wal::PageDevice` so the recovery redo pass can patch pages
+/// directly, bypassing the buffer pool (which does not exist yet at recovery
+/// time).
+class DiskManager : public wal::PageDevice {
  public:
   DiskManager() = default;
-  ~DiskManager();
+  ~DiskManager() override;
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
@@ -29,19 +33,23 @@ class DiskManager {
   bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  uint32_t num_pages() const { return num_pages_; }
+  uint32_t num_pages() const override { return num_pages_; }
 
   /// Reads page `id` into `out` (which must hold kPageSize bytes).
-  Status ReadPage(PageId id, uint8_t* out);
+  Status ReadPage(PageId id, uint8_t* out) override;
   /// Writes kPageSize bytes from `data` to page `id`. The page must already
   /// be allocated (id < num_pages()).
-  Status WritePage(PageId id, const uint8_t* data);
+  Status WritePage(PageId id, const uint8_t* data) override;
 
   /// Extends the file by one zeroed page and returns its id.
   Result<PageId> AllocatePage();
 
+  /// Grows the file with zeroed pages until it holds `num_pages` pages.
+  /// No-op when the file is already at least that large.
+  Status EnsureSize(uint32_t num_pages) override;
+
   /// fsync()s the file.
-  Status Sync();
+  Status Sync() override;
 
   /// Cumulative I/O counters (used by tests and the calibration bench).
   uint64_t reads() const { return reads_; }

@@ -5,6 +5,7 @@
 /// Fixed-size page constants and ids for the storage layer.
 
 #include <cstdint>
+#include <cstring>
 
 namespace jaguar {
 
@@ -16,6 +17,25 @@ using PageId = uint32_t;
 
 /// Sentinel for "no page" (end of chains, unallocated references).
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Every page reserves its last 8 bytes for the LSN of the latest WAL record
+/// applied to it. Recovery compares this footer against each log record's LSN
+/// to decide replay-vs-skip, which is what makes redo idempotent. The footer
+/// is uniform across page kinds (header page, slotted pages, overflow pages,
+/// free pages); page formats must keep their payload below kPageLsnOffset.
+/// A fresh (all-zero) page carries LSN 0, which no log record ever uses.
+inline constexpr uint32_t kPageLsnSize = 8;
+inline constexpr uint32_t kPageLsnOffset = kPageSize - kPageLsnSize;
+
+inline uint64_t PageLsn(const uint8_t* page) {
+  uint64_t lsn;
+  std::memcpy(&lsn, page + kPageLsnOffset, kPageLsnSize);
+  return lsn;
+}
+
+inline void SetPageLsn(uint8_t* page, uint64_t lsn) {
+  std::memcpy(page + kPageLsnOffset, &lsn, kPageLsnSize);
+}
 
 /// A record's physical address: page + slot within the page.
 struct RecordId {

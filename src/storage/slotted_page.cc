@@ -29,10 +29,12 @@ void SlottedPage::PutU32(uint32_t off, uint32_t v) {
 }
 
 void SlottedPage::Init() {
-  std::memset(data_, 0, kPageSize);
-  PutU32(0, kInvalidPageId);           // next_page_id
+  // Leave the LSN footer alone: it belongs to the WAL layer, and a re-Init of
+  // a recycled page must not roll its LSN backwards.
+  std::memset(data_, 0, kPageLsnOffset);
+  PutU32(0, kInvalidPageId);  // next_page_id
   set_num_slots(0);
-  set_cell_start(static_cast<uint16_t>(kPageSize == 65536 ? 65535 : kPageSize));
+  set_cell_start(static_cast<uint16_t>(kPageLsnOffset));
 }
 
 PageId SlottedPage::next_page_id() const { return GetU32(0); }
@@ -47,7 +49,7 @@ uint32_t SlottedPage::FreeSpace() const {
 }
 
 uint32_t SlottedPage::MaxRecordSize() {
-  return kPageSize - kHeaderSize - kSlotSize;
+  return kPageLsnOffset - kHeaderSize - kSlotSize;
 }
 
 Result<uint16_t> SlottedPage::Insert(Slice record) {
@@ -119,7 +121,7 @@ void SlottedPage::Compact() {
   // memmove never overwrites bytes it has yet to copy.
   std::sort(cells.begin(), cells.end(),
             [](const LiveCell& a, const LiveCell& b) { return a.off > b.off; });
-  uint16_t write_end = static_cast<uint16_t>(kPageSize);
+  uint16_t write_end = static_cast<uint16_t>(kPageLsnOffset);
   for (const LiveCell& c : cells) {
     uint16_t new_off = static_cast<uint16_t>(write_end - c.size);
     if (c.size > 0) std::memmove(data_ + new_off, data_ + c.off, c.size);
@@ -139,8 +141,8 @@ Status SlottedPage::CheckInvariants() const {
     if (off == 0) continue;
     uint16_t size = GetU16(SlotOffsetPos(i) + 2);
     if (off < cell_start()) return Corruption("cell before cell_start");
-    if (static_cast<uint32_t>(off) + size > kPageSize) {
-      return Corruption("cell past page end");
+    if (static_cast<uint32_t>(off) + size > kPageLsnOffset) {
+      return Corruption("cell past the lsn footer");
     }
     if (size > 0) ranges.emplace_back(off, static_cast<uint16_t>(off + size));
   }

@@ -6,13 +6,14 @@
 ///
 /// Layout:
 ///
-///     [ header | slot array --> ...free... <-- cell data ]
+///     [ header | slot array --> ...free... <-- cell data | lsn footer ]
 ///
 /// * header (12 bytes): next_page_id (u32, heap-file chain), num_slots (u16),
 ///   cell_start (u16, offset of the lowest cell byte), reserved (u32).
 /// * slot array: per slot, offset (u16) and size (u16). A slot with
 ///   offset == 0 is a tombstone (cell space reclaimable by Compact()).
-/// * cells grow downward from the page end.
+/// * cells grow downward from kPageLsnOffset; the last 8 bytes hold the
+///   page's WAL LSN (see page.h) and are never touched by this class.
 ///
 /// `SlottedPage` is a *view*: it does not own the buffer. The buffer pool owns
 /// frames; callers construct a view over a pinned frame.

@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/string_util.h"
+#include "storage/page_edit.h"
 #include "storage/slotted_page.h"
 
 namespace jaguar {
@@ -12,7 +13,8 @@ namespace {
 constexpr uint8_t kInlineTag = 0x00;
 constexpr uint8_t kOverflowTag = 0x01;
 constexpr uint32_t kOverflowHeader = 8;  // next (u32) + chunk_len (u32)
-constexpr uint32_t kOverflowCapacity = kPageSize - kOverflowHeader;
+// Chunks stop short of the page's LSN footer (page.h).
+constexpr uint32_t kOverflowCapacity = kPageLsnOffset - kOverflowHeader;
 // Slot payload for an overflow record: tag + total_len + first_page.
 constexpr uint32_t kOverflowStubSize = 1 + 8 + 4;
 
@@ -35,9 +37,10 @@ TableHeap::TableHeap(StorageEngine* engine, PageId first_page)
 Result<PageId> TableHeap::Create(StorageEngine* engine) {
   JAGUAR_ASSIGN_OR_RETURN(PageId id, engine->AllocatePage());
   JAGUAR_ASSIGN_OR_RETURN(PageGuard page, engine->buffer_pool()->FetchPage(id));
+  WalPageEdit edit(engine->wal(), &page);
   SlottedPage sp(page.data());
   sp.Init();
-  page.MarkDirty();
+  JAGUAR_RETURN_IF_ERROR(edit.Commit());
   return id;
 }
 
@@ -58,18 +61,23 @@ Result<RecordId> TableHeap::Insert(Slice record) {
   Slice payload = stub.AsSlice();
 
   // Append into the last page of the chain, extending the chain when full.
+  // The record carrying the new tuple is the *last* one the statement logs
+  // (chain links and page formats precede it), so a replay that stops early
+  // yields a well-formed heap without the tuple — never a torn tuple.
   PageId pid = last_page_hint_;
   while (true) {
     JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
                             engine_->buffer_pool()->FetchPage(pid));
+    WalPageEdit edit(engine_->wal(), &page);
     SlottedPage sp(page.data());
     Result<uint16_t> slot = sp.Insert(payload);
     if (slot.ok()) {
-      page.MarkDirty();
+      JAGUAR_RETURN_IF_ERROR(edit.Commit());
       last_page_hint_ = pid;
       return RecordId{pid, slot.value()};
     }
     if (slot.status().code() != StatusCode::kResourceExhausted) {
+      // The size check rejects before touching the page; nothing to log.
       return slot.status();
     }
     PageId next = sp.next_page_id();
@@ -78,14 +86,17 @@ Result<RecordId> TableHeap::Insert(Slice record) {
       {
         JAGUAR_ASSIGN_OR_RETURN(PageGuard fresh_page,
                                 engine_->buffer_pool()->FetchPage(fresh));
+        WalPageEdit fresh_edit(engine_->wal(), &fresh_page);
         SlottedPage fresh_sp(fresh_page.data());
         fresh_sp.Init();
-        fresh_page.MarkDirty();
+        JAGUAR_RETURN_IF_ERROR(fresh_edit.Commit());
       }
       sp.set_next_page_id(fresh);
-      page.MarkDirty();
       next = fresh;
     }
+    // Commit even though the insert failed: the attempt may have compacted
+    // the page, and an unlogged mutation would desync replay's diff base.
+    JAGUAR_RETURN_IF_ERROR(edit.Commit());
     pid = next;
   }
 }
@@ -118,16 +129,18 @@ Result<PageId> TableHeap::WriteOverflow(Slice payload) {
     {
       JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
                               engine_->buffer_pool()->FetchPage(pid));
+      WalPageEdit edit(engine_->wal(), &page);
       StoreU32(page.data(), kInvalidPageId);
       StoreU32(page.data() + 4, static_cast<uint32_t>(chunk));
       std::memcpy(page.data() + kOverflowHeader, payload.data() + off, chunk);
-      page.MarkDirty();
+      JAGUAR_RETURN_IF_ERROR(edit.Commit());
     }
     if (prev != kInvalidPageId) {
       JAGUAR_ASSIGN_OR_RETURN(PageGuard prev_page,
                               engine_->buffer_pool()->FetchPage(prev));
+      WalPageEdit edit(engine_->wal(), &prev_page);
       StoreU32(prev_page.data(), pid);
-      prev_page.MarkDirty();
+      JAGUAR_RETURN_IF_ERROR(edit.Commit());
     } else {
       first = pid;
     }
@@ -140,9 +153,10 @@ Result<PageId> TableHeap::WriteOverflow(Slice payload) {
     JAGUAR_ASSIGN_OR_RETURN(first, engine_->AllocatePage());
     JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
                             engine_->buffer_pool()->FetchPage(first));
+    WalPageEdit edit(engine_->wal(), &page);
     StoreU32(page.data(), kInvalidPageId);
     StoreU32(page.data() + 4, 0);
-    page.MarkDirty();
+    JAGUAR_RETURN_IF_ERROR(edit.Commit());
   }
   return first;
 }
@@ -186,6 +200,7 @@ Status TableHeap::Delete(RecordId rid) {
   {
     JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
                             engine_->buffer_pool()->FetchPage(rid.page_id));
+    WalPageEdit edit(engine_->wal(), &page);
     SlottedPage sp(page.data());
     JAGUAR_ASSIGN_OR_RETURN(Slice payload, sp.Get(rid.slot));
     if (!payload.empty() && payload[0] == kOverflowTag &&
@@ -193,7 +208,7 @@ Status TableHeap::Delete(RecordId rid) {
       overflow_first = LoadU32(payload.data() + 9);
     }
     JAGUAR_RETURN_IF_ERROR(sp.Delete(rid.slot));
-    page.MarkDirty();
+    JAGUAR_RETURN_IF_ERROR(edit.Commit());
   }
   if (overflow_first != kInvalidPageId) {
     JAGUAR_RETURN_IF_ERROR(FreeOverflow(overflow_first));

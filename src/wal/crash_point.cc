@@ -1,0 +1,77 @@
+#include "wal/crash_point.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace jaguar::wal {
+
+namespace {
+
+std::atomic<bool> g_any_armed{false};
+std::mutex g_mutex;
+std::string& ArmedName() {
+  static std::string name;
+  return name;
+}
+
+void LoadFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("JAGUAR_CRASH_POINT");
+    if (env != nullptr && env[0] != '\0') {
+      std::lock_guard<std::mutex> lock(g_mutex);
+      ArmedName() = env;
+      g_any_armed.store(true, std::memory_order_release);
+    }
+  });
+}
+
+}  // namespace
+
+const std::vector<std::string>& CrashPoints::AllNames() {
+  static const std::vector<std::string> names = {
+      "wal.after_log_append",
+      "storage.before_page_write",
+      "storage.mid_page_write",
+      "storage.after_page_write_before_header",
+      "wal.mid_checkpoint",
+  };
+  return names;
+}
+
+void CrashPoints::Arm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ArmedName() = name;
+  g_any_armed.store(!name.empty(), std::memory_order_release);
+}
+
+void CrashPoints::Disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ArmedName().clear();
+  g_any_armed.store(false, std::memory_order_release);
+}
+
+bool CrashPoints::AnyArmed() {
+  LoadFromEnvOnce();
+  return g_any_armed.load(std::memory_order_acquire);
+}
+
+bool CrashPoints::IsArmed(const char* name) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return ArmedName() == name;
+}
+
+void CrashPoints::Die(const char* name) {
+  // stderr is unbuffered enough for the test parent to see the reason even
+  // though we skip atexit handlers and stream flushes below.
+  std::fprintf(stderr, "[jaguar] crash point hit: %s\n", name);
+  ::_exit(kExitCode);
+}
+
+}  // namespace jaguar::wal

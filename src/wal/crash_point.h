@@ -1,0 +1,66 @@
+#ifndef JAGUAR_WAL_CRASH_POINT_H_
+#define JAGUAR_WAL_CRASH_POINT_H_
+
+/// \file crash_point.h
+/// Deterministic fault injection for crash-recovery testing.
+///
+/// The write path is instrumented with named crash points
+/// (`JAGUAR_CRASH_POINT("wal.after_log_append")` etc.). In normal operation a
+/// crash point is a single relaxed atomic load. A test arms exactly one point
+/// — usually in a forked child — and the process calls `_exit` with
+/// `CrashPoints::kExitCode` the first time execution reaches it, simulating a
+/// power failure / SIGKILL at a precisely chosen instant. The parent then
+/// reopens the database and asserts recovery produced a committed state.
+///
+/// Arming is programmatic (`CrashPoints::Arm`) or via the environment
+/// variable `JAGUAR_CRASH_POINT`, read once on first use. Defining
+/// `JAGUAR_DISABLE_CRASH_POINTS` compiles the hooks out entirely.
+
+#include <string>
+#include <vector>
+
+namespace jaguar::wal {
+
+class CrashPoints {
+ public:
+  /// Exit status used by an injected crash, so test parents can distinguish
+  /// an intentional crash from an assertion failure or a clean exit.
+  static constexpr int kExitCode = 42;
+
+  /// The canonical crash points wired into the write path. The recovery test
+  /// matrix iterates this list so a new point cannot be added without being
+  /// exercised.
+  static const std::vector<std::string>& AllNames();
+
+  /// Arms `name`; the next time execution reaches it the process exits with
+  /// kExitCode. Only one point is armed at a time (last call wins).
+  static void Arm(const std::string& name);
+
+  /// Disarms any armed point.
+  static void Disarm();
+
+  /// True when `name` is the armed point.
+  static bool IsArmed(const char* name);
+
+  /// Reports the hit and terminates the process immediately (no destructors,
+  /// no buffer flushes — the closest portable approximation of a power cut).
+  [[noreturn]] static void Die(const char* name);
+
+  /// Fast-path check used by the JAGUAR_CRASH_POINT macro.
+  static void MaybeCrash(const char* name) {
+    if (AnyArmed() && IsArmed(name)) Die(name);
+  }
+
+ private:
+  static bool AnyArmed();
+};
+
+}  // namespace jaguar::wal
+
+#ifndef JAGUAR_DISABLE_CRASH_POINTS
+#define JAGUAR_CRASH_POINT(name) ::jaguar::wal::CrashPoints::MaybeCrash(name)
+#else
+#define JAGUAR_CRASH_POINT(name) ((void)0)
+#endif
+
+#endif  // JAGUAR_WAL_CRASH_POINT_H_

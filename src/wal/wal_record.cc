@@ -1,0 +1,68 @@
+#include "wal/wal_record.h"
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace jaguar::wal {
+
+void EncodeWalRecord(const WalRecord& rec, BufferWriter* w) {
+  w->PutU64(rec.lsn);
+  w->PutU8(static_cast<uint8_t>(rec.type));
+  w->PutU32(rec.page_id);
+  w->PutU32(rec.offset);
+  w->PutU32(rec.aux);
+  w->PutLengthPrefixed(Slice(rec.data.data(), rec.data.size()));
+}
+
+Result<WalRecord> DecodeWalRecord(Slice payload) {
+  BufferReader r(payload);
+  WalRecord rec;
+  JAGUAR_ASSIGN_OR_RETURN(rec.lsn, r.ReadU64());
+  JAGUAR_ASSIGN_OR_RETURN(uint8_t type, r.ReadU8());
+  if (type < kMinWalRecordType || type > kMaxWalRecordType) {
+    return Corruption(StringPrintf("bad wal record type %u", type));
+  }
+  rec.type = static_cast<WalRecordType>(type);
+  JAGUAR_ASSIGN_OR_RETURN(rec.page_id, r.ReadU32());
+  JAGUAR_ASSIGN_OR_RETURN(rec.offset, r.ReadU32());
+  JAGUAR_ASSIGN_OR_RETURN(rec.aux, r.ReadU32());
+  JAGUAR_ASSIGN_OR_RETURN(Slice data, r.ReadLengthPrefixed());
+  if (!r.AtEnd()) return Corruption("trailing bytes after wal record");
+  if (rec.type == WalRecordType::kPageWrite) {
+    if (rec.offset > kPageSize || data.size() > kPageSize ||
+        rec.offset + data.size() > kPageSize) {
+      return Corruption("wal page write outside page bounds");
+    }
+  }
+  rec.data = data.ToVector();
+  return rec;
+}
+
+size_t AppendWalFrame(const WalRecord& rec, std::vector<uint8_t>* out) {
+  BufferWriter payload;
+  EncodeWalRecord(rec, &payload);
+  BufferWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.buffer().data(), payload.size()));
+  frame.PutBytes(payload.AsSlice());
+  out->insert(out->end(), frame.buffer().begin(), frame.buffer().end());
+  return frame.size();
+}
+
+Result<std::pair<WalRecord, size_t>> ReadWalFrame(Slice buf) {
+  BufferReader r(buf);
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+  JAGUAR_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+  if (len < kWalPayloadHeaderSize || len > kMaxWalPayloadSize) {
+    return Corruption(StringPrintf("implausible wal frame length %u", len));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(Slice payload, r.ReadBytes(len));
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Corruption("wal frame crc mismatch");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(WalRecord rec, DecodeWalRecord(payload));
+  return std::make_pair(std::move(rec),
+                        static_cast<size_t>(kWalFrameHeaderSize + len));
+}
+
+}  // namespace jaguar::wal

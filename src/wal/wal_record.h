@@ -1,0 +1,102 @@
+#ifndef JAGUAR_WAL_WAL_RECORD_H_
+#define JAGUAR_WAL_WAL_RECORD_H_
+
+/// \file wal_record.h
+/// Redo log record format and its on-disk framing.
+///
+/// Every record is a physical *after-image*: it says "these bytes of page P
+/// now look like this", which makes replay idempotent — applying a record
+/// twice yields the same page. Records are written inside CRC-framed chunks:
+///
+///     frame   := len (u32) | crc32 (u32, over payload) | payload
+///     payload := lsn (u64) | type (u8) | page_id (u32) | offset (u32) |
+///                aux (u32) | data_len (u32) | data
+///
+/// The CRC plus the "stored LSN must equal the LSN implied by the file
+/// offset" rule let the recovery tail scan stop cleanly at the first torn or
+/// garbage append instead of replaying it.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace jaguar::wal {
+
+/// Log sequence number. LSNs are byte offsets into the logical log stream
+/// (monotonic across checkpoint truncations via a persisted base), so "LSN of
+/// the next record" is always `this record's LSN + its frame size`. LSN 0 is
+/// reserved for "never logged" — fresh pages carry it in their footer.
+using Lsn = uint64_t;
+
+inline constexpr Lsn kNullLsn = 0;
+
+enum class WalRecordType : uint8_t {
+  /// After-image of a byte range of one page (covers tuple inserts/deletes,
+  /// header-field updates, page formats — anything a page edit produced).
+  kPageWrite = 1,
+  /// The file grew to include `page_id`; replay re-extends a shorter file.
+  kPageAlloc = 2,
+  /// `page_id` went on the free list. Marker only: the physical link/header
+  /// changes travel in their own kPageWrite records.
+  kPageFree = 3,
+  /// The catalog root moved to `aux`. Marker only, like kPageFree.
+  kCatalogRoot = 4,
+  /// Start-of-log checkpoint: everything at or below this LSN is on disk in
+  /// the data file. `aux` records the data file's page count.
+  kCheckpoint = 5,
+};
+
+inline constexpr uint8_t kMinWalRecordType = 1;
+inline constexpr uint8_t kMaxWalRecordType = 5;
+
+struct WalRecord {
+  Lsn lsn = kNullLsn;
+  WalRecordType type = WalRecordType::kPageWrite;
+  PageId page_id = kInvalidPageId;
+  /// Byte offset within the page of `data` (kPageWrite only).
+  uint32_t offset = 0;
+  /// Type-specific scalar (catalog root id, checkpoint page count).
+  uint32_t aux = 0;
+  /// After-image bytes (kPageWrite only).
+  std::vector<uint8_t> data;
+
+  bool operator==(const WalRecord& o) const {
+    return lsn == o.lsn && type == o.type && page_id == o.page_id &&
+           offset == o.offset && aux == o.aux && data == o.data;
+  }
+};
+
+/// Frame header: len + crc.
+inline constexpr uint32_t kWalFrameHeaderSize = 8;
+/// Payload fields before `data`: lsn + type + page_id + offset + aux +
+/// data_len.
+inline constexpr uint32_t kWalPayloadHeaderSize = 8 + 1 + 4 + 4 + 4 + 4;
+/// Upper bound on one payload; a record never carries more than a page.
+inline constexpr uint32_t kMaxWalPayloadSize =
+    kWalPayloadHeaderSize + kPageSize;
+
+/// Serializes the payload (no frame) of `rec` into `w`.
+void EncodeWalRecord(const WalRecord& rec, BufferWriter* w);
+
+/// Decodes one payload. Validates the type tag, that a kPageWrite's byte
+/// range lies within a page, and that no trailing bytes remain. Returns
+/// Corruption (never crashes) on malformed input.
+Result<WalRecord> DecodeWalRecord(Slice payload);
+
+/// Appends the full frame (len | crc | payload) for `rec` to `out`.
+/// \return the frame's size in bytes.
+size_t AppendWalFrame(const WalRecord& rec, std::vector<uint8_t>* out);
+
+/// Parses the frame at the head of `buf`. On success also returns the frame
+/// size so callers can advance. Any truncation, bad length, CRC mismatch or
+/// payload corruption yields a clean non-OK status — this is the function the
+/// recovery tail scan leans on.
+Result<std::pair<WalRecord, size_t>> ReadWalFrame(Slice buf);
+
+}  // namespace jaguar::wal
+
+#endif  // JAGUAR_WAL_WAL_RECORD_H_

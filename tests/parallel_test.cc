@@ -26,6 +26,8 @@
 #include "udf/isolated_udf_runner.h"
 #include "udf/jvm_udf_runner.h"
 
+#include "test_requirements.h"
+
 namespace jaguar {
 namespace {
 
@@ -124,6 +126,8 @@ class ParallelTest : public ::testing::Test {
 };
 
 TEST_F(ParallelTest, AllDesignsMatchSerialUnderParallelScan) {
+  JAGUAR_REQUIRE_THREADS(4);
+  JAGUAR_REQUIRE_FORK();  // isolated designs spawn executor children
   RegisterGenericOnBoth("g_ic", UdfLanguage::kNativeIsolated);
   RegisterGenericOnBoth("g_jni", UdfLanguage::kJJava);
   RegisterGenericOnBoth("g_sfi", UdfLanguage::kNativeSfi);
@@ -154,6 +158,8 @@ TEST_F(ParallelTest, AllDesignsMatchSerialUnderParallelScan) {
 }
 
 TEST_F(ParallelTest, FilteredParallelScanMatchesSerial) {
+  JAGUAR_REQUIRE_THREADS(4);
+  JAGUAR_REQUIRE_FORK();
   RegisterGenericOnBoth("g_ic", UdfLanguage::kNativeIsolated);
   // Threshold = row 0's UDF value, so the predicate is satisfiable but not
   // trivially all-pass; workers evaluate it batch-at-a-time in parallel.
@@ -206,6 +212,8 @@ void ExpectGenericBatchResults(const std::vector<Value>& results,
 }
 
 TEST(ConcurrentRunnerTest, PooledIsolatedRunnerServesParallelBatches) {
+  JAGUAR_REQUIRE_THREADS(4);
+  JAGUAR_REQUIRE_FORK();
   RegisterGenericUdfs();
   auto runner =
       IsolatedNativeRunner::Spawn(
@@ -240,6 +248,7 @@ TEST(ConcurrentRunnerTest, PooledIsolatedRunnerServesParallelBatches) {
 }
 
 TEST(ConcurrentRunnerTest, SharedJvmRunnerServesParallelInvocations) {
+  JAGUAR_REQUIRE_THREADS(4);
   // One JagVM, one runner, four threads: exercises the VM's JIT cache,
   // method-resolution caches and stats under concurrency.
   DatabaseOptions options;
@@ -293,6 +302,7 @@ Result<std::vector<uint8_t>> NoCallbacks(Slice) {
 }
 
 TEST(ExecutorPoolTest, DeadLeaseFailsAloneAndPoolRespawns) {
+  JAGUAR_REQUIRE_FORK();
   ExecutorPool pool(
       [] { return ipc::RemoteExecutor::Spawn(4096, &EchoHandler); }, 2);
   pool.set_timeout_seconds(1);
@@ -326,6 +336,7 @@ TEST(ExecutorPoolTest, DeadLeaseFailsAloneAndPoolRespawns) {
 }
 
 TEST(ExecutorPoolTest, AcquireBlocksAtCapUntilALeaseReturns) {
+  JAGUAR_REQUIRE_FORK();
   obs::Counter* waits =
       obs::MetricsRegistry::Global()->GetCounter("udf.pool.waits");
   const uint64_t waits_before = waits->value();
@@ -355,6 +366,7 @@ TEST(ExecutorPoolTest, AcquireBlocksAtCapUntilALeaseReturns) {
 // ---------------------------------------------------------------------------
 
 TEST(ConcurrentRunnerTest, KilledPooledExecutorsFailBatchesThenRespawn) {
+  JAGUAR_REQUIRE_FORK();
   RegisterGenericUdfs();
   auto runner =
       IsolatedNativeRunner::Spawn(
@@ -390,6 +402,7 @@ TEST(ConcurrentRunnerTest, KilledPooledExecutorsFailBatchesThenRespawn) {
 // ---------------------------------------------------------------------------
 
 TEST(MetricsConcurrencyTest, SnapshotsAreSafeUnderConcurrentWriters) {
+  JAGUAR_REQUIRE_THREADS(4);
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
   const obs::MetricsSnapshot before = reg->Snapshot("test.parallel.");
 

@@ -32,6 +32,8 @@
 #include "udf/isolated_udf_runner.h"
 #include "udf/udf.h"
 
+#include "test_requirements.h"
+
 namespace jaguar {
 namespace {
 
@@ -417,6 +419,7 @@ TEST(VmEdgeCaseTest, HugeBranchMethodCompiles) {
 // ---------------------------------------------------------------------------
 
 TEST(IsolatedRunnerFaultTest, KilledChildFailsCleanlyAndIsObservable) {
+  JAGUAR_REQUIRE_FORK();
   // Section 3.2's protection argument: an isolated UDF process dying must
   // cost the server one failed invocation, nothing more — and the failure
   // must be visible in the udf.icpp metrics.
@@ -471,6 +474,7 @@ class ChildKillingHandler : public UdfCallbackHandler {
 };
 
 TEST(IsolatedRunnerFaultTest, KilledMidBatchFailsWholeBatchAndRespawns) {
+  JAGUAR_REQUIRE_FORK();
   // SIGKILL the executor while it is halfway through a batch (triggered by
   // the first row's callback). The whole batch must fail with one clean
   // error — no hang, no partial results — and the *same* runner must
@@ -609,6 +613,7 @@ class DSpin {
 };
 
 TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedNativeUdf) {
+  JAGUAR_REQUIRE_FORK();
   // The tentpole scenario: an IC++ UDF that loops forever is SIGKILLed by
   // the watchdog within query_timeout_ms + one 100 ms watchdog tick, the
   // query fails with DeadlineExceeded (NOT IoError — the child did not die
@@ -653,6 +658,7 @@ TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedNativeUdf) {
 }
 
 TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedJvmUdf) {
+  JAGUAR_REQUIRE_FORK();
   // Design 4 (IJNI): the child's JagVM executes an unbounded JJava loop
   // (no instruction budget configured); only the parent-side watchdog can
   // stop it, by killing the whole executor process.

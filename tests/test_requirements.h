@@ -1,0 +1,57 @@
+#ifndef JAGUAR_TESTS_TEST_REQUIREMENTS_H_
+#define JAGUAR_TESTS_TEST_REQUIREMENTS_H_
+
+/// \file test_requirements.h
+/// GTEST_SKIP-based environment guards shared by the test binaries. Some
+/// tests need capabilities a CI runner may lack: enough hardware threads for
+/// real parallelism, or the ability to fork()/kill child processes (denied
+/// in some sandboxes). Skipping with a reason keeps the suite green and
+/// honest everywhere instead of flaking on small or restricted runners.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace jaguar::test {
+
+/// Probes (once per process) whether fork() + waitpid() actually work here.
+inline bool CanFork() {
+  static const bool ok = [] {
+    pid_t pid = ::fork();
+    if (pid < 0) return false;
+    if (pid == 0) ::_exit(0);
+    int wstatus = 0;
+    return ::waitpid(pid, &wstatus, 0) == pid && WIFEXITED(wstatus) &&
+           WEXITSTATUS(wstatus) == 0;
+  }();
+  return ok;
+}
+
+inline unsigned HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace jaguar::test
+
+/// Skips the current test when child processes can't be spawned/reaped.
+#define JAGUAR_REQUIRE_FORK()                                      \
+  do {                                                             \
+    if (!::jaguar::test::CanFork()) {                              \
+      GTEST_SKIP() << "fork()/waitpid() unavailable on this host"; \
+    }                                                              \
+  } while (0)
+
+/// Skips the current test on machines with fewer than `n` hardware threads.
+#define JAGUAR_REQUIRE_THREADS(n)                                          \
+  do {                                                                     \
+    if (::jaguar::test::HardwareThreads() < (n)) {                         \
+      GTEST_SKIP() << "needs >= " << (n) << " hardware threads, have "     \
+                   << ::jaguar::test::HardwareThreads();                   \
+    }                                                                      \
+  } while (0)
+
+#endif  // JAGUAR_TESTS_TEST_REQUIREMENTS_H_
