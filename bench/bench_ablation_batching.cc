@@ -24,7 +24,7 @@ constexpr int kBatch = 256;
 
 // -- Process boundary (Design 2) ---------------------------------------------
 
-Result<std::vector<uint8_t>> SumHandler(Slice request, ipc::ShmChannel*) {
+Result<std::vector<uint8_t>> SumHandler(Slice request, ipc::Channel*) {
   BufferReader r(request);
   JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
   int64_t total = 0;

@@ -19,13 +19,22 @@
 
 namespace jaguar {
 
-/// Appends fixed-width little-endian integers and length-prefixed blobs to an
-/// owned byte buffer.
+/// Appends fixed-width little-endian integers and length-prefixed blobs to a
+/// byte buffer. Two modes share one call-site API:
+///   - default: an owned, growable vector (`Release()` hands it off);
+///   - fixed: an external caller-provided region (e.g. a shared-memory ring
+///     reservation), so serializers write *directly into* their destination.
+///     A write past the capacity sets `overflowed()` instead of growing —
+///     the caller sizes the region from `SerializedSize` bounds and treats
+///     overflow as an internal error.
 class BufferWriter {
  public:
   BufferWriter() = default;
 
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  /// Fixed mode over `cap` bytes at `buf` (not owned).
+  BufferWriter(uint8_t* buf, size_t cap) : ext_(buf), ext_cap_(cap) {}
+
+  void PutU8(uint8_t v) { Append(&v, 1); }
   void PutU16(uint16_t v) { PutLE(v, 2); }
   void PutU32(uint32_t v) { PutLE(v, 4); }
   void PutU64(uint64_t v) { PutLE(v, 8); }
@@ -39,7 +48,7 @@ class BufferWriter {
   }
 
   /// Raw bytes, no length prefix.
-  void PutBytes(Slice s) { buf_.insert(buf_.end(), s.data(), s.data() + s.size()); }
+  void PutBytes(Slice s) { Append(s.data(), s.size()); }
 
   /// u32 length prefix followed by the bytes.
   void PutLengthPrefixed(Slice s) {
@@ -50,24 +59,49 @@ class BufferWriter {
 
   /// Overwrites 4 bytes at `offset` with `v`; used to back-patch lengths.
   void PatchU32(size_t offset, uint32_t v) {
+    uint8_t* base = ext_ != nullptr ? ext_ : buf_.data();
     for (int i = 0; i < 4; ++i) {
-      buf_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+      base[offset + i] = static_cast<uint8_t>(v >> (8 * i));
     }
   }
 
-  size_t size() const { return buf_.size(); }
+  size_t size() const { return ext_ != nullptr ? ext_size_ : buf_.size(); }
+  /// Fixed mode only: true once any Put overran the external capacity.
+  bool overflowed() const { return overflowed_; }
+  /// Owned mode only.
   const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> Release() { return std::move(buf_); }
-  Slice AsSlice() const { return Slice(buf_); }
+  Slice AsSlice() const {
+    return ext_ != nullptr ? Slice(ext_, ext_size_) : Slice(buf_);
+  }
 
  private:
-  void PutLE(uint64_t v, int nbytes) {
-    for (int i = 0; i < nbytes; ++i) {
-      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  void Append(const uint8_t* p, size_t n) {
+    if (ext_ != nullptr) {
+      if (ext_size_ + n > ext_cap_) {
+        overflowed_ = true;
+        return;
+      }
+      std::memcpy(ext_ + ext_size_, p, n);
+      ext_size_ += n;
+    } else {
+      buf_.insert(buf_.end(), p, p + n);
     }
+  }
+
+  void PutLE(uint64_t v, int nbytes) {
+    uint8_t tmp[8];
+    for (int i = 0; i < nbytes; ++i) {
+      tmp[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    Append(tmp, static_cast<size_t>(nbytes));
   }
 
   std::vector<uint8_t> buf_;
+  uint8_t* ext_ = nullptr;
+  size_t ext_cap_ = 0;
+  size_t ext_size_ = 0;
+  bool overflowed_ = false;
 };
 
 /// Bounds-checked consumer of a byte slice. Every read either succeeds or

@@ -144,15 +144,18 @@ Result<std::unique_ptr<Database>> Database::Open(
   // Isolated designs get one executor process per parallel worker, so the
   // morsel workers never serialize on a single child.
   const size_t pool_size = std::max<size_t>(1, options.num_workers);
+  JAGUAR_ASSIGN_OR_RETURN(ipc::Transport transport,
+                          ipc::ParseTransport(options.ipc_transport));
   db->udf_manager_->SetRunnerFactory(
       UdfLanguage::kNativeIsolated,
-      MakeIsolatedRunnerFactory(options.isolated_shm_bytes, pool_size));
+      MakeIsolatedRunnerFactory(options.isolated_shm_bytes, pool_size,
+                                transport));
   db->udf_manager_->SetRunnerFactory(UdfLanguage::kNativeSfi,
                                      MakeSfiRunnerFactory());
   db->udf_manager_->SetRunnerFactory(
       UdfLanguage::kJJavaIsolated,
       MakeIsolatedJvmRunnerFactory(limits, options.isolated_shm_bytes,
-                                   pool_size));
+                                   pool_size, transport));
 
   db->lobs_ = std::make_unique<LobStore>(db->storage_.get(), db->catalog_.get());
   JAGUAR_RETURN_IF_ERROR(db->lobs_->Init());

@@ -56,6 +56,11 @@ struct DatabaseOptions {
   size_t udf_heap_quota_bytes = 0;
   /// Shared-memory capacity per direction for Design-2 executors.
   size_t isolated_shm_bytes = 1 << 20;
+  /// IPC transport for isolated executor channels: "ring" (zero-copy SPSC
+  /// ring buffer, zero syscalls on the uncontended path) or "message" (the
+  /// copying semaphore-per-message channel). Any other value fails Open with
+  /// InvalidArgument.
+  std::string ipc_transport = "ring";
   /// Vectorized execution (Section 2.5): operators exchange `batch_size`
   /// tuples per `NextBatch` pull and UDF calls cross the isolation boundary
   /// once per batch instead of once per tuple. Off by default so the

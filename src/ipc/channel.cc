@@ -1,0 +1,109 @@
+#include "ipc/channel.h"
+
+#include "ipc/ring_channel.h"
+#include "ipc/shm_channel.h"
+#include "obs/metrics.h"
+
+namespace jaguar {
+namespace ipc {
+
+namespace {
+
+/// Pipelined requests a child had to copy aside while awaiting a callback
+/// reply — the (bounded, small) copy cost the ring pays to preserve FIFO
+/// frame order under pipelining.
+obs::Counter* StashCopies() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.ring.stash_copies");
+  return c;
+}
+
+}  // namespace
+
+const char* TransportName(Transport t) {
+  return t == Transport::kRing ? "ring" : "message";
+}
+
+Result<Transport> ParseTransport(const std::string& name) {
+  if (name == "ring") return Transport::kRing;
+  if (name == "message") return Transport::kMessage;
+  return InvalidArgument("unknown ipc transport '" + name +
+                         "' (expected 'ring' or 'message')");
+}
+
+Result<std::unique_ptr<Channel>> Channel::Create(Transport transport,
+                                                 size_t data_capacity) {
+  if (transport == Transport::kRing) {
+    JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<RingChannel> channel,
+                            RingChannel::Create(data_capacity));
+    return std::unique_ptr<Channel>(std::move(channel));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ShmChannel> channel,
+                          ShmChannel::Create(data_capacity));
+  return std::unique_ptr<Channel>(std::move(channel));
+}
+
+Result<uint8_t*> Channel::PrepareToChild(size_t max_len) {
+  to_child_scratch_.resize(max_len);
+  return to_child_scratch_.data();
+}
+
+Status Channel::CommitToChild(MsgType type, size_t actual_len) {
+  if (actual_len > to_child_scratch_.size()) {
+    return Internal("ipc commit exceeds the prepared reservation");
+  }
+  return SendToChild(type, Slice(to_child_scratch_.data(), actual_len));
+}
+
+Result<uint8_t*> Channel::PrepareToParent(size_t max_len) {
+  to_parent_scratch_.resize(max_len);
+  return to_parent_scratch_.data();
+}
+
+Status Channel::CommitToParent(MsgType type, size_t actual_len) {
+  if (actual_len > to_parent_scratch_.size()) {
+    return Internal("ipc commit exceeds the prepared reservation");
+  }
+  return SendToParent(type, Slice(to_parent_scratch_.data(), actual_len));
+}
+
+Result<Channel::Msg> Channel::ReceiveInChild() {
+  if (!child_stash_.empty()) {
+    Msg msg = std::move(child_stash_.front());
+    child_stash_.pop_front();
+    return msg;
+  }
+  return DoReceiveInChild();
+}
+
+Result<Channel::View> Channel::ReceiveViewInChild() {
+  if (!child_stash_.empty()) {
+    child_view_type_ = child_stash_.front().first;
+    child_view_buf_ = std::move(child_stash_.front().second);
+    child_stash_.pop_front();
+    return View(child_view_type_, Slice(child_view_buf_));
+  }
+  return DoReceiveViewInChild();
+}
+
+Result<Channel::View> Channel::DoReceiveViewInChild() {
+  JAGUAR_ASSIGN_OR_RETURN(Msg msg, DoReceiveInChild());
+  child_view_type_ = msg.first;
+  child_view_buf_ = std::move(msg.second);
+  return View(child_view_type_, Slice(child_view_buf_));
+}
+
+Result<Channel::View> Channel::DoReceiveViewInParent() {
+  JAGUAR_ASSIGN_OR_RETURN(Msg msg, DoReceiveInParent());
+  parent_view_type_ = msg.first;
+  parent_view_buf_ = std::move(msg.second);
+  return View(parent_view_type_, Slice(parent_view_buf_));
+}
+
+void Channel::StashInChild(MsgType type, std::vector<uint8_t> payload) {
+  child_stash_.emplace_back(type, std::move(payload));
+  StashCopies()->Add();
+}
+
+}  // namespace ipc
+}  // namespace jaguar

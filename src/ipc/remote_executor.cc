@@ -1,5 +1,6 @@
 #include "ipc/remote_executor.h"
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,17 +31,24 @@ Status DecodeStatus(Slice payload) {
 namespace {
 
 /// Child main loop: serve requests until kShutdown (or channel failure).
-[[noreturn]] void ChildLoop(ShmChannel* channel,
+/// Requests arrive as in-place views; ReleaseInChild after the handler is a
+/// safety net for handlers that did not release themselves (release is
+/// idempotent). A handler that shipped its own zero-copy kResult marked the
+/// response sent, so the loop must not send a second one.
+[[noreturn]] void ChildLoop(Channel* channel,
                             const RemoteExecutor::RequestHandler& handler) {
   while (true) {
-    Result<std::pair<MsgType, std::vector<uint8_t>>> msg =
-        channel->ReceiveInChild();
+    Result<Channel::View> msg = channel->ReceiveViewInChild();
     if (!msg.ok()) _exit(2);
     if (msg->first == MsgType::kShutdown) _exit(0);
     if (msg->first != MsgType::kRequest) _exit(3);
 
-    Result<std::vector<uint8_t>> result =
-        handler(Slice(msg->second), channel);
+    Result<std::vector<uint8_t>> result = handler(msg->second, channel);
+    channel->ReleaseInChild();
+    if (channel->TakeResponseSent()) {
+      if (!result.ok()) _exit(3);
+      continue;
+    }
     Status send = result.ok()
                       ? channel->SendToParent(MsgType::kResult, Slice(*result))
                       : channel->SendToParent(
@@ -53,9 +61,10 @@ namespace {
 }  // namespace
 
 Result<std::unique_ptr<RemoteExecutor>> RemoteExecutor::Spawn(
-    size_t shm_capacity, RequestHandler handler) {
+    size_t shm_capacity, RequestHandler handler, Transport transport) {
   auto executor = std::unique_ptr<RemoteExecutor>(new RemoteExecutor());
-  JAGUAR_ASSIGN_OR_RETURN(executor->channel_, ShmChannel::Create(shm_capacity));
+  JAGUAR_ASSIGN_OR_RETURN(executor->channel_,
+                          Channel::Create(transport, shm_capacity));
   pid_t pid = ::fork();
   if (pid < 0) return IoError("fork failed");
   if (pid == 0) {
@@ -77,6 +86,14 @@ Status RemoteExecutor::Shutdown() {
   return Status::OK();
 }
 
+void RemoteExecutor::Kill() {
+  if (child_pid_ <= 0) return;
+  ::kill(child_pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(child_pid_, &status, 0);
+  child_pid_ = -1;
+}
+
 Result<std::vector<uint8_t>> RemoteExecutor::Execute(
     Slice request, const CallbackHandler& on_callback) {
   JAGUAR_RETURN_IF_ERROR(BeginExecute(request));
@@ -85,27 +102,61 @@ Result<std::vector<uint8_t>> RemoteExecutor::Execute(
 
 Status RemoteExecutor::BeginExecute(Slice request) {
   if (child_pid_ < 0) return Internal("remote executor already shut down");
-  if (in_flight_) {
-    return Internal("remote executor already has a request in flight");
+  if (in_flight_ >= channel_->send_queue_depth()) {
+    return Internal("remote executor request pipeline is full");
   }
   JAGUAR_RETURN_IF_ERROR(channel_->SendToChild(MsgType::kRequest, request));
-  in_flight_ = true;
+  ++in_flight_;
+  return Status::OK();
+}
+
+Result<uint8_t*> RemoteExecutor::PrepareRequest(size_t max_len) {
+  if (child_pid_ < 0) return Internal("remote executor already shut down");
+  if (in_flight_ >= channel_->send_queue_depth()) {
+    return Internal("remote executor request pipeline is full");
+  }
+  return channel_->PrepareToChild(max_len);
+}
+
+Status RemoteExecutor::BeginExecutePrepared(size_t actual_len) {
+  JAGUAR_RETURN_IF_ERROR(
+      channel_->CommitToChild(MsgType::kRequest, actual_len));
+  ++in_flight_;
   return Status::OK();
 }
 
 Result<std::vector<uint8_t>> RemoteExecutor::FinishExecute(
     const CallbackHandler& on_callback) {
-  if (!in_flight_) return Internal("no request in flight");
-  in_flight_ = false;
+  std::vector<uint8_t> out;
+  JAGUAR_RETURN_IF_ERROR(
+      FinishExecuteWith(on_callback, [&out](Slice payload) -> Status {
+        out.assign(payload.data(), payload.data() + payload.size());
+        return Status::OK();
+      }));
+  return out;
+}
+
+Status RemoteExecutor::FinishExecuteWith(const CallbackHandler& on_callback,
+                                         const ResultConsumer& consume) {
+  if (in_flight_ == 0) return Internal("no request in flight");
+  --in_flight_;
   while (true) {
-    JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveInParent());
+    JAGUAR_ASSIGN_OR_RETURN(Channel::View msg,
+                            channel_->ReceiveViewInParent());
     switch (msg.first) {
-      case MsgType::kResult:
-        return std::move(msg.second);
-      case MsgType::kError:
-        return DecodeStatus(Slice(msg.second));
+      case MsgType::kResult: {
+        Status consumed = consume(msg.second);
+        channel_->ReleaseInParent();
+        return consumed;
+      }
+      case MsgType::kError: {
+        Status error = DecodeStatus(msg.second);
+        channel_->ReleaseInParent();
+        return error;
+      }
       case MsgType::kCallbackRequest: {
-        Result<std::vector<uint8_t>> reply = on_callback(Slice(msg.second));
+        Result<std::vector<uint8_t>> reply = on_callback(msg.second);
+        channel_->ReleaseInParent();
         if (!reply.ok()) {
           // Surface the callback failure to the child; it will fail the UDF
           // and ship the error back as kError.
@@ -118,6 +169,7 @@ Result<std::vector<uint8_t>> RemoteExecutor::FinishExecute(
         break;
       }
       default:
+        channel_->ReleaseInParent();
         return Internal("unexpected message type from executor child");
     }
   }

@@ -1,0 +1,178 @@
+#include "ipc/ring_channel.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace jaguar {
+namespace ipc {
+
+namespace {
+
+RingStats MakeRingStats() {
+  auto* reg = obs::MetricsRegistry::Global();
+  RingStats s;
+  s.bytes = reg->GetCounter("ipc.ring.bytes");
+  s.frames = reg->GetCounter("ipc.ring.frames");
+  s.wraps = reg->GetCounter("ipc.ring.wraps");
+  s.spins = reg->GetCounter("ipc.ring.spins");
+  s.parks = reg->GetCounter("ipc.ring.parks");
+  s.wakes = reg->GetCounter("ipc.ring.wakes");
+  return s;
+}
+
+/// Every committed frame is one Section-4.1 boundary crossing, whatever the
+/// transport — these are the same counters the message channel bumps, so
+/// crossing-count assertions and figures stay transport-independent. (Like
+/// all IPC counters they are per-process: a forked executor child
+/// accumulates into its own copy.)
+void CountMessage(size_t payload_bytes) {
+  static obs::Counter* messages =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.shm.messages");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.shm.payload_bytes");
+  messages->Add();
+  bytes->Add(payload_bytes);
+}
+
+}  // namespace
+
+uint64_t RingChannel::RingCapacityFor(size_t data_capacity) {
+  const uint64_t frame =
+      SpscRingBuffer::Pad(SpscRingBuffer::kHeaderBytes + data_capacity);
+  return SpscRingBuffer::RoundUpPow2(2 * (frame + 64) + 4096);
+}
+
+Result<std::unique_ptr<RingChannel>> RingChannel::Create(
+    size_t data_capacity) {
+  auto channel = std::unique_ptr<RingChannel>(new RingChannel());
+  channel->capacity_ = data_capacity;
+  const uint64_t ring_cap = RingCapacityFor(data_capacity);
+  const size_t per_ring = SpscRingBuffer::LayoutBytes(ring_cap);
+  channel->total_size_ = 2 * per_ring;
+  void* mem = ::mmap(nullptr, channel->total_size_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return IoError(StringPrintf("mmap(%zu) for ring channel failed: %s",
+                                channel->total_size_, std::strerror(errno)));
+  }
+  channel->mem_ = mem;
+  RingStats stats = MakeRingStats();
+  JAGUAR_RETURN_IF_ERROR(
+      channel->to_child_.Init(mem, ring_cap, data_capacity, stats));
+  JAGUAR_RETURN_IF_ERROR(channel->to_parent_.Init(
+      static_cast<uint8_t*>(mem) + per_ring, ring_cap, data_capacity, stats));
+  return channel;
+}
+
+RingChannel::~RingChannel() {
+  if (mem_ != nullptr) {
+    to_child_.Destroy();
+    to_parent_.Destroy();
+    ::munmap(mem_, total_size_);
+  }
+}
+
+SpscRingBuffer::WaitOptions RingChannel::ParentWait() const {
+  SpscRingBuffer::WaitOptions w;
+  w.budget_ns = static_cast<int64_t>(timeout_seconds_) * 1000000000;
+  w.deadline = parent_deadline_;
+  return w;
+}
+
+SpscRingBuffer::WaitOptions RingChannel::ChildWait() const {
+  // Children never observe a query deadline: the parent enforces it by
+  // killing them from outside.
+  SpscRingBuffer::WaitOptions w;
+  w.budget_ns = static_cast<int64_t>(timeout_seconds_) * 1000000000;
+  return w;
+}
+
+Status RingChannel::SendToChild(MsgType type, Slice payload) {
+  JAGUAR_RETURN_IF_ERROR(
+      to_child_.Write(static_cast<uint32_t>(type), payload, ParentWait()));
+  CountMessage(payload.size());
+  return Status::OK();
+}
+
+Status RingChannel::SendToParent(MsgType type, Slice payload) {
+  JAGUAR_RETURN_IF_ERROR(
+      to_parent_.Write(static_cast<uint32_t>(type), payload, ChildWait()));
+  CountMessage(payload.size());
+  return Status::OK();
+}
+
+Result<uint8_t*> RingChannel::PrepareToChild(size_t max_len) {
+  return to_child_.Prepare(max_len, ParentWait());
+}
+
+Status RingChannel::CommitToChild(MsgType type, size_t actual_len) {
+  JAGUAR_RETURN_IF_ERROR(
+      to_child_.Commit(static_cast<uint32_t>(type), actual_len));
+  CountMessage(actual_len);
+  return Status::OK();
+}
+
+Result<uint8_t*> RingChannel::PrepareToParent(size_t max_len) {
+  return to_parent_.Prepare(max_len, ChildWait());
+}
+
+Status RingChannel::CommitToParent(MsgType type, size_t actual_len) {
+  JAGUAR_RETURN_IF_ERROR(
+      to_parent_.Commit(static_cast<uint32_t>(type), actual_len));
+  CountMessage(actual_len);
+  return Status::OK();
+}
+
+Result<Channel::View> RingChannel::ReceiveView(
+    SpscRingBuffer* ring, const SpscRingBuffer::WaitOptions& w,
+    std::optional<uint64_t>* view_end) {
+  JAGUAR_ASSIGN_OR_RETURN(SpscRingBuffer::Frame f, ring->Read(w));
+  *view_end = f.end_pos;
+  return View(static_cast<MsgType>(f.type), f.payload);
+}
+
+Result<Channel::Msg> RingChannel::ReceiveCopy(
+    SpscRingBuffer* ring, const SpscRingBuffer::WaitOptions& w) {
+  JAGUAR_ASSIGN_OR_RETURN(SpscRingBuffer::Frame f, ring->Read(w));
+  Msg msg(static_cast<MsgType>(f.type), f.payload.ToVector());
+  ring->Release(f.end_pos);
+  return msg;
+}
+
+Result<Channel::Msg> RingChannel::DoReceiveInChild() {
+  return ReceiveCopy(&to_child_, ChildWait());
+}
+
+Result<Channel::Msg> RingChannel::DoReceiveInParent() {
+  return ReceiveCopy(&to_parent_, ParentWait());
+}
+
+Result<Channel::View> RingChannel::DoReceiveViewInChild() {
+  return ReceiveView(&to_child_, ChildWait(), &child_view_end_);
+}
+
+Result<Channel::View> RingChannel::DoReceiveViewInParent() {
+  return ReceiveView(&to_parent_, ParentWait(), &parent_view_end_);
+}
+
+void RingChannel::ReleaseInChild() {
+  if (child_view_end_.has_value()) {
+    to_child_.Release(*child_view_end_);
+    child_view_end_.reset();
+  }
+}
+
+void RingChannel::ReleaseInParent() {
+  if (parent_view_end_.has_value()) {
+    to_parent_.Release(*parent_view_end_);
+    parent_view_end_.reset();
+  }
+}
+
+}  // namespace ipc
+}  // namespace jaguar

@@ -1,0 +1,85 @@
+#ifndef JAGUAR_IPC_RING_CHANNEL_H_
+#define JAGUAR_IPC_RING_CHANNEL_H_
+
+/// \file ring_channel.h
+/// The "ring" transport: one lock-free SPSC ring buffer per direction in a
+/// MAP_SHARED|MAP_ANONYMOUS mapping inherited across fork(). Sends serialize
+/// directly into the ring (PrepareTo*/CommitTo*), receives view frames in
+/// place and release them after decoding, and an uncontended crossing costs
+/// zero syscalls — see common/ring_buffer.h for the frame format, parking
+/// protocol and memory-ordering argument.
+///
+/// Each ring's capacity is sized to hold two maximal frames plus slack, so
+/// the parent can pipeline request k+1 behind an unconsumed request k
+/// (`send_queue_depth() == 2`) and still post small callback replies without
+/// ever filling the ring — the flow-control analysis DESIGN.md §IPC records.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/ring_buffer.h"
+#include "ipc/channel.h"
+
+namespace jaguar {
+namespace ipc {
+
+class RingChannel : public Channel {
+ public:
+  /// Allocates a channel accepting payloads up to `data_capacity` bytes per
+  /// message (parity with ShmChannel). Must be created before fork().
+  static Result<std::unique_ptr<RingChannel>> Create(size_t data_capacity);
+
+  ~RingChannel() override;
+
+  const char* transport_name() const override { return "ring"; }
+  bool zero_copy() const override { return true; }
+  size_t send_queue_depth() const override { return 2; }
+
+  /// Ring bytes per direction for a given payload limit: two maximal padded
+  /// frames plus wrap/reply slack, rounded up to a power of two.
+  static uint64_t RingCapacityFor(size_t data_capacity);
+
+  Status SendToChild(MsgType type, Slice payload) override;
+  Status SendToParent(MsgType type, Slice payload) override;
+
+  Result<uint8_t*> PrepareToChild(size_t max_len) override;
+  Status CommitToChild(MsgType type, size_t actual_len) override;
+  Result<uint8_t*> PrepareToParent(size_t max_len) override;
+  Status CommitToParent(MsgType type, size_t actual_len) override;
+
+  void ReleaseInChild() override;
+  void ReleaseInParent() override;
+
+ protected:
+  Result<Msg> DoReceiveInChild() override;
+  Result<Msg> DoReceiveInParent() override;
+  Result<View> DoReceiveViewInChild() override;
+  Result<View> DoReceiveViewInParent() override;
+
+ private:
+  RingChannel() = default;
+
+  SpscRingBuffer::WaitOptions ParentWait() const;
+  SpscRingBuffer::WaitOptions ChildWait() const;
+  Result<View> ReceiveView(SpscRingBuffer* ring,
+                           const SpscRingBuffer::WaitOptions& w,
+                           std::optional<uint64_t>* view_end);
+  Result<Msg> ReceiveCopy(SpscRingBuffer* ring,
+                          const SpscRingBuffer::WaitOptions& w);
+
+  void* mem_ = nullptr;
+  size_t total_size_ = 0;
+  SpscRingBuffer to_child_;
+  SpscRingBuffer to_parent_;
+
+  /// Release token of the current in-place view per receiving side (each
+  /// forked process only ever uses one side's slot).
+  std::optional<uint64_t> child_view_end_;
+  std::optional<uint64_t> parent_view_end_;
+};
+
+}  // namespace ipc
+}  // namespace jaguar
+
+#endif  // JAGUAR_IPC_RING_CHANNEL_H_

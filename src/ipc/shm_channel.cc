@@ -66,7 +66,7 @@ Status ShmChannel::Send(sem_t* sem, uint32_t* type_field, uint64_t* len_field,
   return Status::OK();
 }
 
-Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::Receive(
+Result<Channel::Msg> ShmChannel::Receive(
     sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
     const uint8_t* data_area, const QueryDeadline* deadline) {
   // A deadline that is already dead on entry fails before any waiting.
@@ -126,15 +126,14 @@ Status ShmChannel::SendToParent(MsgType type, Slice payload) {
               &header_->to_parent_len, to_parent_data_, type, payload);
 }
 
-Result<std::pair<MsgType, std::vector<uint8_t>>> ShmChannel::ReceiveInChild() {
+Result<Channel::Msg> ShmChannel::DoReceiveInChild() {
   // Children never observe a query deadline: the parent enforces it by
   // killing them from outside.
   return Receive(&header_->to_child_sem, &header_->to_child_type,
                  &header_->to_child_len, to_child_data_, nullptr);
 }
 
-Result<std::pair<MsgType, std::vector<uint8_t>>>
-ShmChannel::ReceiveInParent() {
+Result<Channel::Msg> ShmChannel::DoReceiveInParent() {
   return Receive(&header_->to_parent_sem, &header_->to_parent_type,
                  &header_->to_parent_len, to_parent_data_, parent_deadline_);
 }

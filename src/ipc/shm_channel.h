@@ -2,16 +2,18 @@
 #define JAGUAR_IPC_SHM_CHANNEL_H_
 
 /// \file shm_channel.h
-/// The Design-2 transport: a parent↔child message channel over shared memory
-/// with process-shared POSIX semaphores — exactly the mechanism Section 4.1
-/// describes: "The server copies the function arguments into shared memory,
-/// and 'sends' a request by releasing a semaphore."
+/// The "message" transport (Design 2's original mechanism): a parent↔child
+/// message channel over shared memory with process-shared POSIX semaphores —
+/// exactly what Section 4.1 describes: "The server copies the function
+/// arguments into shared memory, and 'sends' a request by releasing a
+/// semaphore."
 ///
 /// Each direction has a type field, a length field and a fixed-capacity data
-/// area; semaphores signal message availability. Message *types* multiplex
-/// the two conversations that share the channel: UDF requests flowing down,
-/// and results *or callback requests* flowing up (a callback suspends the
-/// request until the parent posts the callback reply).
+/// area; semaphores signal message availability. One message slot per
+/// direction, a semaphore syscall per message, and payloads copied in and
+/// out — the copy-twice, syscall-per-message baseline the ring transport
+/// (ring_channel.h) exists to beat. Kept behind
+/// `DatabaseOptions::ipc_transport = "message"` as the benchable fallback.
 ///
 /// The memory is MAP_SHARED|MAP_ANONYMOUS and is inherited across fork(), so
 /// no filesystem names are involved.
@@ -26,54 +28,31 @@
 #include "common/deadline.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "ipc/channel.h"
 
 namespace jaguar {
 namespace ipc {
 
-enum class MsgType : uint32_t {
-  kRequest = 1,          ///< parent→child: run a UDF.
-  kCallbackRequest = 2,  ///< child→parent: UDF needs the server.
-  kCallbackReply = 3,    ///< parent→child: callback result.
-  kResult = 4,           ///< child→parent: UDF result.
-  kError = 5,            ///< child→parent: UDF failed (payload = status).
-  kShutdown = 6,         ///< parent→child: exit the executor loop.
-};
-
-class ShmChannel {
+class ShmChannel : public Channel {
  public:
   /// Allocates a channel whose per-direction data area holds `data_capacity`
   /// bytes. Must be created before fork(); both processes then use the same
   /// object (the mapping is shared).
   static Result<std::unique_ptr<ShmChannel>> Create(size_t data_capacity);
 
-  ~ShmChannel();
-  ShmChannel(const ShmChannel&) = delete;
-  ShmChannel& operator=(const ShmChannel&) = delete;
+  ~ShmChannel() override;
 
-  size_t data_capacity() const { return capacity_; }
+  const char* transport_name() const override { return "message"; }
 
   /// Sends a message toward the child / parent. Fails with InvalidArgument
   /// if the payload exceeds the data capacity.
-  Status SendToChild(MsgType type, Slice payload);
-  Status SendToParent(MsgType type, Slice payload);
+  Status SendToChild(MsgType type, Slice payload) override;
+  Status SendToParent(MsgType type, Slice payload) override;
 
+ protected:
   /// Blocks (with timeout) for the next message in the given direction.
-  Result<std::pair<MsgType, std::vector<uint8_t>>> ReceiveInChild();
-  Result<std::pair<MsgType, std::vector<uint8_t>>> ReceiveInParent();
-
-  /// Wait timeout for receives, seconds (guards against a dead peer).
-  void set_timeout_seconds(int seconds) { timeout_seconds_ = seconds; }
-
-  /// Attaches (or clears, with null) the query deadline observed by
-  /// `ReceiveInParent`. The parent already wakes every 100ms slice to
-  /// re-check its monotonic budget; with a deadline installed it also checks
-  /// the deadline and abandons the wait with `DeadlineExceeded` — this is the
-  /// watchdog tick that lets the runner SIGKILL a wedged executor child at
-  /// most ~100ms after the deadline passes. Not owned; the caller must keep
-  /// the deadline alive across the receive (and clear it afterwards).
-  void set_parent_deadline(const QueryDeadline* deadline) {
-    parent_deadline_ = deadline;
-  }
+  Result<Msg> DoReceiveInChild() override;
+  Result<Msg> DoReceiveInParent() override;
 
  private:
   ShmChannel() = default;
@@ -89,18 +68,15 @@ class ShmChannel {
 
   Status Send(sem_t* sem, uint32_t* type_field, uint64_t* len_field,
               uint8_t* data_area, MsgType type, Slice payload);
-  Result<std::pair<MsgType, std::vector<uint8_t>>> Receive(
-      sem_t* sem, const uint32_t* type_field, const uint64_t* len_field,
-      const uint8_t* data_area, const QueryDeadline* deadline);
+  Result<Msg> Receive(sem_t* sem, const uint32_t* type_field,
+                      const uint64_t* len_field, const uint8_t* data_area,
+                      const QueryDeadline* deadline);
 
   void* mem_ = nullptr;
   size_t total_size_ = 0;
-  size_t capacity_ = 0;
   Header* header_ = nullptr;
   uint8_t* to_child_data_ = nullptr;
   uint8_t* to_parent_data_ = nullptr;
-  int timeout_seconds_ = 30;
-  const QueryDeadline* parent_deadline_ = nullptr;
 };
 
 }  // namespace ipc

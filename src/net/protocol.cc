@@ -46,12 +46,15 @@ Status WriteFrame(int fd, FrameType type, Slice payload) {
   if (payload.size() > kMaxFrameBytes) {
     return InvalidArgument("frame payload too large");
   }
-  BufferWriter header;
-  header.PutU32(static_cast<uint32_t>(payload.size()));
-  header.PutU8(static_cast<uint8_t>(type));
-  JAGUAR_RETURN_IF_ERROR(
-      WriteAll(fd, header.buffer().data(), header.size()));
-  return WriteAll(fd, payload.data(), payload.size());
+  // Header and payload go out as one buffer: a frame is a single send() on
+  // the happy path (no short header write can interleave with another
+  // thread's error frame), and WriteAll absorbs partial writes and EINTR
+  // when the socket buffer is smaller than the frame.
+  BufferWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU8(static_cast<uint8_t>(type));
+  frame.PutBytes(payload);
+  return WriteAll(fd, frame.buffer().data(), frame.size());
 }
 
 Result<std::pair<FrameType, std::vector<uint8_t>>> ReadFrame(int fd) {

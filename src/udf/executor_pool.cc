@@ -1,7 +1,5 @@
 #include "udf/executor_pool.h"
 
-#include <signal.h>
-
 #include <algorithm>
 
 #include "obs/metrics.h"
@@ -30,42 +28,84 @@ obs::Counter* PoolDiscards() {
       obs::MetricsRegistry::Global()->GetCounter("udf.pool.discards");
   return c;
 }
+obs::Counter* PoolOrphans() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("udf.pool.orphans");
+  return c;
+}
 
 }  // namespace
 
 ExecutorPool::Lease::Lease(Lease&& other) noexcept
-    : pool_(other.pool_), executor_(std::move(other.executor_)) {
+    : pool_(other.pool_), alive_(std::move(other.alive_)),
+      executor_(std::move(other.executor_)) {
   other.pool_ = nullptr;
 }
 
 ExecutorPool::Lease& ExecutorPool::Lease::operator=(Lease&& other) noexcept {
   if (this != &other) {
-    if (executor_ != nullptr) pool_->Return(std::move(executor_));
+    Settle();
     pool_ = other.pool_;
+    alive_ = std::move(other.alive_);
     executor_ = std::move(other.executor_);
     other.pool_ = nullptr;
   }
   return *this;
 }
 
-ExecutorPool::Lease::~Lease() {
-  if (executor_ != nullptr) pool_->Return(std::move(executor_));
+ExecutorPool::Lease::~Lease() { Settle(); }
+
+void ExecutorPool::Lease::Settle() {
+  if (executor_ == nullptr) return;
+  if (std::shared_ptr<ExecutorPool*> alive = alive_.lock()) {
+    pool_->Return(std::move(executor_));
+  } else {
+    // The pool died first: its destructor already SIGKILLed and reaped this
+    // child through the registry, so just destroy the husk (its Shutdown
+    // no-ops on pid -1).
+    executor_.reset();
+  }
+  pool_ = nullptr;
 }
 
 void ExecutorPool::Lease::Discard() {
   if (executor_ == nullptr) return;
-  // The child may be wedged rather than dead; make sure waitpid in Shutdown
-  // cannot hang.
-  if (executor_->child_pid() > 0) ::kill(executor_->child_pid(), SIGKILL);
-  executor_->Shutdown().ok();
-  pool_->OnDiscard(executor_.get());
+  // The child may be wedged rather than dead; SIGKILL so the reap cannot
+  // hang on a shutdown handshake.
+  executor_->Kill();
+  if (std::shared_ptr<ExecutorPool*> alive = alive_.lock()) {
+    pool_->OnDiscard(executor_.get());
+  }
   executor_.reset();
+  pool_ = nullptr;
 }
 
 ExecutorPool::ExecutorPool(SpawnFn spawn, size_t max_size)
     : spawn_(std::move(spawn)), max_size_(std::max<size_t>(1, max_size)) {}
 
-ExecutorPool::~ExecutorPool() = default;
+ExecutorPool::~ExecutorPool() {
+  // Expire the liveness token first: any lease settling from here on skips
+  // pool bookkeeping entirely.
+  alive_.reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ipc::RemoteExecutor* executor : registry_) {
+    const bool is_idle =
+        std::any_of(idle_.begin(), idle_.end(),
+                    [executor](const std::unique_ptr<ipc::RemoteExecutor>& e) {
+                      return e.get() == executor;
+                    });
+    if (is_idle) continue;
+    // Leased but never returned — kill and reap through the registry pointer
+    // so no zombie child outlives the pool. The lease still owns the object
+    // and will destroy it later; Kill() leaves it inert (pid -1).
+    executor->Kill();
+    ++orphans_reaped_;
+    PoolOrphans()->Add();
+  }
+  // Idle executors shut down via the graceful handshake as their owning
+  // pointers are destroyed.
+  idle_.clear();
+}
 
 Result<std::unique_ptr<ipc::RemoteExecutor>> ExecutorPool::SpawnLocked() {
   JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ipc::RemoteExecutor> executor,
@@ -87,12 +127,12 @@ Result<ExecutorPool::Lease> ExecutorPool::Acquire() {
     if (!idle_.empty()) {
       std::unique_ptr<ipc::RemoteExecutor> executor = std::move(idle_.back());
       idle_.pop_back();
-      return Lease(this, std::move(executor));
+      return Lease(this, std::move(executor), alive_);
     }
     if (live_ < max_size_) {
       JAGUAR_ASSIGN_OR_RETURN(std::unique_ptr<ipc::RemoteExecutor> executor,
                               SpawnLocked());
-      return Lease(this, std::move(executor));
+      return Lease(this, std::move(executor), alive_);
     }
     if (!waited) {
       waited = true;

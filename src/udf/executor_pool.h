@@ -9,18 +9,27 @@
 /// the isolated designs scale the paper's policy to one executor process per
 /// *worker*: the pool pre-spawns up to `max_size` children (one shm channel
 /// each) and worker threads lease them for the duration of a batch crossing.
-/// A leased executor serves exactly one thread, so the single-slot shm
-/// protocol needs no cross-process locking.
+/// A leased executor serves exactly one thread, so the SPSC channel protocol
+/// needs no cross-process locking.
 ///
 /// Death handling: when a crossing fails with IoError the worker discards its
 /// lease — the child is killed and reaped, only that worker's in-flight batch
 /// fails, and the next Acquire() respawns a replacement lazily.
+///
+/// Teardown: the destructor shuts down every idle executor, and any executor
+/// still leased at that point (a worker leaked its lease or the Database is
+/// being torn down mid-failure) is SIGKILLed and reaped through the pool's
+/// registry pointer — no zombie children survive pool shutdown. Such
+/// orphan reaps are counted (`udf.pool.orphans` and `orphans_reaped()`), and
+/// a Lease outliving its pool degrades to a safe no-op via a liveness token
+/// instead of dereferencing a dead pool.
 ///
 /// Metrics:
 ///   udf.pool.spawns     executor children forked
 ///   udf.pool.acquires   leases handed out
 ///   udf.pool.waits      acquires that had to block on a busy pool
 ///   udf.pool.discards   executors discarded after a transport failure
+///   udf.pool.orphans    leased executors SIGKILLed+reaped at pool teardown
 
 #include <sys/types.h>
 
@@ -42,7 +51,9 @@ class ExecutorPool {
       std::function<Result<std::unique_ptr<ipc::RemoteExecutor>>()>;
 
   /// Exclusive use of one executor. Returns it to the pool on destruction
-  /// unless Discard() was called. Must not outlive the pool.
+  /// unless Discard() was called. If the pool died first, return/discard
+  /// degrade to shutting the executor down locally (the pool already reaped
+  /// the child as an orphan).
   class Lease {
    public:
     Lease() = default;
@@ -62,10 +73,15 @@ class ExecutorPool {
 
    private:
     friend class ExecutorPool;
-    Lease(ExecutorPool* pool, std::unique_ptr<ipc::RemoteExecutor> executor)
-        : pool_(pool), executor_(std::move(executor)) {}
+    Lease(ExecutorPool* pool, std::unique_ptr<ipc::RemoteExecutor> executor,
+          std::weak_ptr<ExecutorPool*> alive)
+        : pool_(pool), alive_(std::move(alive)),
+          executor_(std::move(executor)) {}
+
+    void Settle();
 
     ExecutorPool* pool_ = nullptr;
+    std::weak_ptr<ExecutorPool*> alive_;
     std::unique_ptr<ipc::RemoteExecutor> executor_;
   };
 
@@ -73,7 +89,8 @@ class ExecutorPool {
   /// `max_size` leases are outstanding.
   ExecutorPool(SpawnFn spawn, size_t max_size);
 
-  /// Shuts down every pooled executor. All leases must have been returned.
+  /// Shuts down every idle executor and SIGKILLs + reaps any still-leased
+  /// one (see file comment).
   ~ExecutorPool();
 
   ExecutorPool(const ExecutorPool&) = delete;
@@ -101,6 +118,10 @@ class ExecutorPool {
   /// Executors currently alive (idle + leased).
   size_t live_count() const;
 
+  /// Leased-but-never-returned executors the destructor had to SIGKILL and
+  /// reap (the assertion counter for teardown tests; 0 in a clean run).
+  size_t orphans_reaped() const { return orphans_reaped_; }
+
   size_t max_size() const { return max_size_; }
 
  private:
@@ -118,9 +139,15 @@ class ExecutorPool {
   std::condition_variable cv_;
   int timeout_seconds_ = 0;
   size_t live_ = 0;  ///< Spawned and not discarded (idle + leased).
+  size_t orphans_reaped_ = 0;
   std::vector<std::unique_ptr<ipc::RemoteExecutor>> idle_;
-  /// Every live executor, leased or idle — for pid queries only.
+  /// Every live executor, leased or idle — for pid queries and orphan
+  /// reaping at teardown.
   std::vector<ipc::RemoteExecutor*> registry_;
+  /// Liveness token observed by leases; reset first thing in the destructor
+  /// so a lease that outlives the pool never touches it.
+  std::shared_ptr<ExecutorPool*> alive_ =
+      std::make_shared<ExecutorPool*>(this);
 };
 
 }  // namespace jaguar

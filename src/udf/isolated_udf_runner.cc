@@ -26,6 +26,14 @@ obs::Counter* PipelinedChunks() {
   return c;
 }
 
+/// Request chunks serialized directly into the shared-memory ring (no
+/// intermediate request buffer) on the zero-copy transport.
+obs::Counter* ZeroCopyBatches() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("ipc.ring.zero_copy_batches");
+  return c;
+}
+
 /// Executor children SIGKILLed because their query's deadline passed while
 /// they were still executing (the isolated designs' "stop button", Section 4).
 obs::Counter* WatchdogKills() {
@@ -53,7 +61,7 @@ Result<std::vector<Value>> RunGuardedBatch(
     const std::vector<std::vector<Value>>& args_batch, size_t header_bytes,
     size_t shm_capacity, UdfContext* ctx,
     const std::function<void(BufferWriter*)>& write_header) {
-  ipc::ShmChannel* channel = lease->get()->channel();
+  ipc::Channel* channel = lease->get()->channel();
   channel->set_parent_deadline(ctx != nullptr ? ctx->deadline() : nullptr);
   Result<std::vector<Value>> results = RunChunkedBatch(
       lease->get(), args_batch, header_bytes, shm_capacity, ctx, write_header);
@@ -79,8 +87,8 @@ size_t ArgRowSerializedSize(const std::vector<Value>& args) {
 
 /// Greedy chunking: the last row index (exclusive) after `begin` such that
 /// the chunk's serialized request still fits the shared-memory segment.
-/// Always includes at least one row — a single oversized row fails at the
-/// channel with InvalidArgument, exactly as the scalar path always has.
+/// Always includes at least one row — a single oversized row fails with
+/// InvalidArgument, exactly as the scalar path always has.
 size_t BatchChunkEnd(const std::vector<std::vector<Value>>& batch,
                      size_t begin, size_t header_bytes, size_t shm_capacity) {
   // Slack for the count prefix and the channel's own framing.
@@ -101,7 +109,8 @@ size_t BatchChunkEnd(const std::vector<std::vector<Value>>& batch,
 }
 
 /// Decodes a count-prefixed batch of result values, checking the count
-/// against what the request carried.
+/// against what the request carried. `payload` may be an in-place view into
+/// transport memory (values copy out as they decode).
 Result<std::vector<Value>> DecodeResultBatch(Slice payload, size_t expected) {
   BufferReader r(payload);
   JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
@@ -129,9 +138,14 @@ constexpr uint8_t kOpFetch = 1;
 /// Child-side handler that forwards UDF callbacks to the parent process over
 /// the channel (each callback is a full round trip — the cost Figure 8
 /// shows dominating IC++).
+///
+/// On the ring transport the parent may have pipelined the *next* request
+/// behind the callback reply (the to-child direction is FIFO), so the round
+/// trip must set aside any kRequest frame it sees and keep waiting — the
+/// stash is drained by the child loop's next receive.
 class ForwardingCallbackHandler : public UdfCallbackHandler {
  public:
-  explicit ForwardingCallbackHandler(ipc::ShmChannel* channel)
+  explicit ForwardingCallbackHandler(ipc::Channel* channel)
       : channel_(channel) {}
 
   Result<int64_t> Callback(int64_t kind, int64_t arg) override {
@@ -161,17 +175,25 @@ class ForwardingCallbackHandler : public UdfCallbackHandler {
   Result<std::vector<uint8_t>> RoundTrip(Slice payload) {
     JAGUAR_RETURN_IF_ERROR(
         channel_->SendToParent(ipc::MsgType::kCallbackRequest, payload));
-    JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveInChild());
-    if (msg.first == ipc::MsgType::kError) {
-      return ipc::DecodeStatus(Slice(msg.second));
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(auto msg, channel_->ReceiveFreshInChild());
+      if (msg.first == ipc::MsgType::kRequest) {
+        // A pipelined next request overtook the callback reply; park it for
+        // the child loop and keep waiting.
+        channel_->StashInChild(msg.first, std::move(msg.second));
+        continue;
+      }
+      if (msg.first == ipc::MsgType::kError) {
+        return ipc::DecodeStatus(Slice(msg.second));
+      }
+      if (msg.first != ipc::MsgType::kCallbackReply) {
+        return Internal("unexpected message type for callback reply");
+      }
+      return std::move(msg.second);
     }
-    if (msg.first != ipc::MsgType::kCallbackReply) {
-      return Internal("unexpected message type for callback reply");
-    }
-    return std::move(msg.second);
   }
 
-  ipc::ShmChannel* channel_;
+  ipc::Channel* channel_;
 };
 
 /// Parent-side bridge: decodes a child's callback payload and services it
@@ -203,30 +225,126 @@ ipc::RemoteExecutor::CallbackHandler MakeParentCallbackBridge(
   };
 }
 
+/// One precomputed request chunk: rows [begin, end) and the exact serialized
+/// request size (header + count prefix + rows).
+struct ChunkPlan {
+  size_t begin;
+  size_t end;
+  size_t len;
+};
+
+/// Serializes rows [c.begin, c.end) of `args_batch` through `w`, which may
+/// back onto ring memory (fixed) or a private vector (owned).
+Status SerializeChunk(const ChunkPlan& c,
+                      const std::vector<std::vector<Value>>& args_batch,
+                      const std::function<void(BufferWriter*)>& write_header,
+                      BufferWriter* w) {
+  write_header(w);
+  BatchCodec::WriteCount(w, c.end - c.begin);
+  for (size_t row = c.begin; row < c.end; ++row) {
+    w->PutU32(static_cast<uint32_t>(args_batch[row].size()));
+    for (const Value& v : args_batch[row]) v.WriteTo(w);
+  }
+  if (w->overflowed() || w->size() != c.len) {
+    return Internal("serialized chunk size disagrees with precomputed size");
+  }
+  return Status::OK();
+}
+
 /// Ships `args_batch` through a leased executor, chunked to the shm segment
 /// and pipelined: while the child executes chunk k, the parent serializes
 /// chunk k+1, so for multi-chunk batches the serialization cost hides behind
 /// the child's execution (double buffering across the process boundary).
+///
+/// Two paths, chosen by the executor's transport:
+///   - zero-copy (ring): each chunk's exact size is precomputed, the chunk
+///     is serialized *directly into the to-child ring* and committed, and —
+///     because the ring holds two maximal frames — chunk k+1 is committed
+///     while chunk k is still executing. Results decode in place from the
+///     ring view. No request or reply buffer exists in the parent.
+///   - message: the classic flow — serialize into a private buffer, send
+///     (copy into shm), serialize the next chunk while the child works.
+///
 /// `write_header` prepends the design-specific request header to each chunk;
-/// `header_bytes` is its serialized size (for the chunking budget).
+/// `header_bytes` is its serialized size including the count prefix (for the
+/// chunking budget and the exact-size precomputation).
 Result<std::vector<Value>> RunChunkedBatch(
     ipc::RemoteExecutor* executor,
     const std::vector<std::vector<Value>>& args_batch, size_t header_bytes,
     size_t shm_capacity, UdfContext* ctx,
     const std::function<void(BufferWriter*)>& write_header) {
-  auto serialize = [&](size_t begin, size_t end) {
+  std::vector<Value> results;
+  results.reserve(args_batch.size());
+
+  const bool zero_copy = executor->channel()->zero_copy() &&
+                         executor->send_queue_depth() > 1;
+  if (zero_copy) {
+    // Plan every chunk upfront: exact sizes let us reserve exactly what each
+    // chunk needs in the ring, and an oversized single row fails before
+    // anything has been committed (mid-pipeline failure would leave a chunk
+    // in flight).
+    std::vector<ChunkPlan> chunks;
+    size_t begin = 0;
+    while (begin < args_batch.size()) {
+      const size_t end =
+          BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity);
+      size_t len = header_bytes;
+      for (size_t row = begin; row < end; ++row) {
+        len += ArgRowSerializedSize(args_batch[row]);
+      }
+      if (len > shm_capacity) {
+        return InvalidArgument(StringPrintf(
+            "serialized request (%zu bytes) exceeds channel capacity (%zu)",
+            len, shm_capacity));
+      }
+      chunks.push_back(ChunkPlan{begin, end, len});
+      begin = end;
+    }
+
+    auto commit = [&](const ChunkPlan& c) -> Status {
+      if (c.end - c.begin > 1) BatchMessages()->Add();
+      JAGUAR_ASSIGN_OR_RETURN(uint8_t* buf, executor->PrepareRequest(c.len));
+      BufferWriter w(buf, c.len);
+      JAGUAR_RETURN_IF_ERROR(SerializeChunk(c, args_batch, write_header, &w));
+      JAGUAR_RETURN_IF_ERROR(executor->BeginExecutePrepared(c.len));
+      ZeroCopyBatches()->Add();
+      return Status::OK();
+    };
+
+    JAGUAR_RETURN_IF_ERROR(commit(chunks[0]));
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      if (i + 1 < chunks.size()) {
+        // Chunk i is in flight; serialize-and-commit chunk i+1 straight into
+        // the ring while the child works on i.
+        JAGUAR_RETURN_IF_ERROR(commit(chunks[i + 1]));
+        PipelinedChunks()->Add();
+      }
+      const size_t expected = chunks[i].end - chunks[i].begin;
+      JAGUAR_RETURN_IF_ERROR(executor->FinishExecuteWith(
+          MakeParentCallbackBridge(ctx),
+          [&results, expected](Slice payload) -> Status {
+            JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> chunk,
+                                    DecodeResultBatch(payload, expected));
+            for (Value& v : chunk) results.push_back(std::move(v));
+            return Status::OK();
+          }));
+    }
+    return results;
+  }
+
+  // Message transport: serialize into a private buffer, send, overlap the
+  // next chunk's serialization with the child's execution.
+  auto serialize = [&](size_t chunk_begin, size_t chunk_end) {
     BufferWriter w;
     write_header(&w);
-    BatchCodec::WriteCount(&w, end - begin);
-    for (size_t row = begin; row < end; ++row) {
+    BatchCodec::WriteCount(&w, chunk_end - chunk_begin);
+    for (size_t row = chunk_begin; row < chunk_end; ++row) {
       w.PutU32(static_cast<uint32_t>(args_batch[row].size()));
       for (const Value& v : args_batch[row]) v.WriteTo(&w);
     }
     return w.Release();
   };
 
-  std::vector<Value> results;
-  results.reserve(args_batch.size());
   size_t begin = 0;
   size_t end = BatchChunkEnd(args_batch, begin, header_bytes, shm_capacity);
   std::vector<uint8_t> request = serialize(begin, end);
@@ -274,36 +392,78 @@ Result<std::vector<Value>> ReadArgRow(BufferReader* r) {
   return args;
 }
 
+/// Ships a computed result batch back to the parent. On the ring transport
+/// the values serialize directly into the to-parent ring and the response is
+/// marked sent (the child loop skips its own send); otherwise they serialize
+/// into an owned buffer the loop copies out. Must only be called once every
+/// result value is finished: a held ring reservation would block the child's
+/// own callback sends behind it.
+Result<std::vector<uint8_t>> ShipResultBatch(ipc::Channel* channel,
+                                             const std::vector<Value>& outs) {
+  size_t len = 4;
+  for (const Value& v : outs) len += v.SerializedSize();
+  if (channel->zero_copy() && len <= channel->data_capacity()) {
+    JAGUAR_ASSIGN_OR_RETURN(uint8_t* buf, channel->PrepareToParent(len));
+    BufferWriter w(buf, len);
+    BatchCodec::WriteCount(&w, outs.size());
+    for (const Value& v : outs) v.WriteTo(&w);
+    if (w.overflowed() || w.size() != len) {
+      return Internal("serialized result size disagrees with precomputed size");
+    }
+    JAGUAR_RETURN_IF_ERROR(
+        channel->CommitToParent(ipc::MsgType::kResult, len));
+    channel->MarkResponseSent();
+    return std::vector<uint8_t>();
+  }
+  BufferWriter w;
+  BatchCodec::WriteCount(&w, outs.size());
+  for (const Value& v : outs) v.WriteTo(&w);
+  return w.Release();
+}
+
 /// Runs inside the executor child for each request: a count-prefixed batch
 /// of argument rows, each applied with a *fresh* UdfContext (so the
 /// per-invocation callback quota means the same thing in both modes). One
 /// failing row fails the whole request — the parent fails the batch.
+///
+/// `request` is an in-place view into transport memory: all rows decode into
+/// owned Values first, then the frame is released *before* any row executes
+/// (decode-then-release), so callbacks and the pipelined next request can
+/// flow through the ring while this batch runs.
 Result<std::vector<uint8_t>> ChildHandleRequest(Slice request,
-                                                ipc::ShmChannel* channel) {
+                                                ipc::Channel* channel) {
   BufferReader r(request);
   JAGUAR_ASSIGN_OR_RETURN(std::string impl_name, r.ReadString());
   JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> args, ReadArgRow(&r));
+    rows.push_back(std::move(args));
+  }
+  channel->ReleaseInChild();
+
   // Resolve in the child's (fork-inherited) registry.
   JAGUAR_ASSIGN_OR_RETURN(const NativeUdfEntry* entry,
                           NativeUdfRegistry::Global()->Lookup(impl_name));
   ForwardingCallbackHandler callbacks(channel);
-  BufferWriter w;
-  BatchCodec::WriteCount(&w, count);
-  for (uint32_t i = 0; i < count; ++i) {
-    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> args, ReadArgRow(&r));
+  std::vector<Value> outs;
+  outs.reserve(rows.size());
+  for (const std::vector<Value>& args : rows) {
     UdfContext ctx(&callbacks);
     Value out;
     JAGUAR_RETURN_IF_ERROR(entry->fn(args, &ctx, &out));
-    out.WriteTo(&w);
+    outs.push_back(std::move(out));
   }
-  return w.Release();
+  return ShipResultBatch(channel, outs);
 }
 
 }  // namespace
 
 Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
     const std::string& impl_name, TypeId return_type,
-    std::vector<TypeId> arg_types, size_t shm_capacity, size_t pool_size) {
+    std::vector<TypeId> arg_types, size_t shm_capacity, size_t pool_size,
+    ipc::Transport transport) {
   // Fail fast in the parent if the function does not exist (the child would
   // only discover it at first request).
   JAGUAR_RETURN_IF_ERROR(
@@ -315,8 +475,9 @@ Result<std::unique_ptr<IsolatedNativeRunner>> IsolatedNativeRunner::Spawn(
   runner->arg_types_ = std::move(arg_types);
   runner->shm_capacity_ = shm_capacity;
   runner->pool_ = std::make_unique<ExecutorPool>(
-      [shm_capacity] {
-        return ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest);
+      [shm_capacity, transport] {
+        return ipc::RemoteExecutor::Spawn(shm_capacity, &ChildHandleRequest,
+                                          transport);
       },
       pool_size);
   // Pre-spawn every executor now (runner creation happens on the query's
@@ -351,13 +512,15 @@ Result<std::vector<Value>> IsolatedNativeRunner::DoInvokeBatch(
 }
 
 UdfManager::RunnerFactory MakeIsolatedRunnerFactory(size_t shm_capacity,
-                                                    size_t pool_size) {
-  return [shm_capacity, pool_size](const UdfInfo& info)
+                                                    size_t pool_size,
+                                                    ipc::Transport transport) {
+  return [shm_capacity, pool_size, transport](const UdfInfo& info)
              -> Result<std::unique_ptr<UdfRunner>> {
     JAGUAR_ASSIGN_OR_RETURN(
         std::unique_ptr<IsolatedNativeRunner> runner,
         IsolatedNativeRunner::Spawn(info.impl_name, info.return_type,
-                                    info.arg_types, shm_capacity, pool_size));
+                                    info.arg_types, shm_capacity, pool_size,
+                                    transport));
     return std::unique_ptr<UdfRunner>(std::move(runner));
   };
 }
@@ -436,28 +599,36 @@ Result<Value> ChildRunVmItem(IsolatedVmState* state,
 /// Runs one Design-4 request (a count-prefixed batch of argument rows)
 /// inside the executor child. Each row gets a fresh UdfContext and
 /// ExecContext — per-invocation quotas and heap state are identical to the
-/// scalar protocol; only the process crossing is amortized.
+/// scalar protocol; only the process crossing is amortized. Same
+/// decode-then-release discipline as ChildHandleRequest.
 Result<std::vector<uint8_t>> ChildHandleVmRequest(
-    IsolatedVmState* state, Slice request, ipc::ShmChannel* channel) {
+    IsolatedVmState* state, Slice request, ipc::Channel* channel) {
   BufferReader r(request);
   JAGUAR_ASSIGN_OR_RETURN(uint32_t count, BatchCodec::ReadCount(&r));
-  ForwardingCallbackHandler callbacks(channel);
-  BufferWriter w;
-  BatchCodec::WriteCount(&w, count);
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> args, ReadArgRow(&r));
+    rows.push_back(std::move(args));
+  }
+  channel->ReleaseInChild();
+
+  ForwardingCallbackHandler callbacks(channel);
+  std::vector<Value> outs;
+  outs.reserve(rows.size());
+  for (const std::vector<Value>& args : rows) {
     UdfContext udf_ctx(&callbacks);
     JAGUAR_ASSIGN_OR_RETURN(Value out, ChildRunVmItem(state, args, &udf_ctx));
-    out.WriteTo(&w);
+    outs.push_back(std::move(out));
   }
-  return w.Release();
+  return ShipResultBatch(channel, outs);
 }
 
 }  // namespace
 
 Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
     const UdfInfo& info, jvm::ResourceLimits limits, size_t shm_capacity,
-    size_t pool_size) {
+    size_t pool_size, ipc::Transport transport) {
   size_t dot = info.impl_name.find('.');
   if (dot == std::string::npos) {
     return InvalidArgument("Design-4 UDF entry point must be 'Class.method'");
@@ -486,13 +657,13 @@ Result<std::unique_ptr<IsolatedJvmRunner>> IsolatedJvmRunner::Spawn(
   runner->return_type_ = info.return_type;
   runner->arg_types_ = info.arg_types;
   runner->shm_capacity_ = shm_capacity;
-  runner->handler_ = [state](Slice request, ipc::ShmChannel* channel) {
+  runner->handler_ = [state](Slice request, ipc::Channel* channel) {
     return ChildHandleVmRequest(state.get(), request, channel);
   };
   ipc::RemoteExecutor::RequestHandler handler = runner->handler_;
   runner->pool_ = std::make_unique<ExecutorPool>(
-      [shm_capacity, handler] {
-        return ipc::RemoteExecutor::Spawn(shm_capacity, handler);
+      [shm_capacity, handler, transport] {
+        return ipc::RemoteExecutor::Spawn(shm_capacity, handler, transport);
       },
       pool_size);
   JAGUAR_RETURN_IF_ERROR(runner->pool_->Prewarm(pool_size));
@@ -523,12 +694,14 @@ Result<std::vector<Value>> IsolatedJvmRunner::DoInvokeBatch(
 }
 
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
-    jvm::ResourceLimits limits, size_t shm_capacity, size_t pool_size) {
-  return [limits, shm_capacity, pool_size](const UdfInfo& info)
+    jvm::ResourceLimits limits, size_t shm_capacity, size_t pool_size,
+    ipc::Transport transport) {
+  return [limits, shm_capacity, pool_size, transport](const UdfInfo& info)
              -> Result<std::unique_ptr<UdfRunner>> {
     JAGUAR_ASSIGN_OR_RETURN(
         std::unique_ptr<IsolatedJvmRunner> runner,
-        IsolatedJvmRunner::Spawn(info, limits, shm_capacity, pool_size));
+        IsolatedJvmRunner::Spawn(info, limits, shm_capacity, pool_size,
+                                 transport));
     return std::unique_ptr<UdfRunner>(std::move(runner));
   };
 }

@@ -3,21 +3,25 @@
 
 /// \file isolated_udf_runner.h
 /// Design 2 ("IC++"): native UDFs running in a separate executor process,
-/// talking to the server over shared memory + semaphores (src/ipc).
+/// talking to the server over a shared-memory channel (src/ipc).
 ///
 /// Per invocation, the argument values are serialized into the shared-memory
-/// segment, the request semaphore is posted, and the parent then services
-/// callback requests until the result (or an error) comes back — the exact
-/// hand-off protocol of Section 4.1. The process-switch cost this design
-/// pays per crossing is what Figures 5 and 8 measure.
+/// segment, the request is posted, and the parent then services callback
+/// requests until the result (or an error) comes back — the exact hand-off
+/// protocol of Section 4.1. The process-switch cost this design pays per
+/// crossing is what Figures 5 and 8 measure.
 ///
 /// Request/response payloads are uniformly count-prefixed (`BatchCodec`): a
 /// scalar invocation is a batch of one, and `InvokeBatch` ships a whole
-/// argument batch in **one** semaphore round trip (chunked only when the
+/// argument batch in **one** boundary crossing (chunked only when the
 /// serialized batch would overflow the shared-memory segment) — the Section
 /// 2.5 batching amortization. When a batch spans multiple chunks the
 /// crossing is *pipelined*: the parent serializes chunk k+1 while the child
-/// executes chunk k (double buffering across the boundary).
+/// executes chunk k (double buffering across the boundary). On the default
+/// ring transport the pipeline goes further: chunk k+1 is serialized
+/// *directly into the shared-memory ring* and committed while chunk k is
+/// still executing, and results are decoded in place from the ring — no
+/// intermediate request/reply buffers at all (`ipc.ring.zero_copy_batches`).
 ///
 /// The runner is backed by an `ExecutorPool` of up to `pool_size` executor
 /// processes, so the N worker threads of a morsel-driven parallel scan can
@@ -45,10 +49,13 @@ class IsolatedNativeRunner : public UdfRunner {
   /// \param shm_capacity per-direction shared-memory data size; must hold
   /// the largest serialized argument list (default fits Rel10000 rows).
   /// \param pool_size executor processes (one per parallel scan worker).
+  /// \param transport IPC transport for every executor channel (the zero-copy
+  /// ring by default; "message" keeps the copying semaphore channel).
   static Result<std::unique_ptr<IsolatedNativeRunner>> Spawn(
       const std::string& impl_name, TypeId return_type,
       std::vector<TypeId> arg_types, size_t shm_capacity = 1 << 20,
-      size_t pool_size = 1);
+      size_t pool_size = 1,
+      ipc::Transport transport = ipc::Transport::kRing);
 
   std::string design_label() const override { return "IC++"; }
 
@@ -64,7 +71,7 @@ class IsolatedNativeRunner : public UdfRunner {
   Status Prewarm(size_t n) { return pool_->Prewarm(n); }
 
   /// Receive timeout for the shared-memory channels, forwarded to
-  /// `ShmChannel::set_timeout_seconds` (and re-applied after a respawn).
+  /// `Channel::set_timeout_seconds` (and re-applied after a respawn).
   /// Fault-injection tests shorten it so a killed child fails the
   /// invocation quickly.
   void set_ipc_timeout_seconds(unsigned seconds);
@@ -88,7 +95,8 @@ class IsolatedNativeRunner : public UdfRunner {
 
 /// UdfManager factory for `UdfLanguage::kNativeIsolated`.
 UdfManager::RunnerFactory MakeIsolatedRunnerFactory(
-    size_t shm_capacity = 1 << 20, size_t pool_size = 1);
+    size_t shm_capacity = 1 << 20, size_t pool_size = 1,
+    ipc::Transport transport = ipc::Transport::kRing);
 
 /// Design 4 ("IJNI"): a JJava UDF inside a JagVM hosted by a separate
 /// executor process — Table 1's fourth cell, which the paper only
@@ -100,7 +108,8 @@ class IsolatedJvmRunner : public UdfRunner {
  public:
   static Result<std::unique_ptr<IsolatedJvmRunner>> Spawn(
       const UdfInfo& info, jvm::ResourceLimits limits,
-      size_t shm_capacity = 1 << 20, size_t pool_size = 1);
+      size_t shm_capacity = 1 << 20, size_t pool_size = 1,
+      ipc::Transport transport = ipc::Transport::kRing);
 
   std::string design_label() const override { return "IJNI"; }
 
@@ -136,7 +145,7 @@ class IsolatedJvmRunner : public UdfRunner {
 /// UdfManager factory for `UdfLanguage::kJJavaIsolated`.
 UdfManager::RunnerFactory MakeIsolatedJvmRunnerFactory(
     jvm::ResourceLimits limits, size_t shm_capacity = 1 << 20,
-    size_t pool_size = 1);
+    size_t pool_size = 1, ipc::Transport transport = ipc::Transport::kRing);
 
 }  // namespace jaguar
 

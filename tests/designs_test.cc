@@ -71,7 +71,7 @@ TEST(RemoteExecutorTest, ExecutesRequestsAndCallbacks) {
   // Child handler: interprets the request as a count, makes that many
   // callbacks, sums the replies.
   auto handler = [](Slice request,
-                    ipc::ShmChannel* channel) -> Result<std::vector<uint8_t>> {
+                    ipc::Channel* channel) -> Result<std::vector<uint8_t>> {
     BufferReader r(request);
     JAGUAR_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
     int64_t sum = 0;
@@ -121,7 +121,7 @@ TEST(RemoteExecutorTest, ExecutesRequestsAndCallbacks) {
 
 TEST(RemoteExecutorTest, ChildErrorsArriveAsStatus) {
   auto handler = [](Slice request,
-                    ipc::ShmChannel*) -> Result<std::vector<uint8_t>> {
+                    ipc::Channel*) -> Result<std::vector<uint8_t>> {
     return RuntimeError("deliberate failure in child");
   };
   auto executor = ipc::RemoteExecutor::Spawn(4096, handler).value();
@@ -135,7 +135,7 @@ TEST(RemoteExecutorTest, ChildErrorsArriveAsStatus) {
 }
 
 TEST(RemoteExecutorTest, DeadChildTimesOutInsteadOfHanging) {
-  auto handler = [](Slice, ipc::ShmChannel*) -> Result<std::vector<uint8_t>> {
+  auto handler = [](Slice, ipc::Channel*) -> Result<std::vector<uint8_t>> {
     return std::vector<uint8_t>{};
   };
   auto executor = ipc::RemoteExecutor::Spawn(4096, handler).value();

@@ -15,6 +15,7 @@
 
 #include "common/bytes.h"
 #include "ipc/remote_executor.h"
+#include "ipc/ring_channel.h"
 #include "ipc/shm_channel.h"
 #include "obs/metrics.h"
 
@@ -22,6 +23,7 @@ namespace jaguar {
 namespace {
 
 using ipc::MsgType;
+using ipc::RingChannel;
 using ipc::ShmChannel;
 
 // The semaphores simply count, so a single process can play both ends: post
@@ -168,9 +170,261 @@ TEST(ShmChannelUnitTest, ShutdownHandshakeReapsChildCleanly) {
   EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Ring transport
+// ---------------------------------------------------------------------------
+
+TEST(RingChannelUnitTest, FactorySelectsTransportAndRejectsUnknownNames) {
+  auto ring = ipc::Channel::Create(ipc::Transport::kRing, 256).value();
+  EXPECT_STREQ(ring->transport_name(), "ring");
+  EXPECT_TRUE(ring->zero_copy());
+  EXPECT_EQ(ring->send_queue_depth(), 2u);
+
+  auto message = ipc::Channel::Create(ipc::Transport::kMessage, 256).value();
+  EXPECT_STREQ(message->transport_name(), "message");
+  EXPECT_FALSE(message->zero_copy());
+  EXPECT_EQ(message->send_queue_depth(), 1u);
+
+  EXPECT_EQ(ipc::ParseTransport("ring").value(), ipc::Transport::kRing);
+  EXPECT_EQ(ipc::ParseTransport("message").value(), ipc::Transport::kMessage);
+  EXPECT_TRUE(ipc::ParseTransport("carrier-pigeon").status()
+                  .IsInvalidArgument());
+}
+
+TEST(RingChannelUnitTest, RoundTripEveryMsgType) {
+  auto channel = RingChannel::Create(256).value();
+  const MsgType kAll[] = {MsgType::kRequest,       MsgType::kCallbackRequest,
+                          MsgType::kCallbackReply, MsgType::kResult,
+                          MsgType::kError,         MsgType::kShutdown};
+  for (MsgType type : kAll) {
+    std::string payload = "t" + std::to_string(static_cast<uint32_t>(type));
+    ASSERT_TRUE(channel->SendToChild(type, Slice(payload)).ok());
+    auto down = channel->ReceiveInChild().value();
+    EXPECT_EQ(down.first, type);
+    EXPECT_EQ(Slice(down.second).ToString(), payload);
+
+    ASSERT_TRUE(channel->SendToParent(type, Slice(payload)).ok());
+    auto up = channel->ReceiveInParent().value();
+    EXPECT_EQ(up.first, type);
+    EXPECT_EQ(Slice(up.second).ToString(), payload);
+  }
+}
+
+TEST(RingChannelUnitTest, PayloadAtExactCapacityRoundTrips) {
+  constexpr size_t kCapacity = 128;
+  auto channel = RingChannel::Create(kCapacity).value();
+  EXPECT_EQ(channel->data_capacity(), kCapacity);
+
+  std::vector<uint8_t> payload(kCapacity);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  ASSERT_TRUE(channel->SendToChild(MsgType::kRequest, Slice(payload)).ok());
+  auto msg = channel->ReceiveInChild().value();
+  EXPECT_EQ(msg.second, payload);
+}
+
+TEST(RingChannelUnitTest, OversizedPayloadRejectedInBothDirections) {
+  auto channel = RingChannel::Create(64).value();
+  std::vector<uint8_t> big(65);
+  EXPECT_TRUE(channel->SendToChild(MsgType::kRequest, Slice(big))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(channel->SendToParent(MsgType::kResult, Slice(big))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(channel->PrepareToChild(65).status().IsInvalidArgument());
+  // The failed sends must not have published anything.
+  ASSERT_TRUE(channel->SendToChild(MsgType::kRequest, Slice("ok")).ok());
+  auto msg = channel->ReceiveInChild().value();
+  EXPECT_EQ(Slice(msg.second).ToString(), "ok");
+}
+
+TEST(RingChannelUnitTest, EmptyPayloadIsLegal) {
+  auto channel = RingChannel::Create(16).value();
+  ASSERT_TRUE(channel->SendToChild(MsgType::kShutdown, Slice()).ok());
+  auto msg = channel->ReceiveInChild().value();
+  EXPECT_EQ(msg.first, MsgType::kShutdown);
+  EXPECT_TRUE(msg.second.empty());
+}
+
+TEST(RingChannelUnitTest, ReceiveTimesOutOnSilentPeer) {
+  auto channel = RingChannel::Create(16).value();
+  channel->set_timeout_seconds(1);
+  Result<ipc::Channel::Msg> r = channel->ReceiveInParent();
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+TEST(RingChannelUnitTest, SendBumpsCrossingAndRingCounters) {
+  auto channel = RingChannel::Create(64).value();
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Global();
+  obs::MetricsSnapshot before = reg->Snapshot("ipc.");
+  ASSERT_TRUE(channel->SendToChild(MsgType::kRequest, Slice("12345")).ok());
+  ASSERT_TRUE(channel->SendToParent(MsgType::kResult, Slice("123")).ok());
+  obs::MetricsSnapshot delta =
+      obs::SnapshotDelta(before, reg->Snapshot("ipc."));
+  // The transport-independent crossing counters (every committed frame is
+  // one Section-4.1 crossing, whatever carries it)...
+  EXPECT_GE(delta.at("ipc.shm.messages"), 2u);
+  EXPECT_GE(delta.at("ipc.shm.payload_bytes"), 8u);
+  // ...plus the ring's own accounting.
+  EXPECT_GE(delta.at("ipc.ring.frames"), 2u);
+  EXPECT_GE(delta.at("ipc.ring.bytes"), 8u);
+  (void)channel->ReceiveInChild();
+  (void)channel->ReceiveInParent();
+}
+
+TEST(RingChannelUnitTest, ZeroCopyPrepareCommitViewRelease) {
+  auto channel = RingChannel::Create(1024).value();
+  auto buf = channel->PrepareToChild(5);
+  ASSERT_TRUE(buf.ok());
+  std::memcpy(*buf, "hello", 5);
+  ASSERT_TRUE(channel->CommitToChild(MsgType::kRequest, 5).ok());
+
+  auto view = channel->ReceiveViewInChild().value();
+  EXPECT_EQ(view.first, MsgType::kRequest);
+  // The view aliases the bytes the producer serialized in place.
+  EXPECT_EQ(view.second.data(), *buf);
+  EXPECT_EQ(view.second.ToString(), "hello");
+  channel->ReleaseInChild();
+  channel->ReleaseInChild();  // idempotent
+
+  auto reply = channel->PrepareToParent(3);
+  ASSERT_TRUE(reply.ok());
+  std::memcpy(*reply, "ack", 3);
+  ASSERT_TRUE(channel->CommitToParent(MsgType::kResult, 3).ok());
+  auto up = channel->ReceiveViewInParent().value();
+  EXPECT_EQ(up.first, MsgType::kResult);
+  EXPECT_EQ(up.second.ToString(), "ack");
+  channel->ReleaseInParent();
+}
+
+TEST(RingChannelUnitTest, CallbackSuspendsRequestUntilReplied) {
+  // The Section 4.1 interleaving over the ring transport: fork a child that
+  // starts a request, issues a callback, and folds the reply into its
+  // result, proving the request stayed suspended until the parent answered.
+  auto channel = RingChannel::Create(4096).value();
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto req = channel->ReceiveInChild();
+    if (!req.ok() || req->first != MsgType::kRequest) _exit(1);
+    if (!channel->SendToParent(MsgType::kCallbackRequest, Slice("need"))
+             .ok()) {
+      _exit(2);
+    }
+    auto reply = channel->ReceiveInChild();
+    if (!reply.ok() || reply->first != MsgType::kCallbackReply) _exit(3);
+    std::string result = Slice(req->second).ToString() + "+" +
+                         Slice(reply->second).ToString();
+    if (!channel->SendToParent(MsgType::kResult, Slice(result)).ok()) _exit(4);
+    _exit(0);
+  }
+  ASSERT_TRUE(channel->SendToChild(MsgType::kRequest, Slice("work")).ok());
+  auto up = channel->ReceiveInParent().value();
+  ASSERT_EQ(up.first, MsgType::kCallbackRequest);
+  EXPECT_EQ(Slice(up.second).ToString(), "need");
+  ASSERT_TRUE(
+      channel->SendToChild(MsgType::kCallbackReply, Slice("answer")).ok());
+  auto result = channel->ReceiveInParent().value();
+  EXPECT_EQ(result.first, MsgType::kResult);
+  EXPECT_EQ(Slice(result.second).ToString(), "work+answer");
+  int status;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(RingExecutorUnitTest, PipelinesTwoRequestsAndRejectsAThird) {
+  auto handler = [](Slice request,
+                    ipc::Channel*) -> Result<std::vector<uint8_t>> {
+    return std::vector<uint8_t>(request.data(),
+                                request.data() + request.size());
+  };
+  auto executor =
+      ipc::RemoteExecutor::Spawn(1024, handler, ipc::Transport::kRing)
+          .value();
+  EXPECT_EQ(executor->send_queue_depth(), 2u);
+  auto no_callbacks = [](Slice) -> Result<std::vector<uint8_t>> {
+    return Internal("no callbacks expected");
+  };
+
+  ASSERT_TRUE(executor->BeginExecute(Slice("one")).ok());
+  ASSERT_TRUE(executor->BeginExecute(Slice("two")).ok());
+  EXPECT_EQ(executor->in_flight(), 2u);
+  // A third request exceeds the ring's pipeline depth.
+  EXPECT_FALSE(executor->BeginExecute(Slice("three")).ok());
+
+  // Results come back in FIFO order.
+  EXPECT_EQ(Slice(executor->FinishExecute(no_callbacks).value()).ToString(),
+            "one");
+  EXPECT_EQ(Slice(executor->FinishExecute(no_callbacks).value()).ToString(),
+            "two");
+  EXPECT_EQ(executor->in_flight(), 0u);
+  ASSERT_TRUE(executor->Shutdown().ok());
+}
+
+TEST(RingExecutorUnitTest, MessageTransportKeepsSingleSlotDepth) {
+  auto handler = [](Slice request,
+                    ipc::Channel*) -> Result<std::vector<uint8_t>> {
+    return std::vector<uint8_t>(request.data(),
+                                request.data() + request.size());
+  };
+  auto executor =
+      ipc::RemoteExecutor::Spawn(1024, handler, ipc::Transport::kMessage)
+          .value();
+  EXPECT_EQ(executor->send_queue_depth(), 1u);
+  auto no_callbacks = [](Slice) -> Result<std::vector<uint8_t>> {
+    return Internal("no callbacks expected");
+  };
+  ASSERT_TRUE(executor->BeginExecute(Slice("one")).ok());
+  EXPECT_FALSE(executor->BeginExecute(Slice("two")).ok());
+  EXPECT_EQ(Slice(executor->FinishExecute(no_callbacks).value()).ToString(),
+            "one");
+  ASSERT_TRUE(executor->Shutdown().ok());
+}
+
+TEST(RingExecutorUnitTest, StashKeepsPipelinedRequestsOrderedAcrossCallbacks) {
+  // While the child waits for a callback reply, the pipelined next request
+  // is already ahead of the reply in the FIFO to-child ring. The child must
+  // set it aside (stash) and still serve both requests in order.
+  auto handler = [](Slice request,
+                    ipc::Channel* channel) -> Result<std::vector<uint8_t>> {
+    std::vector<uint8_t> req(request.data(), request.data() + request.size());
+    channel->ReleaseInChild();
+    JAGUAR_RETURN_IF_ERROR(
+        channel->SendToParent(MsgType::kCallbackRequest, Slice("cb")));
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(auto msg, channel->ReceiveFreshInChild());
+      if (msg.first == MsgType::kRequest) {
+        channel->StashInChild(msg.first, std::move(msg.second));
+        continue;
+      }
+      if (msg.first != MsgType::kCallbackReply) {
+        return Internal("unexpected reply type");
+      }
+      req.push_back('+');
+      req.insert(req.end(), msg.second.begin(), msg.second.end());
+      return req;
+    }
+  };
+  auto executor =
+      ipc::RemoteExecutor::Spawn(4096, handler, ipc::Transport::kRing)
+          .value();
+  auto callbacks = [](Slice payload) -> Result<std::vector<uint8_t>> {
+    EXPECT_EQ(payload.ToString(), "cb");
+    return std::vector<uint8_t>{'X'};
+  };
+  ASSERT_TRUE(executor->BeginExecute(Slice("a")).ok());
+  ASSERT_TRUE(executor->BeginExecute(Slice("b")).ok());
+  EXPECT_EQ(Slice(executor->FinishExecute(callbacks).value()).ToString(),
+            "a+X");
+  EXPECT_EQ(Slice(executor->FinishExecute(callbacks).value()).ToString(),
+            "b+X");
+  ASSERT_TRUE(executor->Shutdown().ok());
+}
+
 TEST(RemoteExecutorUnitTest, ShutdownIsIdempotentAndDtorSafe) {
   auto handler = [](Slice request,
-                    ipc::ShmChannel*) -> Result<std::vector<uint8_t>> {
+                    ipc::Channel*) -> Result<std::vector<uint8_t>> {
     return std::vector<uint8_t>(request.data(),
                                 request.data() + request.size());
   };

@@ -3,6 +3,10 @@
 // Section 6.4.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -74,6 +78,96 @@ TEST(ProtocolTest, TruncatedUdfInfoFailsCleanly) {
     BufferReader r(Slice(w.buffer().data(), len));
     EXPECT_FALSE(DecodeUdfInfo(&r).ok());
   }
+}
+
+TEST(ProtocolTest, LargeFrameSurvivesTinySocketBuffers) {
+  // A 1 MiB frame through a socketpair whose buffers hold a few KB: every
+  // send() is partial, so WriteFrame's WriteAll loop (and ReadFrame's
+  // ReadAll) must stitch the frame back together without dropping or
+  // reordering a byte — the regression this guards is a short-write of the
+  // header followed by a desynchronized stream.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int small = 4096;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+  ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &small,
+                         sizeof(small)),
+            0);
+
+  const std::vector<uint8_t> payload = Random(7).Bytes(1 << 20);
+  std::pair<FrameType, std::vector<uint8_t>> got;
+  Status read_status = Status::OK();
+  std::thread reader([&] {
+    auto r = ReadFrame(fds[1]);
+    if (r.ok()) {
+      got = std::move(*r);
+    } else {
+      read_status = r.status();
+    }
+  });
+  Status write_status = WriteFrame(fds[0], FrameType::kStoreLob,
+                                   Slice(payload));
+  reader.join();
+  ASSERT_TRUE(write_status.ok()) << write_status;
+  ASSERT_TRUE(read_status.ok()) << read_status;
+  EXPECT_EQ(got.first, FrameType::kStoreLob);
+  EXPECT_EQ(got.second, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, FramesSurviveASignalStormMidTransfer) {
+  // Non-SA_RESTART signals land on the writer thread while it is blocked in
+  // send(); each one makes the syscall fail with EINTR, which WriteAll must
+  // absorb by retrying from the interrupted offset. The reader reassembles
+  // a byte-identical frame on the other end.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: force EINTR
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int small = 4096;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small,
+                         sizeof(small)),
+            0);
+
+  const std::vector<uint8_t> payload = Random(11).Bytes(1 << 20);
+  std::pair<FrameType, std::vector<uint8_t>> got;
+  Status read_status = Status::OK();
+  std::thread reader([&] {
+    auto r = ReadFrame(fds[1]);
+    if (r.ok()) {
+      got = std::move(*r);
+    } else {
+      read_status = r.status();
+    }
+  });
+
+  std::atomic<bool> writing{true};
+  Status write_status = Status::OK();
+  std::thread writer([&] {
+    write_status = WriteFrame(fds[0], FrameType::kLobData, Slice(payload));
+    writing = false;
+  });
+  // Pepper the writer with signals for as long as the transfer is running.
+  while (writing.load()) {
+    ::pthread_kill(writer.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  writer.join();
+  reader.join();
+  ASSERT_TRUE(write_status.ok()) << write_status;
+  ASSERT_TRUE(read_status.ok()) << read_status;
+  EXPECT_EQ(got.first, FrameType::kLobData);
+  EXPECT_EQ(got.second, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 class NetTest : public ::testing::Test {

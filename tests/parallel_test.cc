@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -187,6 +188,62 @@ TEST_F(ParallelTest, OrderByAndLimitFallBackToSerial) {
   EXPECT_EQ(ParallelQueries(agg), 0u);
 }
 
+TEST(ParallelTransportABTest, RingAndMessageTransportsAreByteIdentical) {
+  JAGUAR_REQUIRE_FORK();
+  // The zero-copy ring is a pure transport swap: a parallel isolated-UDF
+  // query must produce byte-for-byte the rows the copying message channel
+  // produces, under the same 4-worker morsel schedule. No hardware-thread
+  // guard: oversubscribing one core still exercises the interleavings (and
+  // parks the ring more often, not less).
+  RegisterGenericUdfs();
+  const std::string stem =
+      (std::filesystem::temp_directory_path() /
+       ("jaguar_transport_ab_" + std::to_string(::getpid())))
+          .string();
+  std::map<std::string, QueryResult> results;
+  for (const std::string transport : {"ring", "message"}) {
+    const std::string path = stem + "_" + transport + ".db";
+    std::remove(path.c_str());
+    DatabaseOptions options;
+    options.vectorized_execution = true;
+    options.batch_size = 16;
+    options.num_workers = 4;
+    options.ipc_transport = transport;
+    auto db = Database::Open(path, options).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE r (b BYTEARRAY)").ok());
+    for (int i = 0; i < 48; ++i) {
+      ASSERT_TRUE(db->Execute(StringPrintf(
+                                  "INSERT INTO r VALUES (randbytes(600, %d))",
+                                  500 + i))
+                      .ok());
+    }
+    UdfInfo info;
+    info.name = "g_ab";
+    info.language = UdfLanguage::kNativeIsolated;
+    info.return_type = TypeId::kInt;
+    info.arg_types = {TypeId::kBytes, TypeId::kInt, TypeId::kInt,
+                      TypeId::kInt};
+    info.impl_name = "generic_udf";
+    ASSERT_TRUE(db->RegisterUdf(info).ok());
+    // 1 callback per row: the transports also agree through the
+    // suspend-resume interleaving.
+    Result<QueryResult> r = db->Execute("SELECT g_ab(b, 15, 2, 1) FROM r");
+    ASSERT_TRUE(r.ok()) << transport << ": " << r.status();
+    results[transport] = std::move(*r);
+    db.reset();
+    std::remove(path.c_str());
+  }
+  const QueryResult& ring = results.at("ring");
+  const QueryResult& message = results.at("message");
+  ASSERT_EQ(ring.rows.size(), message.rows.size());
+  ASSERT_EQ(ring.rows.size(), 48u);
+  for (size_t i = 0; i < ring.rows.size(); ++i) {
+    EXPECT_EQ(Slice(ring.rows[i].Serialize()).ToString(),
+              Slice(message.rows[i].Serialize()).ToString())
+        << "row " << i;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Concurrent InvokeBatch on one shared runner
 // ---------------------------------------------------------------------------
@@ -293,7 +350,7 @@ TEST(ConcurrentRunnerTest, SharedJvmRunnerServesParallelInvocations) {
 // ExecutorPool: leasing, death isolation, respawn
 // ---------------------------------------------------------------------------
 
-Result<std::vector<uint8_t>> EchoHandler(Slice request, ipc::ShmChannel*) {
+Result<std::vector<uint8_t>> EchoHandler(Slice request, ipc::Channel*) {
   return std::vector<uint8_t>(request.data(), request.data() + request.size());
 }
 

@@ -20,6 +20,7 @@
 #include "common/deadline.h"
 #include "common/random.h"
 #include "engine/database.h"
+#include "ipc/remote_executor.h"
 #include "jjc/jjc.h"
 #include "jvm/assembler.h"
 #include "jvm/class_loader.h"
@@ -28,6 +29,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "udf/executor_pool.h"
 #include "udf/generic_udf.h"
 #include "udf/isolated_udf_runner.h"
 #include "udf/udf.h"
@@ -515,6 +517,75 @@ TEST(IsolatedRunnerFaultTest, KilledMidBatchFailsWholeBatchAndRespawns) {
   EXPECT_NE(runner->child_pid(), doomed);
 }
 
+TEST(IsolatedRunnerFaultTest, KilledChildRecoversOnMessageTransportToo) {
+  JAGUAR_REQUIRE_FORK();
+  // The fallback transport must fail and recover exactly like the ring:
+  // SIGKILL the executor mid-conversation, expect one clean IoError-class
+  // failure, then transparent respawn.
+  RegisterGenericUdfs();
+  auto runner = IsolatedNativeRunner::Spawn(
+                    "generic_udf", TypeId::kInt,
+                    {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt},
+                    1 << 20, 1, ipc::Transport::kMessage)
+                    .value();
+  runner->set_ipc_timeout_seconds(1);
+  const std::vector<Value> args = {Value::Bytes(std::vector<uint8_t>(8, 1)),
+                                   Value::Int(2), Value::Int(2),
+                                   Value::Int(0)};
+  UdfContext ctx(nullptr);
+  ASSERT_TRUE(runner->Invoke(args, &ctx).ok());
+
+  const pid_t doomed = runner->child_pid();
+  ASSERT_GT(doomed, 0);
+  ASSERT_EQ(kill(doomed, SIGKILL), 0);
+  Result<Value> dead = runner->Invoke(args, &ctx);
+  EXPECT_FALSE(dead.ok());
+
+  Result<Value> revived = runner->Invoke(args, &ctx);
+  ASSERT_TRUE(revived.ok()) << revived.status();
+  EXPECT_NE(runner->child_pid(), doomed);
+}
+
+TEST(ExecutorPoolTeardownTest, DtorReapsLeasedOrphanChildren) {
+  JAGUAR_REQUIRE_FORK();
+  // A pool destroyed while a lease is still outstanding (a worker thread
+  // wedged, a runner torn down out of order) must not leave the leased
+  // child running as a zombie-in-waiting: the dtor SIGKILLs and reaps every
+  // registered-but-not-idle executor and counts it.
+  auto spawn = []() {
+    return ipc::RemoteExecutor::Spawn(
+        1024,
+        [](Slice request, ipc::Channel*) -> Result<std::vector<uint8_t>> {
+          return std::vector<uint8_t>(request.data(),
+                                      request.data() + request.size());
+        });
+  };
+  obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global()->Snapshot("udf.pool.");
+
+  pid_t leased_pid = -1;
+  {
+    ExecutorPool::Lease orphan;
+    {
+      ExecutorPool pool(spawn, 2);
+      auto lease = pool.Acquire();
+      ASSERT_TRUE(lease.ok());
+      leased_pid = (*lease)->child_pid();
+      ASSERT_GT(leased_pid, 0);
+      orphan = std::move(*lease);
+    }  // pool dies with the lease outstanding
+    // The child was SIGKILLed *and reaped* by the pool dtor: not a zombie,
+    // not a live orphan — the pid is simply gone.
+    EXPECT_EQ(kill(leased_pid, 0), -1);
+    EXPECT_EQ(errno, ESRCH);
+  }  // the orphaned lease settles after the pool: must be a harmless no-op
+
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot("udf.pool."));
+  ASSERT_TRUE(delta.count("udf.pool.orphans"));
+  EXPECT_GE(delta.at("udf.pool.orphans"), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Query deadlines: runaway-UDF termination and quarantine
 // ---------------------------------------------------------------------------
@@ -655,6 +726,49 @@ TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedNativeUdf) {
       db_->Execute("SELECT g_ic(zerobytes(8), 2, 1, 0) FROM t");
   ASSERT_TRUE(ok.ok()) << ok.status();
   ASSERT_EQ(ok->rows.size(), 1u);
+}
+
+TEST_F(DeadlineTest, WatchdogAlsoKillsOnMessageTransport) {
+  JAGUAR_REQUIRE_FORK();
+  // The copy-based fallback transport keeps the identical watchdog
+  // semantics: runaway isolated UDF -> SIGKILL within the deadline plus one
+  // 100 ms tick, clean DeadlineExceeded, pool respawns for the next query.
+  options_.query_timeout_ms = 300;
+  options_.ipc_transport = "message";
+  Open();
+  RegisterSpin("spin_m", UdfLanguage::kNativeIsolated);
+
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> dead = db_->Execute("SELECT spin_m(a) FROM t");
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  EXPECT_LT(ElapsedMs(start), 3000) << "watchdog took too long";
+
+  Result<QueryResult> again = db_->Execute("SELECT spin_m(a) FROM t");
+  EXPECT_TRUE(again.status().IsDeadlineExceeded()) << again.status();
+}
+
+TEST_F(DeadlineTest, MessageTransportRunsIsolatedUdfsEndToEnd) {
+  JAGUAR_REQUIRE_FORK();
+  options_.ipc_transport = "message";
+  Open();
+  RegisterGenericUdfs();
+  UdfInfo info;
+  info.name = "g_msg";
+  info.language = UdfLanguage::kNativeIsolated;
+  info.return_type = TypeId::kInt;
+  info.arg_types = {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt};
+  info.impl_name = "generic_udf";
+  ASSERT_TRUE(db_->RegisterUdf(info).ok());
+  Result<QueryResult> ok =
+      db_->Execute("SELECT g_msg(zerobytes(8), 2, 1, 0) FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->rows.size(), 1u);
+}
+
+TEST_F(DeadlineTest, UnknownTransportNameFailsOpen) {
+  options_.ipc_transport = "carrier-pigeon";
+  Result<std::unique_ptr<Database>> db = Database::Open(path_, options_);
+  EXPECT_TRUE(db.status().IsInvalidArgument()) << db.status();
 }
 
 TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedJvmUdf) {
