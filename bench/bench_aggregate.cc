@@ -1,0 +1,146 @@
+// Morsel-parallel vectorized aggregation: grouped UDF-sum queries shaped
+//
+//   SELECT R.id % C, SUM(g(R.ByteArray, 40, 1, 0)) FROM Rel100 R
+//   GROUP BY R.id % C
+//
+// swept over group cardinalities C in {1, 100, 100000} (one global group,
+// a few groups, ~one group per row — the partial-merge cost extremes), run
+// serially and with 4 workers; plus a UDF-in-aggregate design A/B (C++ /
+// IC++ / JNI / IJNI) at C = 100, measuring how each protection boundary
+// behaves when its crossings happen inside parallel aggregate workers.
+//
+// Emits BENCH_agg.json (machine-readable speedups for CI artifacts).
+// Shape checks require the morsel-parallel aggregate path to actually run,
+// and >= 2x speedup at C = 100 with 4 workers; the speedup check is skipped
+// on hosts with fewer than 4 cores.
+
+#include <thread>
+
+#include "bench/harness.h"
+
+namespace jaguar {
+namespace bench {
+namespace {
+
+std::string GroupedSumQuery(const std::string& fn, int64_t groups) {
+  // The group key is written identically in the select item and the GROUP
+  // BY clause — the engine's textual-match rule.
+  return StringPrintf(
+      "SELECT R.id %% %lld, SUM(%s(R.ByteArray, 40, 1, 0)) FROM Rel100 R "
+      "GROUP BY R.id %% %lld",
+      static_cast<long long>(groups), fn.c_str(),
+      static_cast<long long>(groups));
+}
+
+int Run() {
+  const int rows = FullScale() ? 100000 : 20000;
+  const size_t workers = 4;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const int repeats = 3;
+  PrintHeader(
+      "Parallel aggregation - grouped UDF sums",
+      StringPrintf("SUM over %d generic-UDF values (indep=40) on Rel100, "
+                   "grouped; 1 worker vs %zu workers (host has %u cores)",
+                   rows, workers, cores));
+
+  DatabaseOptions serial_options;
+  serial_options.vectorized_execution = true;
+  serial_options.batch_size = 256;
+  serial_options.num_workers = 1;
+  DatabaseOptions parallel_options = serial_options;
+  parallel_options.num_workers = workers;
+
+  auto serial_env = BenchEnv::Create({{"Rel100", 100}}, rows, serial_options);
+  auto parallel_env =
+      BenchEnv::Create({{"Rel100", 100}}, rows, parallel_options);
+
+  // Sweep 1: group-count extremes with the in-process C++ UDF.
+  const std::vector<int64_t> group_counts = {1, 100, 100000};
+  std::vector<double> sweep_serial, sweep_parallel, sweep_speedup;
+  PrintSeriesHeader("groups", {"serial s", "parallel s", "speedup"});
+  for (int64_t groups : group_counts) {
+    const std::string sql = GroupedSumQuery("g_cpp", groups);
+    double s = serial_env->TimeQueryMin(sql, repeats);
+    double p = parallel_env->TimeQueryMin(sql, repeats);
+    sweep_serial.push_back(s);
+    sweep_parallel.push_back(p);
+    sweep_speedup.push_back(p > 0 ? s / p : 0);
+    std::printf("%12lld %12.6f %12.6f %11.2fx\n",
+                static_cast<long long>(groups), s, p, sweep_speedup.back());
+  }
+  // Shape evidence while the parallel delta is fresh: the last sweep query
+  // must have taken the morsel-parallel aggregate path.
+  const obs::MetricsSnapshot sweep_delta = parallel_env->last_metrics_delta();
+
+  // Sweep 2: the same grouped sum at C = 100 across UDF designs — each
+  // design's boundary is crossed once per batch inside every worker.
+  const std::vector<std::string> designs = {"C++", "IC++", "JNI", "IJNI"};
+  const std::vector<std::string> fns = {"g_cpp", "g_icpp", "g_jni", "g_ijni"};
+  std::vector<double> design_serial, design_parallel, design_speedup;
+  std::printf("\n");
+  PrintSeriesHeader("design", {"serial s", "parallel s", "speedup"});
+  for (size_t f = 0; f < fns.size(); ++f) {
+    const std::string sql = GroupedSumQuery(fns[f], 100);
+    double s = serial_env->TimeQueryMin(sql, repeats);
+    double p = parallel_env->TimeQueryMin(sql, repeats);
+    design_serial.push_back(s);
+    design_parallel.push_back(p);
+    design_speedup.push_back(p > 0 ? s / p : 0);
+    std::printf("%12s %12.6f %12.6f %11.2fx\n", designs[f].c_str(), s, p,
+                design_speedup.back());
+  }
+
+  // Machine-readable artifact for CI trend tracking.
+  std::FILE* json = std::fopen("BENCH_agg.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"rows\": %d,\n  \"workers\": %zu,\n"
+                 "  \"host_cores\": %u,\n  \"group_sweep\": {\n",
+                 rows, workers, cores);
+    for (size_t g = 0; g < group_counts.size(); ++g) {
+      std::fprintf(json,
+                   "    \"%lld\": {\"serial_seconds\": %.6f, "
+                   "\"parallel_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                   static_cast<long long>(group_counts[g]), sweep_serial[g],
+                   sweep_parallel[g], sweep_speedup[g],
+                   g + 1 < group_counts.size() ? "," : "");
+    }
+    std::fprintf(json, "  },\n  \"udf_designs\": {\n");
+    for (size_t f = 0; f < fns.size(); ++f) {
+      std::fprintf(json,
+                   "    \"%s\": {\"serial_seconds\": %.6f, "
+                   "\"parallel_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                   designs[f].c_str(), design_serial[f], design_parallel[f],
+                   design_speedup[f], f + 1 < fns.size() ? "," : "");
+    }
+    std::fprintf(json, "  }\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_agg.json\n");
+  }
+
+  std::printf("\nShape checks:\n");
+  bool ok = true;
+  auto agg_parallel = sweep_delta.find("exec.agg.parallel_queries");
+  ok &= ShapeCheck(agg_parallel != sweep_delta.end() &&
+                       agg_parallel->second > 0,
+                   "aggregation took the morsel-driven parallel path");
+  auto merges = sweep_delta.find("exec.agg.partial_merges");
+  ok &= ShapeCheck(merges != sweep_delta.end() && merges->second > 0,
+                   "per-morsel partial aggregators were merged");
+  if (cores < workers) {
+    std::printf("  [SKIP] speedup checks need >= %zu cores (host has %u)\n",
+                workers, cores);
+    return ok ? 0 : 1;
+  }
+  ok &= ShapeCheck(
+      sweep_speedup[1] >= 2.0,
+      StringPrintf("grouped sum (C=100) 4-worker speedup >= 2x (got %.2fx)",
+                   sweep_speedup[1]));
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace jaguar
+
+int main() { return jaguar::bench::Run(); }

@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/aggregate.h"
 #include "exec/expression.h"
 #include "exec/operators.h"
 #include "exec/parallel.h"
+#include "exec/sort.h"
 #include "sql/parser.h"
 #include "udf/builtins.h"
 #include "udf/isolated_udf_runner.h"
@@ -257,245 +259,91 @@ Result<QueryResult> Database::ExecuteShowMetrics(const sql::Statement& stmt) {
   return result;
 }
 
-namespace {
-
-/// Aggregate functions recognized in SELECT items (no GROUP BY: one output
-/// row over the whole filtered input, like early OR-DBMS engines).
-bool IsAggregateName(const std::string& name) {
-  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
-         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
-         EqualsIgnoreCase(name, "max") || EqualsIgnoreCase(name, "count_star");
-}
-
-bool HasAggregate(const sql::SelectStmt& sel) {
-  for (const sql::SelectItem& item : sel.items) {
-    if (!item.is_star && item.expr->kind == sql::ExprKind::kFunctionCall &&
-        IsAggregateName(item.expr->function)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-/// One aggregate output column: what to compute (spec) and its running
-/// state per group (accumulator).
-struct AggSpec {
-  std::string fn;          // lower-cased aggregate name
-  exec::BoundExprPtr arg;  // null for count(*)
-  TypeId out_type = TypeId::kInt;
-};
-
-struct AggAccum {
-  int64_t count = 0;
-  bool any = false;
-  int64_t sum_int = 0;
-  double sum_double = 0;
-  bool is_double = false;
-  Value min_value;
-  Value max_value;
-};
-
-Status Accumulate(const AggSpec& spec, const Value& v, AggAccum* acc) {
-  if (v.is_null()) return Status::OK();  // SQL: aggregates ignore NULLs
-  ++acc->count;
-  if (spec.fn == "sum" || spec.fn == "avg") {
-    JAGUAR_ASSIGN_OR_RETURN(double d, v.CoerceDouble());
-    acc->sum_double += d;
-    if (v.type() == TypeId::kInt) acc->sum_int += v.AsInt();
-    else acc->is_double = true;
-  } else if (spec.fn == "min" || spec.fn == "max") {
-    if (!acc->any) {
-      acc->min_value = v;
-      acc->max_value = v;
-    } else {
-      JAGUAR_ASSIGN_OR_RETURN(int cmp_min, v.Compare(acc->min_value));
-      if (cmp_min < 0) acc->min_value = v;
-      JAGUAR_ASSIGN_OR_RETURN(int cmp_max, v.Compare(acc->max_value));
-      if (cmp_max > 0) acc->max_value = v;
-    }
-  }
-  acc->any = true;
-  return Status::OK();
-}
-
-Value Finalize(const AggSpec& spec, const AggAccum& acc) {
-  if (spec.fn == "count" || spec.fn == "count_star") {
-    return Value::Int(acc.count);
-  }
-  if (!acc.any) return Value::Null();  // empty group input
-  if (spec.fn == "sum") {
-    return acc.is_double ? Value::Double(acc.sum_double)
-                         : Value::Int(acc.sum_int);
-  }
-  if (spec.fn == "avg") {
-    return Value::Double(acc.sum_double / static_cast<double>(acc.count));
-  }
-  return spec.fn == "min" ? acc.min_value : acc.max_value;
-}
-
-}  // namespace
-
 Result<QueryResult> Database::ExecuteAggregate(const sql::Statement& stmt,
                                                const QueryDeadline& deadline) {
   const sql::SelectStmt& sel = stmt.select;
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(sel.table));
-  if (sel.order_by != nullptr) {
-    return NotSupported("ORDER BY cannot be combined with aggregation");
-  }
   UdfContext ctx(this);
   ctx.set_callback_quota(options_.udf_callback_quota);
   ctx.set_deadline(&deadline);
 
-  exec::OperatorPtr op = std::make_unique<exec::SeqScanOp>(
-      storage_.get(), table->first_page, table->schema);
+  JAGUAR_ASSIGN_OR_RETURN(
+      exec::AggregatePlan plan,
+      exec::PlanAggregate(sel, table->schema, sel.table, sel.table_alias,
+                          udf_manager_.get()));
+
+  exec::BoundExprPtr predicate;
   if (sel.where != nullptr) {
     JAGUAR_ASSIGN_OR_RETURN(
-        exec::BoundExprPtr predicate,
-        exec::Bind(*sel.where, table->schema, sel.table, sel.table_alias,
-                   udf_manager_.get()));
-    op = std::make_unique<exec::FilterOp>(std::move(op), std::move(predicate),
-                                          &ctx);
+        predicate, exec::Bind(*sel.where, table->schema, sel.table,
+                              sel.table_alias, udf_manager_.get()));
   }
 
-  // Bind the GROUP BY keys.
-  std::vector<exec::BoundExprPtr> group_keys;
-  std::vector<std::string> group_texts;
-  for (const sql::ExprPtr& key : sel.group_by) {
+  // ORDER BY sorts the aggregate *output*, so its key resolves against the
+  // select items / output schema — bind it up front so errors surface
+  // before any rows are consumed.
+  exec::BoundExprPtr order_key;
+  if (sel.order_by != nullptr) {
     JAGUAR_ASSIGN_OR_RETURN(
-        exec::BoundExprPtr bound,
-        exec::Bind(*key, table->schema, sel.table, sel.table_alias,
-                   udf_manager_.get()));
-    group_keys.push_back(std::move(bound));
-    group_texts.push_back(key->ToString());
+        order_key,
+        exec::BindAggregateOrderKey(sel, plan, udf_manager_.get()));
   }
 
-  // Classify select items: aggregate, or one of the group-by expressions.
-  struct OutputItem {
-    bool is_agg;
-    size_t index;  // into specs / group_keys
-  };
-  std::vector<AggSpec> specs;
-  std::vector<OutputItem> outputs;
-  std::vector<Column> out_cols;
-  for (const sql::SelectItem& item : sel.items) {
-    if (item.is_star) {
-      return NotSupported("SELECT * cannot be combined with aggregation");
+  std::vector<Tuple> rows;
+  const bool parallel =
+      options_.num_workers > 1 && options_.vectorized_execution;
+  if (parallel) {
+    exec::ParallelAggregateSpec pspec;
+    pspec.engine = storage_.get();
+    pspec.first_page = table->first_page;
+    pspec.predicate = predicate.get();
+    pspec.plan = &plan;
+    pspec.batch_size = options_.batch_size;
+    pspec.num_workers = options_.num_workers;
+    pspec.callback_handler = this;
+    pspec.callback_quota = options_.udf_callback_quota;
+    pspec.deadline = &deadline;
+    JAGUAR_ASSIGN_OR_RETURN(rows, exec::RunParallelAggregate(pspec));
+  } else {
+    exec::OperatorPtr op = std::make_unique<exec::SeqScanOp>(
+        storage_.get(), table->first_page, table->schema);
+    if (predicate != nullptr) {
+      op = std::make_unique<exec::FilterOp>(std::move(op),
+                                            std::move(predicate), &ctx);
     }
-    const bool is_agg = item.expr->kind == sql::ExprKind::kFunctionCall &&
-                        IsAggregateName(item.expr->function);
-    if (is_agg) {
-      AggSpec spec;
-      spec.fn = ToLower(item.expr->function);
-      if (spec.fn != "count_star") {
-        if (item.expr->args.size() != 1) {
-          return InvalidArgument(spec.fn + " takes exactly one argument");
-        }
-        JAGUAR_ASSIGN_OR_RETURN(
-            spec.arg, exec::Bind(*item.expr->args[0], table->schema,
-                                 sel.table, sel.table_alias,
-                                 udf_manager_.get()));
-      }
-      if (spec.fn == "count" || spec.fn == "count_star") {
-        spec.out_type = TypeId::kInt;
-      } else if (spec.fn == "avg") {
-        spec.out_type = TypeId::kDouble;
-      } else if (spec.fn == "sum") {
-        spec.out_type = spec.arg->result_type == TypeId::kDouble
-                            ? TypeId::kDouble
-                            : TypeId::kInt;
-      } else {
-        spec.out_type = spec.arg->result_type;
-      }
-      std::string name =
-          !item.alias.empty()
-              ? item.alias
-              : (spec.fn == "count_star" ? "count(*)" : item.expr->ToString());
-      out_cols.push_back({std::move(name), spec.out_type});
-      outputs.push_back({true, specs.size()});
-      specs.push_back(std::move(spec));
-      continue;
+    exec::HashAggregateOp agg(
+        std::move(op), &plan, &ctx,
+        options_.vectorized_execution ? options_.batch_size : 0, &deadline);
+    exec::TupleBatch batch(options_.batch_size);
+    while (true) {
+      JAGUAR_RETURN_IF_ERROR(agg.NextBatch(&batch));
+      if (batch.empty()) break;
+      for (Tuple& t : batch.tuples()) rows.push_back(std::move(t));
     }
-    // Must textually match a GROUP BY expression (standard simple rule).
-    const std::string text = item.expr->ToString();
-    size_t key_index = group_texts.size();
-    for (size_t k = 0; k < group_texts.size(); ++k) {
-      if (group_texts[k] == text) {
-        key_index = k;
-        break;
-      }
-    }
-    if (key_index == group_texts.size()) {
-      return NotSupported("select item '" + text +
-                          "' is neither an aggregate nor a GROUP BY key");
-    }
-    std::string name = !item.alias.empty() ? item.alias : text;
-    out_cols.push_back({std::move(name), group_keys[key_index]->result_type});
-    outputs.push_back({false, key_index});
   }
 
-  // Group accumulation; group identity = serialized key values. With no
-  // GROUP BY there is one implicit group that exists even for empty input.
-  struct Group {
-    std::vector<Value> keys;
-    std::vector<AggAccum> accums;
-  };
-  std::map<std::string, Group> groups;  // ordered: deterministic output
-  if (group_keys.empty()) {
-    groups[""] = Group{{}, std::vector<AggAccum>(specs.size())};
-  }
-  while (true) {
-    JAGUAR_RETURN_IF_ERROR(deadline.Check());
-    JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
-    if (!t.has_value()) break;
-    std::vector<Value> keys;
-    BufferWriter key_bytes;
-    for (const exec::BoundExprPtr& key : group_keys) {
-      JAGUAR_ASSIGN_OR_RETURN(Value v, exec::Eval(*key, *t, &ctx));
-      v.WriteTo(&key_bytes);
-      keys.push_back(std::move(v));
-    }
-    std::string key(reinterpret_cast<const char*>(key_bytes.buffer().data()),
-                    key_bytes.size());
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.keys = std::move(keys);
-      it->second.accums.assign(specs.size(), AggAccum{});
-    }
-    for (size_t a = 0; a < specs.size(); ++a) {
-      if (specs[a].fn == "count_star") {
-        ++it->second.accums[a].count;
-        continue;
-      }
-      JAGUAR_ASSIGN_OR_RETURN(Value v, exec::Eval(*specs[a].arg, *t, &ctx));
-      JAGUAR_RETURN_IF_ERROR(Accumulate(specs[a], v, &it->second.accums[a]));
-    }
+  if (order_key != nullptr) {
+    JAGUAR_ASSIGN_OR_RETURN(
+        rows, exec::SortRows(
+                  std::move(rows), *order_key, sel.order_desc, sel.limit,
+                  &ctx, options_.vectorized_execution ? options_.batch_size : 0,
+                  &deadline));
+  } else if (sel.limit >= 0 &&
+             rows.size() > static_cast<size_t>(sel.limit)) {
+    rows.resize(static_cast<size_t>(sel.limit));
   }
 
   QueryResult result;
-  result.schema = Schema(std::move(out_cols));
-  for (auto& [key, group] : groups) {
-    std::vector<Value> row;
-    row.reserve(outputs.size());
-    for (const OutputItem& out : outputs) {
-      row.push_back(out.is_agg ? Finalize(specs[out.index],
-                                          group.accums[out.index])
-                               : group.keys[out.index]);
-    }
-    result.rows.push_back(Tuple(std::move(row)));
-  }
+  result.schema = plan.out_schema;
+  result.rows = std::move(rows);
   result.rows_affected = result.rows.size();
-  if (sel.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(sel.limit)) {
-    result.rows.resize(static_cast<size_t>(sel.limit));
-    result.rows_affected = result.rows.size();
-  }
   return result;
 }
 
 Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
                                             const QueryDeadline& deadline) {
   const sql::SelectStmt& sel = stmt.select;
-  if (HasAggregate(sel) || !sel.group_by.empty()) {
+  if (exec::SelectHasAggregate(sel) || !sel.group_by.empty()) {
     return ExecuteAggregate(stmt, deadline);
   }
   JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(sel.table));
@@ -553,12 +401,13 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
 
   QueryResult result;
   result.schema = out_schema;
+  // Every vectorized plan shape can run morsel-parallel: plain scans merge
+  // per-morsel output (LIMIT truncates after the morsel-order merge), and
+  // ORDER BY k-way-merges per-morsel sorted runs — both byte-identical to
+  // the serial plan.
+  const bool parallel =
+      options_.num_workers > 1 && options_.vectorized_execution;
   if (order_key == nullptr) {
-    // Morsel-driven parallel scan: order-insensitive vectorized plans only
-    // (ORDER BY sorts serially anyway; LIMIT would make workers race for
-    // the cutoff). The merged result is in serial scan order regardless.
-    const bool parallel = options_.num_workers > 1 &&
-                          options_.vectorized_execution && sel.limit < 0;
     if (parallel) {
       exec::ParallelScanSpec pspec;
       pspec.engine = storage_.get();
@@ -567,6 +416,7 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
       pspec.out_exprs = &out_exprs;
       pspec.batch_size = options_.batch_size;
       pspec.num_workers = options_.num_workers;
+      pspec.limit = sel.limit;
       pspec.callback_handler = this;
       pspec.callback_quota = options_.udf_callback_quota;
       pspec.deadline = &deadline;
@@ -599,74 +449,36 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
         result.rows.push_back(std::move(*t));
       }
     }
+  } else if (parallel) {
+    exec::ParallelSortSpec pspec;
+    pspec.engine = storage_.get();
+    pspec.first_page = table->first_page;
+    pspec.predicate = predicate.get();
+    pspec.order_key = order_key.get();
+    pspec.descending = sel.order_desc;
+    pspec.limit = sel.limit;
+    pspec.out_exprs = &out_exprs;
+    pspec.batch_size = options_.batch_size;
+    pspec.num_workers = options_.num_workers;
+    pspec.callback_handler = this;
+    pspec.callback_quota = options_.udf_callback_quota;
+    pspec.deadline = &deadline;
+    JAGUAR_ASSIGN_OR_RETURN(result.rows, exec::RunParallelSort(pspec));
   } else {
     if (predicate != nullptr) {
       op = std::make_unique<exec::FilterOp>(std::move(op),
                                             std::move(predicate), &ctx);
     }
-    std::vector<std::pair<Value, Tuple>> keyed;
-    if (options_.vectorized_execution) {
-      // Materialize via the batch path: order key and output expressions are
-      // evaluated batch-at-a-time (UDFs in either cross once per batch).
-      exec::TupleBatch batch(options_.batch_size);
-      while (true) {
-        JAGUAR_RETURN_IF_ERROR(deadline.Check());
-        JAGUAR_RETURN_IF_ERROR(op->NextBatch(&batch));
-        if (batch.empty()) break;
-        JAGUAR_ASSIGN_OR_RETURN(
-            std::vector<Value> keys,
-            exec::EvalBatch(*order_key, batch.tuples(), &ctx));
-        std::vector<std::vector<Value>> cols;
-        cols.reserve(out_exprs.size());
-        for (const exec::BoundExprPtr& e : out_exprs) {
-          JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> col,
-                                  exec::EvalBatch(*e, batch.tuples(), &ctx));
-          cols.push_back(std::move(col));
-        }
-        for (size_t row = 0; row < batch.size(); ++row) {
-          std::vector<Value> out;
-          out.reserve(out_exprs.size());
-          for (std::vector<Value>& col : cols) out.push_back(std::move(col[row]));
-          keyed.emplace_back(std::move(keys[row]), Tuple(std::move(out)));
-        }
-      }
-    } else {
-      while (true) {
-        JAGUAR_RETURN_IF_ERROR(deadline.Check());
-        JAGUAR_ASSIGN_OR_RETURN(auto t, op->Next());
-        if (!t.has_value()) break;
-        JAGUAR_ASSIGN_OR_RETURN(Value key, exec::Eval(*order_key, *t, &ctx));
-        std::vector<Value> out;
-        out.reserve(out_exprs.size());
-        for (const exec::BoundExprPtr& e : out_exprs) {
-          JAGUAR_ASSIGN_OR_RETURN(Value v, exec::Eval(*e, *t, &ctx));
-          out.push_back(std::move(v));
-        }
-        keyed.emplace_back(std::move(key), Tuple(std::move(out)));
-      }
-    }
-    // NULL keys sort first; comparison failures surface as errors.
-    Status sort_error;
-    std::stable_sort(keyed.begin(), keyed.end(),
-                     [&](const auto& a, const auto& b) {
-                       if (!sort_error.ok()) return false;
-                       if (a.first.is_null() || b.first.is_null()) {
-                         return a.first.is_null() && !b.first.is_null();
-                       }
-                       Result<int> cmp = a.first.Compare(b.first);
-                       if (!cmp.ok()) {
-                         sort_error = cmp.status();
-                         return false;
-                       }
-                       return *cmp < 0;
-                     });
-    JAGUAR_RETURN_IF_ERROR(sort_error);
-    if (sel.order_desc) std::reverse(keyed.begin(), keyed.end());
-    int64_t limit = sel.limit >= 0 ? sel.limit
-                                   : static_cast<int64_t>(keyed.size());
-    for (int64_t i = 0; i < limit && i < static_cast<int64_t>(keyed.size());
-         ++i) {
-      result.rows.push_back(std::move(keyed[i].second));
+    exec::SortOp sort(std::move(op), std::move(order_key),
+                      std::move(out_exprs), out_schema, sel.order_desc,
+                      sel.limit, &ctx,
+                      options_.vectorized_execution ? options_.batch_size : 0,
+                      &deadline);
+    exec::TupleBatch batch(options_.batch_size);
+    while (true) {
+      JAGUAR_RETURN_IF_ERROR(sort.NextBatch(&batch));
+      if (batch.empty()) break;
+      for (Tuple& t : batch.tuples()) result.rows.push_back(std::move(t));
     }
   }
   result.rows_affected = result.rows.size();

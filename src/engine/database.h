@@ -72,10 +72,13 @@ struct DatabaseOptions {
   /// each runner; 0 = disabled. Only deterministic, callback-free
   /// invocations are memoized, and re-registration drops the memo.
   size_t udf_memo_entries = 0;
-  /// Morsel-driven intra-query parallelism: worker threads per SELECT scan
-  /// (1 = serial). Requires `vectorized_execution`; plans with ORDER BY,
-  /// LIMIT or aggregates fall back to serial. Isolated UDF designs get an
-  /// executor pool of this size (one child process per worker).
+  /// Morsel-driven intra-query parallelism: worker threads per SELECT
+  /// (1 = serial). Requires `vectorized_execution`. Covers every plan
+  /// shape — scans (LIMIT truncates after the morsel-order merge),
+  /// aggregation (per-morsel partial hash tables merged in morsel order)
+  /// and ORDER BY (per-morsel sorted runs, k-way merge) — with output
+  /// byte-identical to serial. Isolated UDF designs get an executor pool
+  /// of this size (one child process per worker).
   size_t num_workers = 1;
   /// Wall-clock deadline per query in milliseconds (0 = unlimited). When it
   /// passes, serial and parallel operators stop between tuples/batches,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -18,6 +20,11 @@ struct ParallelMetrics {
   obs::Counter* workers;
   obs::Counter* morsels;
   obs::Counter* tuples;
+  obs::Counter* agg_queries;
+  obs::Counter* agg_parallel_queries;
+  obs::Counter* sort_queries;
+  obs::Counter* sort_parallel_queries;
+  obs::Counter* sort_topk_queries;
 };
 
 ParallelMetrics* Metrics() {
@@ -28,96 +35,54 @@ ParallelMetrics* Metrics() {
         reg->GetCounter("exec.parallel.workers"),
         reg->GetCounter("exec.parallel.morsels"),
         reg->GetCounter("exec.parallel.tuples"),
+        reg->GetCounter("exec.agg.queries"),
+        reg->GetCounter("exec.agg.parallel_queries"),
+        reg->GetCounter("exec.sort.queries"),
+        reg->GetCounter("exec.sort.parallel_queries"),
+        reg->GetCounter("exec.sort.topk_queries"),
     };
   }();
   return m;
 }
 
-/// Filters + projects one batch of scanned tuples, appending the projected
-/// rows to `out`. Mirrors FilterOp/ProjectOp::NextBatch semantics (UDFs
-/// cross once per batch; any row error fails the batch).
-Status ProcessBatch(const ParallelScanSpec& spec, std::vector<Tuple>* batch,
-                    UdfContext* ctx, std::vector<Tuple>* out) {
-  if (batch->empty()) return Status::OK();
-  // Per-batch cancellation point: an expired deadline stops this worker
-  // before the next round of (potentially expensive) UDF evaluation.
-  JAGUAR_RETURN_IF_ERROR(CheckDeadline(spec.deadline));
-  std::vector<Tuple> survivors;
-  if (spec.predicate != nullptr) {
-    JAGUAR_ASSIGN_OR_RETURN(std::vector<char> passes,
-                            EvalPredicateBatch(*spec.predicate, *batch, ctx));
-    for (size_t i = 0; i < batch->size(); ++i) {
-      if (passes[i]) survivors.push_back(std::move((*batch)[i]));
-    }
-  } else {
-    survivors = std::move(*batch);
-  }
-  batch->clear();
-  if (survivors.empty()) return Status::OK();
+/// Page-chain split shared by every morsel-driven plan shape.
+struct MorselPlan {
+  std::vector<PageId> pages;
+  size_t morsel_pages = 1;
+  size_t num_morsels = 0;
+  size_t num_workers = 1;
+};
 
-  std::vector<std::vector<Value>> columns;
-  columns.reserve(spec.out_exprs->size());
-  for (const BoundExprPtr& e : *spec.out_exprs) {
-    JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> column,
-                            EvalBatch(*e, survivors, ctx));
-    columns.push_back(std::move(column));
-  }
-  for (size_t row = 0; row < survivors.size(); ++row) {
-    std::vector<Value> values;
-    values.reserve(columns.size());
-    for (std::vector<Value>& column : columns) {
-      values.push_back(std::move(column[row]));
-    }
-    out->push_back(Tuple(std::move(values)));
-  }
-  return Status::OK();
+Result<MorselPlan> PlanMorsels(StorageEngine* engine, PageId first_page,
+                               size_t morsel_pages, size_t num_workers) {
+  MorselPlan plan;
+  plan.morsel_pages = morsel_pages > 0 ? morsel_pages : 1;
+  TableHeap heap(engine, first_page);
+  JAGUAR_ASSIGN_OR_RETURN(plan.pages, heap.ListPages());
+  plan.num_morsels =
+      (plan.pages.size() + plan.morsel_pages - 1) / plan.morsel_pages;
+  plan.num_workers = std::max<size_t>(
+      1, std::min(num_workers, std::max<size_t>(1, plan.num_morsels)));
+  return plan;
 }
 
-/// Scans one morsel (a run of heap pages) through filter+project into
-/// `out`, batch-at-a-time.
-Status RunMorsel(const ParallelScanSpec& spec, TableHeap* heap,
-                 const std::vector<PageId>& pages, size_t page_begin,
-                 size_t page_end, UdfContext* ctx, std::vector<Tuple>* out) {
-  std::vector<Tuple> batch;
-  batch.reserve(spec.batch_size);
-  for (size_t p = page_begin; p < page_end; ++p) {
-    TableHeap::Iterator it = heap->ScanPage(pages[p]);
-    while (true) {
-      JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
-      if (!rec.has_value()) break;
-      JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
-      batch.push_back(std::move(t));
-      if (batch.size() >= spec.batch_size) {
-        JAGUAR_RETURN_IF_ERROR(ProcessBatch(spec, &batch, ctx, out));
-      }
-    }
-  }
-  return ProcessBatch(spec, &batch, ctx, out);
-}
+/// Per-morsel work: `m` is the morsel index, [page_begin, page_end) its
+/// slice of the page chain; `heap` and `ctx` are this worker's private
+/// cursor and UDF context.
+using MorselFn = std::function<Status(size_t m, size_t page_begin,
+                                      size_t page_end, TableHeap* heap,
+                                      UdfContext* ctx)>;
 
-}  // namespace
-
-Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
-  if (spec.engine == nullptr || spec.out_exprs == nullptr) {
-    return InvalidArgument("parallel scan spec is missing engine or exprs");
-  }
-  const size_t morsel_pages = spec.morsel_pages > 0 ? spec.morsel_pages : 1;
-  const size_t batch_cap = spec.batch_size > 0 ? spec.batch_size : 1;
-
-  TableHeap heap(spec.engine, spec.first_page);
-  JAGUAR_ASSIGN_OR_RETURN(std::vector<PageId> pages, heap.ListPages());
-  const size_t num_morsels = (pages.size() + morsel_pages - 1) / morsel_pages;
-  const size_t num_workers =
-      std::max<size_t>(1, std::min(spec.num_workers,
-                                   std::max<size_t>(1, num_morsels)));
-
+/// Launches workers pulling morsel indices from an atomic dispenser and
+/// running `fn` on each. First error wins and cancels remaining morsels.
+Status DriveMorsels(StorageEngine* engine, PageId first_page,
+                    const MorselPlan& plan, UdfCallbackHandler* handler,
+                    uint64_t callback_quota, const QueryDeadline* deadline,
+                    const MorselFn& fn) {
   Metrics()->queries->Add();
-  Metrics()->workers->Add(num_workers);
-  Metrics()->morsels->Add(num_morsels);
+  Metrics()->workers->Add(plan.num_workers);
+  Metrics()->morsels->Add(plan.num_morsels);
 
-  // One result slot per morsel: merging in morsel index order reproduces
-  // the serial scan order exactly, whichever worker ran which morsel.
-  std::vector<std::vector<Tuple>> morsel_results(num_morsels);
   std::atomic<size_t> dispenser{0};
   std::atomic<bool> stop{false};
   std::mutex error_mutex;
@@ -126,19 +91,17 @@ Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
   auto worker = [&] {
     // Per-worker cursor and callback context; everything else the worker
     // touches (buffer pool, runners, metrics) is shared and thread-safe.
-    TableHeap worker_heap(spec.engine, spec.first_page);
-    UdfContext ctx(spec.callback_handler);
-    ctx.set_callback_quota(spec.callback_quota);
-    ctx.set_deadline(spec.deadline);
-    ParallelScanSpec local = spec;
-    local.batch_size = batch_cap;
+    TableHeap worker_heap(engine, first_page);
+    UdfContext ctx(handler);
+    ctx.set_callback_quota(callback_quota);
+    ctx.set_deadline(deadline);
     while (!stop.load(std::memory_order_relaxed)) {
       const size_t m = dispenser.fetch_add(1, std::memory_order_relaxed);
-      if (m >= num_morsels) break;
-      const size_t page_begin = m * morsel_pages;
-      const size_t page_end = std::min(pages.size(), page_begin + morsel_pages);
-      Status s = RunMorsel(local, &worker_heap, pages, page_begin, page_end,
-                           &ctx, &morsel_results[m]);
+      if (m >= plan.num_morsels) break;
+      const size_t page_begin = m * plan.morsel_pages;
+      const size_t page_end =
+          std::min(plan.pages.size(), page_begin + plan.morsel_pages);
+      Status s = fn(m, page_begin, page_end, &worker_heap, &ctx);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) first_error = std::move(s);
@@ -148,25 +111,195 @@ Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
     }
   };
 
-  if (num_workers == 1) {
+  if (plan.num_workers == 1) {
     worker();
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(num_workers);
-    for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker);
+    threads.reserve(plan.num_workers);
+    for (size_t w = 0; w < plan.num_workers; ++w) threads.emplace_back(worker);
     for (std::thread& t : threads) t.join();
   }
-  JAGUAR_RETURN_IF_ERROR(first_error);
+  return first_error;
+}
+
+/// Scans one morsel batch-at-a-time, applies the predicate (UDFs cross once
+/// per batch) and hands each batch of surviving tuples to `on_batch`.
+Status ScanMorselBatches(
+    TableHeap* heap, const std::vector<PageId>& pages, size_t page_begin,
+    size_t page_end, size_t batch_size, const BoundExpr* predicate,
+    UdfContext* ctx, const QueryDeadline* deadline,
+    const std::function<Status(std::vector<Tuple>*)>& on_batch) {
+  const size_t batch_cap = batch_size > 0 ? batch_size : 1;
+  std::vector<Tuple> batch;
+  batch.reserve(batch_cap);
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    // Per-batch cancellation point: an expired deadline stops this worker
+    // before the next round of (potentially expensive) UDF evaluation.
+    JAGUAR_RETURN_IF_ERROR(CheckDeadline(deadline));
+    std::vector<Tuple> survivors;
+    if (predicate != nullptr) {
+      JAGUAR_ASSIGN_OR_RETURN(std::vector<char> passes,
+                              EvalPredicateBatch(*predicate, batch, ctx));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (passes[i]) survivors.push_back(std::move(batch[i]));
+      }
+    } else {
+      survivors = std::move(batch);
+    }
+    batch.clear();
+    if (survivors.empty()) return Status::OK();
+    return on_batch(&survivors);
+  };
+  for (size_t p = page_begin; p < page_end; ++p) {
+    TableHeap::Iterator it = heap->ScanPage(pages[p]);
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+      if (!rec.has_value()) break;
+      JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+      batch.push_back(std::move(t));
+      if (batch.size() >= batch_cap) {
+        JAGUAR_RETURN_IF_ERROR(flush());
+      }
+    }
+  }
+  return flush();
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> RunParallelScan(const ParallelScanSpec& spec) {
+  if (spec.engine == nullptr || spec.out_exprs == nullptr) {
+    return InvalidArgument("parallel scan spec is missing engine or exprs");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(
+      MorselPlan plan, PlanMorsels(spec.engine, spec.first_page,
+                                   spec.morsel_pages, spec.num_workers));
+
+  // One result slot per morsel: merging in morsel index order reproduces
+  // the serial scan order exactly, whichever worker ran which morsel.
+  std::vector<std::vector<Tuple>> morsel_results(plan.num_morsels);
+  JAGUAR_RETURN_IF_ERROR(DriveMorsels(
+      spec.engine, spec.first_page, plan, spec.callback_handler,
+      spec.callback_quota, spec.deadline,
+      [&](size_t m, size_t page_begin, size_t page_end, TableHeap* heap,
+          UdfContext* ctx) -> Status {
+        std::vector<Tuple>* out = &morsel_results[m];
+        return ScanMorselBatches(
+            heap, plan.pages, page_begin, page_end, spec.batch_size,
+            spec.predicate, ctx, spec.deadline,
+            [&](std::vector<Tuple>* survivors) -> Status {
+              std::vector<std::vector<Value>> columns;
+              columns.reserve(spec.out_exprs->size());
+              for (const BoundExprPtr& e : *spec.out_exprs) {
+                JAGUAR_ASSIGN_OR_RETURN(std::vector<Value> column,
+                                        EvalBatch(*e, *survivors, ctx));
+                columns.push_back(std::move(column));
+              }
+              for (size_t row = 0; row < survivors->size(); ++row) {
+                std::vector<Value> values;
+                values.reserve(columns.size());
+                for (std::vector<Value>& column : columns) {
+                  values.push_back(std::move(column[row]));
+                }
+                out->push_back(Tuple(std::move(values)));
+              }
+              return Status::OK();
+            });
+      }));
 
   std::vector<Tuple> rows;
   size_t total = 0;
   for (const std::vector<Tuple>& chunk : morsel_results) total += chunk.size();
   rows.reserve(total);
   for (std::vector<Tuple>& chunk : morsel_results) {
-    for (Tuple& t : chunk) rows.push_back(std::move(t));
+    if (spec.limit >= 0 && rows.size() >= static_cast<size_t>(spec.limit)) {
+      break;
+    }
+    for (Tuple& t : chunk) {
+      if (spec.limit >= 0 && rows.size() >= static_cast<size_t>(spec.limit)) {
+        break;
+      }
+      rows.push_back(std::move(t));
+    }
   }
   Metrics()->tuples->Add(rows.size());
   return rows;
+}
+
+Result<std::vector<Tuple>> RunParallelAggregate(
+    const ParallelAggregateSpec& spec) {
+  if (spec.engine == nullptr || spec.plan == nullptr) {
+    return InvalidArgument("parallel aggregate spec is missing engine or plan");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(
+      MorselPlan plan, PlanMorsels(spec.engine, spec.first_page,
+                                   spec.morsel_pages, spec.num_workers));
+  Metrics()->agg_queries->Add();
+  Metrics()->agg_parallel_queries->Add();
+
+  // One partial aggregator per morsel. Merging the partials in morsel
+  // index order keeps min/max tie-breaks and float-sum addition order
+  // deterministic regardless of worker scheduling.
+  std::vector<std::unique_ptr<HashAggregator>> partials(plan.num_morsels);
+  JAGUAR_RETURN_IF_ERROR(DriveMorsels(
+      spec.engine, spec.first_page, plan, spec.callback_handler,
+      spec.callback_quota, spec.deadline,
+      [&](size_t m, size_t page_begin, size_t page_end, TableHeap* heap,
+          UdfContext* ctx) -> Status {
+        auto partial = std::make_unique<HashAggregator>(spec.plan);
+        JAGUAR_RETURN_IF_ERROR(ScanMorselBatches(
+            heap, plan.pages, page_begin, page_end, spec.batch_size,
+            spec.predicate, ctx, spec.deadline,
+            [&](std::vector<Tuple>* survivors) -> Status {
+              return partial->ConsumeBatch(*survivors, ctx);
+            }));
+        partials[m] = std::move(partial);
+        return Status::OK();
+      }));
+
+  HashAggregator merged(spec.plan);
+  for (std::unique_ptr<HashAggregator>& partial : partials) {
+    JAGUAR_RETURN_IF_ERROR(merged.MergeFrom(partial.get(), spec.deadline));
+  }
+  return merged.Finalize(spec.deadline);
+}
+
+Result<std::vector<Tuple>> RunParallelSort(const ParallelSortSpec& spec) {
+  if (spec.engine == nullptr || spec.order_key == nullptr ||
+      spec.out_exprs == nullptr) {
+    return InvalidArgument("parallel sort spec is missing engine or exprs");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(
+      MorselPlan plan, PlanMorsels(spec.engine, spec.first_page,
+                                   spec.morsel_pages, spec.num_workers));
+  Metrics()->sort_queries->Add();
+  Metrics()->sort_parallel_queries->Add();
+  if (spec.limit >= 0) Metrics()->sort_topk_queries->Add();
+
+  // One sorted run per morsel (run id = morsel index, so tie-breaks match
+  // serial scan order); each run is top-k-bounded when LIMIT is set.
+  std::vector<std::vector<Sorter::Entry>> runs(plan.num_morsels);
+  JAGUAR_RETURN_IF_ERROR(DriveMorsels(
+      spec.engine, spec.first_page, plan, spec.callback_handler,
+      spec.callback_quota, spec.deadline,
+      [&](size_t m, size_t page_begin, size_t page_end, TableHeap* heap,
+          UdfContext* ctx) -> Status {
+        Sorter sorter(spec.descending, spec.limit, /*run_id=*/m);
+        JAGUAR_RETURN_IF_ERROR(ScanMorselBatches(
+            heap, plan.pages, page_begin, page_end, spec.batch_size,
+            spec.predicate, ctx, spec.deadline,
+            [&](std::vector<Tuple>* survivors) -> Status {
+              return SortConsumeBatch(&sorter, *spec.order_key,
+                                      *spec.out_exprs, *survivors, ctx);
+            }));
+        JAGUAR_RETURN_IF_ERROR(sorter.Finish());
+        runs[m] = sorter.TakeEntries();
+        return Status::OK();
+      }));
+
+  return Sorter::MergeRuns(std::move(runs), spec.descending, spec.limit,
+                           spec.deadline);
 }
 
 }  // namespace exec

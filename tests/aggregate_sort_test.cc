@@ -1,0 +1,303 @@
+// Unit tests for the vectorized aggregation (exec/aggregate) and sort
+// (exec/sort) building blocks, below the engine facade: partial-aggregator
+// merges must equal a single-pass build, the operator must agree across
+// batch sizes (including the scalar pipeline), the bounded top-k heap must
+// equal the full sort's prefix, run merging must equal a single-run sort,
+// and expired deadlines must cut the merge/finalize loops off.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "exec/aggregate.h"
+#include "exec/sort.h"
+#include "sql/parser.h"
+
+namespace jaguar {
+namespace exec {
+namespace {
+
+Schema RowSchema() {
+  return Schema(
+      {{"k", TypeId::kInt}, {"v", TypeId::kInt}, {"d", TypeId::kDouble}});
+}
+
+/// `n` rows cycling over 4 groups, with NULLs sprinkled into both aggregate
+/// inputs so every test also covers NULL-skipping.
+std::vector<Tuple> MakeRows(int n) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value v = (i % 7 == 0) ? Value::Null() : Value::Int(i * 3 % 17);
+    Value d = (i % 5 == 0) ? Value::Null() : Value::Double(i * 0.5);
+    rows.push_back(Tuple({Value::Int(i % 4), std::move(v), std::move(d)}));
+  }
+  return rows;
+}
+
+AggregatePlan MustPlan(const std::string& sql) {
+  sql::Statement stmt = sql::Parse(sql).value();
+  return PlanAggregate(stmt.select, RowSchema(), "t", "", nullptr).value();
+}
+
+std::vector<std::vector<uint8_t>> Serialized(const std::vector<Tuple>& rows) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) out.push_back(t.Serialize());
+  return out;
+}
+
+constexpr const char* kGroupedSql =
+    "SELECT k, COUNT(*), COUNT(v), SUM(v), AVG(d), MIN(v), MAX(d) "
+    "FROM t GROUP BY k";
+
+TEST(AggregateUnitTest, PartialMergeMatchesSinglePass) {
+  AggregatePlan plan = MustPlan(kGroupedSql);
+  std::vector<Tuple> rows = MakeRows(100);
+
+  HashAggregator single(&plan);
+  for (const Tuple& t : rows) {
+    ASSERT_TRUE(single.ConsumeTuple(t, nullptr).ok());
+  }
+  std::vector<std::vector<uint8_t>> expect =
+      Serialized(single.Finalize(nullptr).value());
+  ASSERT_EQ(expect.size(), 4u);
+
+  // Split the same rows into contiguous chunks — the morsel shape — build a
+  // partial aggregator per chunk, and merge them in chunk order.
+  for (size_t parts : {size_t{2}, size_t{3}, size_t{7}}) {
+    std::vector<HashAggregator> partials;
+    for (size_t p = 0; p < parts; ++p) partials.emplace_back(&plan);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      size_t p = i * parts / rows.size();
+      ASSERT_TRUE(
+          partials[p].ConsumeBatch({rows[i]}, nullptr).ok());
+    }
+    for (size_t p = 1; p < parts; ++p) {
+      ASSERT_TRUE(partials[0].MergeFrom(&partials[p], nullptr).ok());
+      EXPECT_EQ(partials[p].num_groups(), 0u);  // drained
+    }
+    EXPECT_EQ(Serialized(partials[0].Finalize(nullptr).value()), expect)
+        << parts << " partials";
+  }
+}
+
+/// Serves a fixed vector of tuples — a storage-free operator child.
+class VectorOp : public Operator {
+ public:
+  VectorOp(std::vector<Tuple> rows, Schema schema)
+      : rows_(std::move(rows)), schema_(std::move(schema)) {}
+
+  Result<std::optional<Tuple>> Next() override {
+    if (pos_ >= rows_.size()) return std::optional<Tuple>();
+    return std::optional<Tuple>(rows_[pos_++]);
+  }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+  Schema schema_;
+};
+
+TEST(AggregateUnitTest, OpAgreesAcrossBatchSizesAndScalarPath) {
+  AggregatePlan plan = MustPlan(kGroupedSql);
+  std::vector<Tuple> rows = MakeRows(50);
+
+  // batch_size 0 = the scalar per-tuple pipeline; the rest vectorized.
+  std::vector<std::vector<uint8_t>> expect;
+  for (size_t batch_size : {size_t{0}, size_t{1}, size_t{3}, size_t{256}}) {
+    HashAggregateOp op(std::make_unique<VectorOp>(rows, RowSchema()), &plan,
+                       nullptr, batch_size, nullptr);
+    std::vector<Tuple> got;
+    TupleBatch batch(16);
+    while (true) {
+      ASSERT_TRUE(op.NextBatch(&batch).ok());
+      if (batch.empty()) break;
+      for (Tuple& t : batch.tuples()) got.push_back(std::move(t));
+    }
+    if (expect.empty()) {
+      expect = Serialized(got);
+      ASSERT_EQ(expect.size(), 4u);
+    } else {
+      EXPECT_EQ(Serialized(got), expect) << "batch size " << batch_size;
+    }
+  }
+}
+
+TEST(AggregateUnitTest, ImplicitSingleGroupOnEmptyInput) {
+  AggregatePlan plan =
+      MustPlan("SELECT COUNT(*), SUM(v), MIN(v), AVG(d) FROM t");
+  ASSERT_TRUE(plan.implicit_single_group());
+  HashAggregator agg(&plan);
+  std::vector<Tuple> out = agg.Finalize(nullptr).value();
+  ASSERT_EQ(out.size(), 1u);  // one row even with zero input
+  EXPECT_EQ(out[0].value(0).AsInt(), 0);
+  EXPECT_TRUE(out[0].value(1).is_null());
+  EXPECT_TRUE(out[0].value(2).is_null());
+  EXPECT_TRUE(out[0].value(3).is_null());
+
+  // With GROUP BY, empty input means zero groups.
+  AggregatePlan grouped = MustPlan(kGroupedSql);
+  HashAggregator gagg(&grouped);
+  EXPECT_EQ(gagg.Finalize(nullptr).value().size(), 0u);
+}
+
+TEST(AggregateUnitTest, MergeAndFinalizeHonorExpiredDeadline) {
+  // > 1024 distinct groups so the merge/finalize loops reach their
+  // deadline-poll stride.
+  AggregatePlan plan = MustPlan("SELECT v, COUNT(*) FROM t GROUP BY v");
+  HashAggregator a(&plan);
+  HashAggregator b(&plan);
+  for (int i = 0; i < 3000; ++i) {
+    Tuple row({Value::Int(0), Value::Int(i), Value::Null()});
+    ASSERT_TRUE(a.ConsumeTuple(row, nullptr).ok());
+    ASSERT_TRUE(b.ConsumeTuple(row, nullptr).ok());
+  }
+  QueryDeadline expired = QueryDeadline::After(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(expired.Expired());
+  EXPECT_TRUE(a.MergeFrom(&b, &expired).IsDeadlineExceeded());
+  EXPECT_TRUE(a.Finalize(&expired).status().IsDeadlineExceeded());
+}
+
+// ---------------------------------------------------------------------------
+// Sorter
+// ---------------------------------------------------------------------------
+
+/// Keys cycle over {NULL, 0, 1, 2} so every order has ties and NULLs; the
+/// payload row carries the original position to make order checks exact.
+std::vector<std::pair<Value, Tuple>> MakeSortInput(int n) {
+  std::vector<std::pair<Value, Tuple>> input;
+  input.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value key = (i % 4 == 0) ? Value::Null() : Value::Int(i % 4);
+    input.emplace_back(std::move(key), Tuple({Value::Int(i)}));
+  }
+  return input;
+}
+
+std::vector<Tuple> FullSort(const std::vector<std::pair<Value, Tuple>>& input,
+                            bool descending) {
+  Sorter sorter(descending, /*limit=*/-1);
+  for (const auto& [key, row] : input) sorter.Add(key, row);
+  EXPECT_TRUE(sorter.Finish().ok());
+  return sorter.TakeRows();
+}
+
+TEST(SortUnitTest, TopKMatchesFullSortPrefix) {
+  const int n = 40;
+  std::vector<std::pair<Value, Tuple>> input = MakeSortInput(n);
+  for (bool descending : {false, true}) {
+    std::vector<std::vector<uint8_t>> full =
+        Serialized(FullSort(input, descending));
+    ASSERT_EQ(full.size(), static_cast<size_t>(n));
+    for (int64_t limit : {int64_t{0}, int64_t{1}, int64_t{3}, int64_t{n},
+                          int64_t{n + 5}}) {
+      Sorter sorter(descending, limit);
+      EXPECT_TRUE(sorter.bounded());
+      for (const auto& [key, row] : input) sorter.Add(key, row);
+      ASSERT_TRUE(sorter.Finish().ok());
+      std::vector<std::vector<uint8_t>> got = Serialized(sorter.TakeRows());
+      size_t want = std::min<size_t>(limit, n);
+      ASSERT_EQ(got.size(), want) << "desc=" << descending << " k=" << limit;
+      for (size_t i = 0; i < want; ++i) {
+        EXPECT_EQ(got[i], full[i])
+            << "desc=" << descending << " k=" << limit << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(SortUnitTest, MergeRunsMatchesSingleRunSort) {
+  const int n = 60;
+  std::vector<std::pair<Value, Tuple>> input = MakeSortInput(n);
+  for (bool descending : {false, true}) {
+    for (int64_t limit : {int64_t{-1}, int64_t{0}, int64_t{5}, int64_t{n}}) {
+      // Serial reference: one run over all rows in scan order.
+      Sorter reference(descending, limit);
+      for (const auto& [key, row] : input) reference.Add(key, row);
+      ASSERT_TRUE(reference.Finish().ok());
+      std::vector<std::vector<uint8_t>> expect =
+          Serialized(reference.TakeRows());
+
+      // Parallel shape: 3 contiguous runs with run ids in morsel order.
+      std::vector<std::vector<Sorter::Entry>> runs;
+      for (uint64_t m = 0; m < 3; ++m) {
+        Sorter run_sorter(descending, limit, /*run_id=*/m);
+        for (size_t i = m * n / 3; i < (m + 1) * n / 3; ++i) {
+          run_sorter.Add(input[i].first, input[i].second);
+        }
+        ASSERT_TRUE(run_sorter.Finish().ok());
+        runs.push_back(run_sorter.TakeEntries());
+      }
+      std::vector<Tuple> merged =
+          Sorter::MergeRuns(std::move(runs), descending, limit, nullptr)
+              .value();
+      EXPECT_EQ(Serialized(merged), expect)
+          << "desc=" << descending << " k=" << limit;
+    }
+  }
+}
+
+TEST(SortUnitTest, SortRowsAgreesAcrossBatchSizesAndLimits) {
+  sql::ExprPtr expr = sql::ParseExpression("v").value();
+  BoundExprPtr key = Bind(*expr, RowSchema(), "t", "", nullptr).value();
+  std::vector<Tuple> rows = MakeRows(30);
+
+  for (bool descending : {false, true}) {
+    for (int64_t limit : {int64_t{-1}, int64_t{4}}) {
+      std::vector<std::vector<uint8_t>> expect;
+      // batch_size 0 = scalar per-row key eval; the rest one EvalBatch.
+      for (size_t batch_size : {size_t{0}, size_t{8}, size_t{256}}) {
+        std::vector<Tuple> got =
+            SortRows(rows, *key, descending, limit, nullptr, batch_size,
+                     nullptr)
+                .value();
+        if (expect.empty()) {
+          expect = Serialized(got);
+          EXPECT_EQ(expect.size(),
+                    limit < 0 ? rows.size() : static_cast<size_t>(limit));
+        } else {
+          EXPECT_EQ(Serialized(got), expect)
+              << "desc=" << descending << " k=" << limit << " batch "
+              << batch_size;
+        }
+      }
+    }
+  }
+}
+
+TEST(SortUnitTest, IncomparableKeysFailCleanly) {
+  Sorter sorter(/*descending=*/false, /*limit=*/-1);
+  sorter.Add(Value::Int(1), Tuple({Value::Int(0)}));
+  sorter.Add(Value::String("x"), Tuple({Value::Int(1)}));
+  EXPECT_FALSE(sorter.Finish().ok());
+}
+
+TEST(SortUnitTest, MergeRunsHonorsExpiredDeadline) {
+  // > 1024 merged rows so the merge loop reaches its deadline-poll stride.
+  std::vector<std::vector<Sorter::Entry>> runs;
+  for (uint64_t m = 0; m < 2; ++m) {
+    Sorter sorter(/*descending=*/false, /*limit=*/-1, m);
+    for (int i = 0; i < 1500; ++i) {
+      sorter.Add(Value::Int(i), Tuple({Value::Int(i)}));
+    }
+    ASSERT_TRUE(sorter.Finish().ok());
+    runs.push_back(sorter.TakeEntries());
+  }
+  QueryDeadline expired = QueryDeadline::After(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(expired.Expired());
+  EXPECT_TRUE(Sorter::MergeRuns(std::move(runs), false, -1, &expired)
+                  .status()
+                  .IsDeadlineExceeded());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace jaguar

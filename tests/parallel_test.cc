@@ -117,9 +117,13 @@ class ParallelTest : public ::testing::Test {
     return parallel;
   }
 
-  static uint64_t ParallelQueries(const QueryResult& r) {
-    auto it = r.metrics_delta.find("exec.parallel.queries");
+  static uint64_t MetricDelta(const QueryResult& r, const std::string& name) {
+    auto it = r.metrics_delta.find(name);
     return it != r.metrics_delta.end() ? it->second : uint64_t{0};
+  }
+
+  static uint64_t ParallelQueries(const QueryResult& r) {
+    return MetricDelta(r, "exec.parallel.queries");
   }
 
   std::string serial_path_, parallel_path_;
@@ -174,18 +178,85 @@ TEST_F(ParallelTest, FilteredParallelScanMatchesSerial) {
   EXPECT_GE(ParallelQueries(r), 1u);
 }
 
-TEST_F(ParallelTest, OrderByAndLimitFallBackToSerial) {
-  // Order-sensitive plans run serially even with num_workers=4 — and still
-  // match the serial database exactly.
+TEST_F(ParallelTest, OrderByLimitAndAggregatesRunParallel) {
+  // Order-, limit- and aggregate-shaped plans ride the morsel path too, and
+  // must stay byte-identical to the serial database. ORDER BY length(b) is
+  // all ties (every row is 1000 bytes), so the run merge must reproduce the
+  // serial scan-position tie-break exactly — DESC means reversed scan order.
   QueryResult ordered =
       ExpectSameRows("SELECT length(b) FROM r ORDER BY length(b) DESC");
-  EXPECT_EQ(ParallelQueries(ordered), 0u);
+  EXPECT_GE(ParallelQueries(ordered), 1u);
+  EXPECT_GE(MetricDelta(ordered, "exec.sort.parallel_queries"), 1u);
+
+  // LIMIT no longer disables parallelism: truncation happens after the
+  // morsel-order merge, so the kept prefix is the serial scan's first 7.
   QueryResult limited = ExpectSameRows("SELECT length(b) FROM r LIMIT 7");
-  EXPECT_EQ(ParallelQueries(limited), 0u);
+  EXPECT_GE(ParallelQueries(limited), 1u);
   EXPECT_EQ(limited.rows.size(), 7u);
-  // Aggregates likewise bypass the parallel path.
+
+  // Aggregates build per-morsel partial hash tables merged in morsel order.
   QueryResult agg = ExpectSameRows("SELECT COUNT(*) FROM r");
-  EXPECT_EQ(ParallelQueries(agg), 0u);
+  EXPECT_GE(ParallelQueries(agg), 1u);
+  EXPECT_GE(MetricDelta(agg, "exec.agg.parallel_queries"), 1u);
+  EXPECT_GE(MetricDelta(agg, "exec.agg.partial_merges"), 1u);
+}
+
+TEST_F(ParallelTest, AggregationMatchesSerialAcrossDesigns) {
+  JAGUAR_REQUIRE_THREADS(4);
+  JAGUAR_REQUIRE_FORK();  // isolated designs spawn executor children
+  RegisterGenericOnBoth("g_ic", UdfLanguage::kNativeIsolated);
+  RegisterGenericOnBoth("g_jni", UdfLanguage::kJJava);
+  RegisterGenericOnBoth("g_sfi", UdfLanguage::kNativeSfi);
+  RegisterGenericOnBoth("g_ijni", UdfLanguage::kJJavaIsolated);
+
+  // UDFs in both the group key and an aggregate argument: each design's
+  // calls cross once per batch inside every worker, partial hash tables
+  // merge in morsel order, and output must be byte-identical to serial
+  // (integer sums, so even float-free of the merge-order caveat).
+  for (const char* name :
+       {"generic_udf", "g_ic", "g_jni", "g_sfi", "g_ijni"}) {
+    QueryResult r = ExpectSameRows(StringPrintf(
+        "SELECT %s(b, 8, 2, 0) %% 5, COUNT(*), SUM(%s(b, 12, 1, 0)), "
+        "MIN(length(b)) FROM r GROUP BY %s(b, 8, 2, 0) %% 5",
+        name, name, name));
+    EXPECT_GE(ParallelQueries(r), 1u) << name;
+    EXPECT_GE(MetricDelta(r, "exec.agg.parallel_queries"), 1u) << name;
+  }
+
+  // Aggregation composes with ORDER BY + LIMIT on the parallel path: the
+  // aggregate output is sorted by the aliased count column, top-k bounded.
+  QueryResult composed = ExpectSameRows(
+      "SELECT generic_udf(b, 8, 2, 0) % 5 AS k, COUNT(*) AS n FROM r "
+      "GROUP BY generic_udf(b, 8, 2, 0) % 5 ORDER BY n DESC LIMIT 3");
+  EXPECT_LE(composed.rows.size(), 3u);
+  EXPECT_GE(MetricDelta(composed, "exec.sort.topk_queries"), 1u);
+}
+
+TEST_F(ParallelTest, SortMatchesSerialAcrossDesigns) {
+  JAGUAR_REQUIRE_THREADS(4);
+  JAGUAR_REQUIRE_FORK();
+  RegisterGenericOnBoth("g_ic", UdfLanguage::kNativeIsolated);
+  RegisterGenericOnBoth("g_jni", UdfLanguage::kJJava);
+  RegisterGenericOnBoth("g_sfi", UdfLanguage::kNativeSfi);
+  RegisterGenericOnBoth("g_ijni", UdfLanguage::kJJavaIsolated);
+
+  for (const char* name :
+       {"generic_udf", "g_ic", "g_jni", "g_sfi", "g_ijni"}) {
+    // Full sort on a UDF key (distinct values), morsel runs k-way merged.
+    QueryResult full = ExpectSameRows(StringPrintf(
+        "SELECT length(b), %s(b, 6, 1, 0) FROM r ORDER BY %s(b, 9, 2, 0) "
+        "DESC",
+        name, name));
+    EXPECT_GE(MetricDelta(full, "exec.sort.parallel_queries"), 1u) << name;
+    EXPECT_GE(MetricDelta(full, "exec.sort.runs_merged"), 1u) << name;
+
+    // Bounded top-k on an all-ties key: the kept 13 must be the serial
+    // scan's first 13, across per-morsel bounded heaps + merge.
+    QueryResult topk = ExpectSameRows(StringPrintf(
+        "SELECT %s(b, 5, 1, 0) FROM r ORDER BY length(b) LIMIT 13", name));
+    EXPECT_EQ(topk.rows.size(), 13u) << name;
+    EXPECT_GE(MetricDelta(topk, "exec.sort.topk_queries"), 1u) << name;
+  }
 }
 
 TEST(ParallelTransportABTest, RingAndMessageTransportsAreByteIdentical) {

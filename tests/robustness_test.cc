@@ -19,6 +19,7 @@
 
 #include "common/deadline.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "engine/database.h"
 #include "ipc/remote_executor.h"
 #include "jjc/jjc.h"
@@ -724,6 +725,66 @@ TEST_F(DeadlineTest, WatchdogKillsRunawayIsolatedNativeUdf) {
   // IC++ UDF still runs to completion on its own pool.
   Result<QueryResult> ok =
       db_->Execute("SELECT g_ic(zerobytes(8), 2, 1, 0) FROM t");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->rows.size(), 1u);
+}
+
+TEST_F(DeadlineTest, WatchdogKillsRunawayUdfInsideAggregate) {
+  JAGUAR_REQUIRE_FORK();
+  // A runaway UDF inside an aggregate argument, on the parallel aggregation
+  // path: morsel workers each lease a pooled executor, the watchdog SIGKILLs
+  // the wedged children at the deadline, and the whole aggregate fails with
+  // DeadlineExceeded — without leaking pool executors or poisoning the pool
+  // for later queries.
+  options_.query_timeout_ms = 300;
+  options_.vectorized_execution = true;
+  options_.batch_size = 8;
+  options_.num_workers = 2;
+  Open();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        db_->Execute(StringPrintf("INSERT INTO t VALUES (%d)", i)).ok());
+  }
+  RegisterSpin("spin", UdfLanguage::kNativeIsolated);
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global()->Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  Result<QueryResult> dead = db_->Execute("SELECT SUM(spin(a)) FROM t");
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+  EXPECT_LT(elapsed, 3000) << "watchdog took too long";
+  obs::MetricsSnapshot delta = obs::SnapshotDelta(
+      before, obs::MetricsRegistry::Global()->Snapshot());
+  EXPECT_GE(DeltaOf(delta, "udf.watchdog.kills"), 1u);
+  EXPECT_GE(DeltaOf(delta, "exec.deadline.exceeded"), 1u);
+
+  // GROUP BY with the runaway in the key fails too — DeadlineExceeded, or
+  // SecurityViolation if the strikes from the parallel workers' kills have
+  // already tripped the quarantine.
+  Result<QueryResult> grouped =
+      db_->Execute("SELECT spin(a), COUNT(*) FROM t GROUP BY spin(a)");
+  EXPECT_FALSE(grouped.ok());
+  EXPECT_TRUE(grouped.status().IsDeadlineExceeded() ||
+              grouped.status().IsSecurityViolation())
+      << grouped.status();
+
+  // The pool is intact: a UDF-free aggregate and a healthy isolated UDF
+  // both complete (leaked leases would wedge Acquire, dead never-respawned
+  // children would surface as IoError).
+  Result<QueryResult> count = db_->Execute("SELECT COUNT(*), SUM(a) FROM t");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count->rows[0].value(0).AsInt(), 17);
+  RegisterGenericUdfs();
+  UdfInfo healthy;
+  healthy.name = "g_ic";
+  healthy.language = UdfLanguage::kNativeIsolated;
+  healthy.return_type = TypeId::kInt;
+  healthy.arg_types = {TypeId::kBytes, TypeId::kInt, TypeId::kInt,
+                       TypeId::kInt};
+  healthy.impl_name = "generic_udf";
+  ASSERT_TRUE(db_->RegisterUdf(healthy).ok());
+  Result<QueryResult> ok =
+      db_->Execute("SELECT SUM(g_ic(zerobytes(8), 2, 1, 0)) FROM t");
   ASSERT_TRUE(ok.ok()) << ok.status();
   ASSERT_EQ(ok->rows.size(), 1u);
 }

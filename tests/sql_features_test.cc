@@ -45,6 +45,11 @@ class SqlFeaturesTest : public ::testing::Test {
     return r.ok() ? std::move(r).value() : QueryResult{};
   }
 
+  static uint64_t MetricDelta(const QueryResult& r, const std::string& name) {
+    auto it = r.metrics_delta.find(name);
+    return it != r.metrics_delta.end() ? it->second : uint64_t{0};
+  }
+
   std::string path_;
   std::unique_ptr<Database> db_;
 };
@@ -263,10 +268,83 @@ TEST_F(SqlFeaturesTest, GroupByErrors) {
   EXPECT_TRUE(db_->Execute("SELECT * FROM orders GROUP BY customer")
                   .status()
                   .IsNotSupported());
+  // ORDER BY an aggregate that is not one of the select items.
   EXPECT_TRUE(db_->Execute("SELECT customer, COUNT(*) FROM orders "
-                           "GROUP BY customer ORDER BY customer")
+                           "GROUP BY customer ORDER BY SUM(total)")
                   .status()
                   .IsNotSupported());
+}
+
+TEST_F(SqlFeaturesTest, GroupByComposesWithOrderBy) {
+  // ORDER BY a group key.
+  QueryResult r = MustExecute(
+      "SELECT customer, SUM(qty) AS q FROM orders GROUP BY customer "
+      "ORDER BY customer DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "carol");
+  EXPECT_EQ(r.rows[2].value(0).AsString(), "alice");
+  EXPECT_EQ(MetricDelta(r, "exec.agg.queries"), 1u);
+  EXPECT_EQ(MetricDelta(r, "exec.sort.queries"), 1u);
+
+  // ORDER BY an aggregate through its alias.
+  r = MustExecute("SELECT customer, SUM(qty) AS q FROM orders "
+                  "GROUP BY customer ORDER BY q DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "carol");  // q = 7
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 7);
+  EXPECT_EQ(r.rows[1].value(0).AsString(), "alice");  // q = 5
+  EXPECT_EQ(r.rows[2].value(0).AsString(), "bob");    // q = 1
+
+  // ORDER BY a textual aggregate match, bounded by LIMIT: alice and bob tie
+  // at COUNT(*) = 2, and the stable order keeps them in group-key order.
+  r = MustExecute("SELECT customer, COUNT(*) FROM orders GROUP BY customer "
+                  "ORDER BY COUNT(*) DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "alice");
+  EXPECT_EQ(r.rows[1].value(0).AsString(), "bob");
+  EXPECT_EQ(MetricDelta(r, "exec.sort.topk_queries"), 1u);
+}
+
+TEST_F(SqlFeaturesTest, AggregatesIgnoreNullsPerGroup) {
+  MustExecute("CREATE TABLE n (k STRING, v INT)");
+  MustExecute("INSERT INTO n VALUES ('a', NULL), ('a', NULL), ('b', 1)");
+  QueryResult r = MustExecute(
+      "SELECT k, COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM n GROUP BY k");
+  ASSERT_EQ(r.rows.size(), 2u);
+  // 'a' holds only NULLs: COUNT(v) is 0, every other aggregate is NULL.
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "a");
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 0);
+  EXPECT_TRUE(r.rows[0].value(2).is_null());
+  EXPECT_TRUE(r.rows[0].value(3).is_null());
+  EXPECT_TRUE(r.rows[0].value(4).is_null());
+  EXPECT_TRUE(r.rows[0].value(5).is_null());
+  EXPECT_EQ(r.rows[1].value(0).AsString(), "b");
+  EXPECT_EQ(r.rows[1].value(1).AsInt(), 1);
+  EXPECT_EQ(r.rows[1].value(5).AsInt(), 1);
+  EXPECT_EQ(MetricDelta(r, "exec.agg.groups"), 2u);
+  EXPECT_EQ(MetricDelta(r, "exec.agg.rows"), 3u);
+}
+
+TEST_F(SqlFeaturesTest, OrderByLimitUsesTopKHeap) {
+  // Bounded ORDER BY keeps a top-k heap instead of sorting everything; the
+  // kept prefix must equal the full sort's prefix (NULL total sorts first).
+  QueryResult bounded =
+      MustExecute("SELECT id FROM orders ORDER BY total LIMIT 2");
+  ASSERT_EQ(bounded.rows.size(), 2u);
+  EXPECT_EQ(MetricDelta(bounded, "exec.sort.queries"), 1u);
+  EXPECT_EQ(MetricDelta(bounded, "exec.sort.topk_queries"), 1u);
+
+  QueryResult full = MustExecute("SELECT id FROM orders ORDER BY total");
+  ASSERT_EQ(full.rows.size(), 5u);
+  EXPECT_EQ(MetricDelta(full, "exec.sort.topk_queries"), 0u);
+  EXPECT_EQ(bounded.rows[0].value(0).AsInt(), full.rows[0].value(0).AsInt());
+  EXPECT_EQ(bounded.rows[1].value(0).AsInt(), full.rows[1].value(0).AsInt());
+
+  // LIMIT 0 keeps nothing but still goes through the bounded path.
+  QueryResult none =
+      MustExecute("SELECT id FROM orders ORDER BY total LIMIT 0");
+  EXPECT_EQ(none.rows.size(), 0u);
+  EXPECT_EQ(MetricDelta(none, "exec.sort.topk_queries"), 1u);
 }
 
 TEST_F(SqlFeaturesTest, UpdateBasics) {
