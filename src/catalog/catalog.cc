@@ -2,12 +2,14 @@
 
 #include "common/bytes.h"
 #include "common/string_util.h"
+#include "index/btree.h"
 
 namespace jaguar {
 
 namespace {
 constexpr uint8_t kTableTag = 0;
 constexpr uint8_t kUdfTag = 1;
+constexpr uint8_t kIndexTag = 2;
 }  // namespace
 
 const char* UdfLanguageToString(UdfLanguage lang) {
@@ -70,9 +72,26 @@ Status Catalog::Load(PageId root) {
       JAGUAR_ASSIGN_OR_RETURN(Slice payload, r.ReadLengthPrefixed());
       info.payload = payload.ToVector();
       udfs_[ToLower(info.name)] = std::move(info);
+    } else if (tag == kIndexTag) {
+      IndexInfo info;
+      JAGUAR_ASSIGN_OR_RETURN(info.name, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(info.table, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(info.column, r.ReadString());
+      JAGUAR_ASSIGN_OR_RETURN(info.root, r.ReadU32());
+      indexes_[ToLower(info.name)] = std::move(info);
     } else {
       return Corruption("unknown catalog record tag");
     }
+  }
+  // Index records may precede their table's record in heap order, so column
+  // positions resolve in a second pass once every table is loaded.
+  for (auto& [key, info] : indexes_) {
+    auto tit = tables_.find(ToLower(info.table));
+    if (tit == tables_.end()) {
+      return Corruption("index '" + info.name + "' references missing table");
+    }
+    JAGUAR_ASSIGN_OR_RETURN(info.column_index,
+                            tit->second.schema.IndexOf(info.column));
   }
   return Status::OK();
 }
@@ -103,6 +122,15 @@ Status Catalog::Persist() {
     for (TypeId t : info.arg_types) w.PutU8(static_cast<uint8_t>(t));
     w.PutString(info.impl_name);
     w.PutLengthPrefixed(Slice(info.payload));
+    JAGUAR_RETURN_IF_ERROR(heap.Insert(w.AsSlice()).status());
+  }
+  for (const auto& [key, info] : indexes_) {
+    BufferWriter w;
+    w.PutU8(kIndexTag);
+    w.PutString(info.name);
+    w.PutString(info.table);
+    w.PutString(info.column);
+    w.PutU32(info.root);
     JAGUAR_RETURN_IF_ERROR(heap.Insert(w.AsSlice()).status());
   }
   JAGUAR_RETURN_IF_ERROR(engine_->SetCatalogRoot(new_root));
@@ -136,6 +164,17 @@ Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
 Status Catalog::DropTable(const std::string& name) {
   auto it = tables_.find(ToLower(name));
   if (it == tables_.end()) return NotFound("no table named '" + name + "'");
+  // Indexes on a dropped table go with it.
+  const std::string table_key = ToLower(name);
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (ToLower(iit->second.table) == table_key) {
+      BTree tree(engine_, iit->second.root);
+      JAGUAR_RETURN_IF_ERROR(tree.DropAll());
+      iit = indexes_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
   TableHeap heap(engine_, it->second.first_page);
   JAGUAR_RETURN_IF_ERROR(heap.DropAll());
   tables_.erase(it);
@@ -146,6 +185,64 @@ std::vector<std::string> Catalog::ListTables() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, info] : tables_) names.push_back(info.name);
+  return names;
+}
+
+Status Catalog::CreateIndex(const std::string& name, const std::string& table,
+                            const std::string& column) {
+  const std::string key = ToLower(name);
+  if (indexes_.count(key) != 0) {
+    return AlreadyExists("index '" + name + "' already exists");
+  }
+  auto tit = tables_.find(ToLower(table));
+  if (tit == tables_.end()) return NotFound("no table named '" + table + "'");
+  JAGUAR_ASSIGN_OR_RETURN(size_t col, tit->second.schema.IndexOf(column));
+  const TypeId type = tit->second.schema.column(col).type;
+  if (type != TypeId::kInt && type != TypeId::kString) {
+    return InvalidArgument(
+        std::string("only INT and STRING columns can be indexed; '") +
+        column + "' is " + TypeIdToString(type));
+  }
+  JAGUAR_ASSIGN_OR_RETURN(PageId root, BTree::Create(engine_));
+  IndexInfo info;
+  info.name = name;
+  info.table = tit->second.name;
+  info.column = tit->second.schema.column(col).name;
+  info.column_index = col;
+  info.root = root;
+  indexes_[key] = std::move(info);
+  return Persist();
+}
+
+Result<const IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(ToLower(name));
+  if (it == indexes_.end()) return NotFound("no index named '" + name + "'");
+  return &it->second;
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  auto it = indexes_.find(ToLower(name));
+  if (it == indexes_.end()) return NotFound("no index named '" + name + "'");
+  BTree tree(engine_, it->second.root);
+  JAGUAR_RETURN_IF_ERROR(tree.DropAll());
+  indexes_.erase(it);
+  return Persist();
+}
+
+std::vector<const IndexInfo*> Catalog::IndexesForTable(
+    const std::string& table) const {
+  const std::string key = ToLower(table);
+  std::vector<const IndexInfo*> out;
+  for (const auto& [name, info] : indexes_) {
+    if (ToLower(info.table) == key) out.push_back(&info);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::ListIndexes() const {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [key, info] : indexes_) names.push_back(info.name);
   return names;
 }
 

@@ -48,6 +48,17 @@ struct TableInfo {
   PageId first_page = kInvalidPageId;
 };
 
+/// Catalog entry for one secondary index: a B+-tree over a single column.
+/// The root page id is stable for the life of the index (root splits happen
+/// in place), so it is recorded once at CREATE INDEX.
+struct IndexInfo {
+  std::string name;
+  std::string table;       ///< Table the index belongs to (original case).
+  std::string column;      ///< Indexed column name (original case).
+  size_t column_index = 0; ///< Resolved against the table schema at load.
+  PageId root = kInvalidPageId;
+};
+
 /// Catalog entry for one registered UDF.
 struct UdfInfo {
   std::string name;
@@ -75,11 +86,30 @@ class Catalog {
   /// \return The table's catalog entry (owned by the catalog).
   Result<const TableInfo*> GetTable(const std::string& name) const;
 
-  /// Drops the table, freeing all of its pages.
+  /// Drops the table, freeing all of its pages — and every index built on
+  /// it, freeing their pages too.
   Status DropTable(const std::string& name);
 
   /// \return Names of all tables, sorted.
   std::vector<std::string> ListTables() const;
+
+  // -- Indexes --------------------------------------------------------------
+
+  /// Creates an (empty) B+-tree index named `name` on `table`(`column`).
+  /// The column must be INT or STRING. The caller backfills existing rows.
+  Status CreateIndex(const std::string& name, const std::string& table,
+                     const std::string& column);
+
+  Result<const IndexInfo*> GetIndex(const std::string& name) const;
+
+  /// Drops the index, freeing its pages.
+  Status DropIndex(const std::string& name);
+
+  /// All indexes on `table`, ordered by index name.
+  std::vector<const IndexInfo*> IndexesForTable(const std::string& table) const;
+
+  /// \return Names of all indexes, sorted.
+  std::vector<std::string> ListIndexes() const;
 
   // -- UDFs -----------------------------------------------------------------
 
@@ -103,6 +133,7 @@ class Catalog {
   // Keys are lower-cased names (SQL identifiers are case-insensitive).
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, UdfInfo> udfs_;
+  std::map<std::string, IndexInfo> indexes_;
 };
 
 }  // namespace jaguar

@@ -17,6 +17,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kRuntimeError: return "RuntimeError";
     case StatusCode::kVerificationError: return "VerificationError";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kOutOfRange: return "OutOfRange";
   }
   return "Unknown";
 }
@@ -66,6 +67,9 @@ Status VerificationError(std::string msg) {
 }
 Status DeadlineExceeded(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
 }
 
 }  // namespace jaguar

@@ -34,7 +34,8 @@ enum class StatusCode : uint8_t {
   kResourceExhausted = 9, ///< Quota exceeded (CPU budget, heap, callbacks).
   kRuntimeError = 10,     ///< UDF/VM runtime fault (bounds, null, div-zero).
   kVerificationError = 11,///< Bytecode failed load-time verification.
-  kDeadlineExceeded = 12  ///< Query wall-clock deadline passed (cancellation).
+  kDeadlineExceeded = 12, ///< Query wall-clock deadline passed (cancellation).
+  kOutOfRange = 13        ///< Arithmetic/value outside the representable range.
 };
 
 /// \return Human-readable name of a status code (e.g. "InvalidArgument").
@@ -78,6 +79,7 @@ class Status {
   bool IsRuntimeError() const { return code() == StatusCode::kRuntimeError; }
   bool IsVerificationError() const { return code() == StatusCode::kVerificationError; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code() == b.code();
@@ -108,6 +110,7 @@ Status ResourceExhausted(std::string msg);
 Status RuntimeError(std::string msg);
 Status VerificationError(std::string msg);
 Status DeadlineExceeded(std::string msg);
+Status OutOfRange(std::string msg);
 
 /// A value-or-error: holds either a `T` or a non-OK `Status`.
 template <typename T>

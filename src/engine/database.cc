@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "common/bytes.h"
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/expression.h"
+#include "exec/index_scan.h"
 #include "exec/operators.h"
+#include "index/btree.h"
 #include "exec/parallel.h"
 #include "exec/sort.h"
 #include "sql/parser.h"
@@ -161,6 +164,16 @@ Result<std::unique_ptr<Database>> Database::Open(
 
   db->lobs_ = std::make_unique<LobStore>(db->storage_.get(), db->catalog_.get());
   JAGUAR_RETURN_IF_ERROR(db->lobs_->Init());
+
+  // After *crash* recovery, re-derive every secondary index from its heap:
+  // the redo-only WAL replays whole page images, but a crash mid-statement
+  // can persist an index state that reflects only part of a structure
+  // modification relative to the replayed heap. A clean reopen (recovery
+  // scanned just the checkpoint frame, replayed nothing) skips this.
+  const wal::RecoveryStats& rs = db->storage_->recovery_stats();
+  if (rs.records_scanned > 1 || rs.pages_replayed > 0) {
+    JAGUAR_RETURN_IF_ERROR(db->RebuildIndexesAfterCrash());
+  }
   return db;
 }
 
@@ -191,6 +204,8 @@ Result<QueryResult> Database::Execute(const std::string& sql_text) {
       case sql::StatementKind::kInsert:
       case sql::StatementKind::kDelete:
       case sql::StatementKind::kUpdate:
+      case sql::StatementKind::kCreateIndex:
+      case sql::StatementKind::kDropIndex:
         JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
         break;
       default:
@@ -234,6 +249,10 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt,
               : "query timeout override cleared";
       return result;
     }
+    case sql::StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(stmt, deadline);
+    case sql::StatementKind::kDropIndex:
+      return ExecuteDropIndex(stmt);
     case sql::StatementKind::kDropTable: {
       if (EqualsIgnoreCase(stmt.drop_table.table, kLobTableName)) {
         return InvalidArgument("cannot drop the internal LOB table");
@@ -352,17 +371,36 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
   ctx.set_callback_quota(options_.udf_callback_quota);
   ctx.set_deadline(&deadline);
 
-  // Plan: SeqScan -> [Filter] -> Project -> [Limit]. The predicate is bound
-  // here but only wrapped into a FilterOp on the serial path — the parallel
-  // scan evaluates it per worker against the shared expression tree.
-  exec::OperatorPtr op = std::make_unique<exec::SeqScanOp>(
-      storage_.get(), table->first_page, table->schema);
-
+  // Plan: SeqScan|IndexScan -> [Filter] -> Project -> [Limit]. The predicate
+  // is bound here but only wrapped into a FilterOp on the serial path — the
+  // parallel scan evaluates it per worker against the shared expression tree.
   exec::BoundExprPtr predicate;
   if (sel.where != nullptr) {
     JAGUAR_ASSIGN_OR_RETURN(
         predicate, exec::Bind(*sel.where, table->schema, sel.table,
                               sel.table_alias, udf_manager_.get()));
+  }
+
+  // Planner rule: if some AND-chain conjunct is `<indexed col> <cmp> <lit>`,
+  // probe the B+-tree and evaluate only the residual predicate (which may
+  // hold expensive UDF calls) on the survivors.
+  std::optional<exec::IndexPick> pick;
+  if (predicate != nullptr) {
+    std::vector<exec::IndexCandidate> candidates;
+    for (const IndexInfo* idx : catalog_->IndexesForTable(sel.table)) {
+      candidates.push_back({idx->column_index, idx->root, idx->name});
+    }
+    pick = exec::PickIndexScan(&predicate, candidates, table->schema);
+  }
+
+  exec::OperatorPtr op;
+  if (pick.has_value()) {
+    op = std::make_unique<exec::IndexScanOp>(
+        storage_.get(), pick->root, table->first_page, table->schema,
+        pick->lower, pick->upper, pick->equality);
+  } else {
+    op = std::make_unique<exec::SeqScanOp>(storage_.get(), table->first_page,
+                                           table->schema);
   }
 
   std::vector<exec::BoundExprPtr> out_exprs;
@@ -404,9 +442,10 @@ Result<QueryResult> Database::ExecuteSelect(const sql::Statement& stmt,
   // Every vectorized plan shape can run morsel-parallel: plain scans merge
   // per-morsel output (LIMIT truncates after the morsel-order merge), and
   // ORDER BY k-way-merges per-morsel sorted runs — both byte-identical to
-  // the serial plan.
-  const bool parallel =
-      options_.num_workers > 1 && options_.vectorized_execution;
+  // the serial plan. An index pick forces the serial path: the morsel
+  // drivers partition heap pages, which an index probe already bypassed.
+  const bool parallel = options_.num_workers > 1 &&
+                        options_.vectorized_execution && !pick.has_value();
   if (order_key == nullptr) {
     if (parallel) {
       exec::ParallelScanSpec pspec;
@@ -503,10 +542,11 @@ Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt,
                               udf_manager_.get()));
   }
 
-  // Collect matching record ids first, then delete (no iterator
-  // invalidation).
+  // Collect matching records first, then delete (no iterator invalidation).
+  // The tuples ride along so index maintenance can re-derive the keys the
+  // deleted rows contributed.
   TableHeap heap(storage_.get(), table->first_page);
-  std::vector<RecordId> victims;
+  std::vector<std::pair<RecordId, Tuple>> victims;
   TableHeap::Iterator it = heap.Scan();
   while (true) {
     JAGUAR_RETURN_IF_ERROR(deadline.Check());
@@ -518,10 +558,11 @@ Result<QueryResult> Database::ExecuteDelete(const sql::Statement& stmt,
       JAGUAR_ASSIGN_OR_RETURN(matches, exec::EvalPredicate(*predicate, t,
                                                            &ctx));
     }
-    if (matches) victims.push_back(rec->first);
+    if (matches) victims.emplace_back(rec->first, std::move(t));
   }
-  for (const RecordId& rid : victims) {
+  for (const auto& [rid, tuple] : victims) {
     JAGUAR_RETURN_IF_ERROR(heap.Delete(rid));
+    JAGUAR_RETURN_IF_ERROR(DeleteIndexEntries(table, tuple, rid));
   }
   QueryResult result;
   result.rows_affected = victims.size();
@@ -562,9 +603,16 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt,
 
   // Phase 1: materialize the replacement tuples (value expressions see the
   // old row). Phase 2: delete + reinsert — updates may change record size,
-  // and a collect-then-apply plan cannot revisit its own insertions.
+  // and a collect-then-apply plan cannot revisit its own insertions. The old
+  // tuple is retained so phase 2 can remove the index entries it contributed
+  // before inserting the new row's entries under its new record id.
+  struct PendingUpdate {
+    RecordId rid;
+    Tuple old_tuple;
+    Tuple new_tuple;
+  };
   TableHeap heap(storage_.get(), table->first_page);
-  std::vector<std::pair<RecordId, Tuple>> updates;
+  std::vector<PendingUpdate> updates;
   TableHeap::Iterator it = heap.Scan();
   while (true) {
     JAGUAR_RETURN_IF_ERROR(deadline.Check());
@@ -587,11 +635,15 @@ Result<QueryResult> Database::ExecuteUpdate(const sql::Statement& stmt,
     }
     Tuple updated(std::move(values));
     JAGUAR_RETURN_IF_ERROR(updated.CheckSchema(table->schema));
-    updates.emplace_back(rec->first, std::move(updated));
+    JAGUAR_RETURN_IF_ERROR(ValidateIndexKeys(table, updated));
+    updates.push_back({rec->first, std::move(t), std::move(updated)});
   }
-  for (auto& [rid, tuple] : updates) {
-    JAGUAR_RETURN_IF_ERROR(heap.Delete(rid));
-    JAGUAR_RETURN_IF_ERROR(heap.Insert(Slice(tuple.Serialize())).status());
+  for (auto& u : updates) {
+    JAGUAR_RETURN_IF_ERROR(heap.Delete(u.rid));
+    JAGUAR_RETURN_IF_ERROR(DeleteIndexEntries(table, u.old_tuple, u.rid));
+    JAGUAR_ASSIGN_OR_RETURN(RecordId new_rid,
+                            heap.Insert(Slice(u.new_tuple.Serialize())));
+    JAGUAR_RETURN_IF_ERROR(InsertIndexEntries(table, u.new_tuple, new_rid));
   }
   QueryResult result;
   result.rows_affected = updates.size();
@@ -634,7 +686,9 @@ Result<QueryResult> Database::ExecuteInsert(const sql::Statement& stmt,
     }
     Tuple t(std::move(values));
     JAGUAR_RETURN_IF_ERROR(t.CheckSchema(table->schema));
-    JAGUAR_RETURN_IF_ERROR(heap.Insert(Slice(t.Serialize())).status());
+    JAGUAR_RETURN_IF_ERROR(ValidateIndexKeys(table, t));
+    JAGUAR_ASSIGN_OR_RETURN(RecordId rid, heap.Insert(Slice(t.Serialize())));
+    JAGUAR_RETURN_IF_ERROR(InsertIndexEntries(table, t, rid));
     ++inserted;
   }
   QueryResult result;
@@ -642,6 +696,113 @@ Result<QueryResult> Database::ExecuteInsert(const sql::Statement& stmt,
   result.message = StringPrintf("%llu row(s) inserted",
                                 static_cast<unsigned long long>(inserted));
   return result;
+}
+
+Result<QueryResult> Database::ExecuteCreateIndex(const sql::Statement& stmt,
+                                                 const QueryDeadline& deadline) {
+  const sql::CreateIndexStmt& ci = stmt.create_index;
+  if (EqualsIgnoreCase(ci.table, kLobTableName)) {
+    return InvalidArgument("cannot index the internal LOB table");
+  }
+  JAGUAR_RETURN_IF_ERROR(catalog_->CreateIndex(ci.index, ci.table, ci.column));
+  JAGUAR_ASSIGN_OR_RETURN(const IndexInfo* idx, catalog_->GetIndex(ci.index));
+  JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table, catalog_->GetTable(ci.table));
+
+  // Backfill from the existing heap. On failure the half-built index is
+  // dropped (best effort) so a failed CREATE INDEX leaves no entry behind.
+  Status backfill = [&]() -> Status {
+    BTree tree(storage_.get(), idx->root);
+    TableHeap heap(storage_.get(), table->first_page);
+    TableHeap::Iterator it = heap.Scan();
+    while (true) {
+      JAGUAR_RETURN_IF_ERROR(deadline.Check());
+      JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+      if (!rec.has_value()) break;
+      JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+      const Value& key = t.value(idx->column_index);
+      if (key.is_null()) continue;  // NULL keys are never stored
+      JAGUAR_RETURN_IF_ERROR(tree.Insert(key, rec->first));
+    }
+    return Status::OK();
+  }();
+  if (!backfill.ok()) {
+    catalog_->DropIndex(ci.index).ok();
+    return backfill;
+  }
+  QueryResult result;
+  result.message = "Index " + ci.index + " created";
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteDropIndex(const sql::Statement& stmt) {
+  JAGUAR_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop_index.index));
+  QueryResult result;
+  result.message = "Index " + stmt.drop_index.index + " dropped";
+  return result;
+}
+
+Status Database::ValidateIndexKeys(const TableInfo* table,
+                                   const Tuple& t) const {
+  for (const IndexInfo* idx : catalog_->IndexesForTable(table->name)) {
+    const Value& key = t.value(idx->column_index);
+    if (key.is_null()) continue;
+    BufferWriter w;
+    key.WriteTo(&w);
+    if (w.size() > BTree::kMaxKeyBytes) {
+      return InvalidArgument(StringPrintf(
+          "value for indexed column '%s' exceeds the %zu-byte index key limit",
+          idx->column.c_str(), BTree::kMaxKeyBytes));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::InsertIndexEntries(const TableInfo* table, const Tuple& t,
+                                    RecordId rid) {
+  for (const IndexInfo* idx : catalog_->IndexesForTable(table->name)) {
+    const Value& key = t.value(idx->column_index);
+    if (key.is_null()) continue;
+    BTree tree(storage_.get(), idx->root);
+    JAGUAR_RETURN_IF_ERROR(tree.Insert(key, rid));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteIndexEntries(const TableInfo* table, const Tuple& t,
+                                    RecordId rid) {
+  for (const IndexInfo* idx : catalog_->IndexesForTable(table->name)) {
+    const Value& key = t.value(idx->column_index);
+    if (key.is_null()) continue;
+    BTree tree(storage_.get(), idx->root);
+    JAGUAR_RETURN_IF_ERROR(tree.Delete(key, rid));
+  }
+  return Status::OK();
+}
+
+Status Database::RebuildIndexesAfterCrash() {
+  bool any = false;
+  for (const std::string& name : catalog_->ListIndexes()) {
+    JAGUAR_ASSIGN_OR_RETURN(const IndexInfo* idx, catalog_->GetIndex(name));
+    JAGUAR_ASSIGN_OR_RETURN(const TableInfo* table,
+                            catalog_->GetTable(idx->table));
+    BTree tree(storage_.get(), idx->root);
+    JAGUAR_RETURN_IF_ERROR(tree.Clear());
+    TableHeap heap(storage_.get(), table->first_page);
+    TableHeap::Iterator it = heap.Scan();
+    while (true) {
+      JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());
+      if (!rec.has_value()) break;
+      JAGUAR_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(Slice(rec->second)));
+      const Value& key = t.value(idx->column_index);
+      if (key.is_null()) continue;
+      JAGUAR_RETURN_IF_ERROR(tree.Insert(key, rec->first));
+    }
+    any = true;
+  }
+  // The rebuild itself is WAL-logged like any other mutation; commit it so
+  // a crash during the *next* statement replays on top of sound indexes.
+  if (any) JAGUAR_RETURN_IF_ERROR(storage_->WalCommit());
+  return Status::OK();
 }
 
 Status Database::RegisterUdf(UdfInfo info) {

@@ -190,6 +190,25 @@ class Database : public UdfCallbackHandler {
   Result<QueryResult> ExecuteUpdate(const sql::Statement& stmt,
                                     const QueryDeadline& deadline);
   Result<QueryResult> ExecuteShowMetrics(const sql::Statement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const sql::Statement& stmt,
+                                         const QueryDeadline& deadline);
+  Result<QueryResult> ExecuteDropIndex(const sql::Statement& stmt);
+
+  /// Synchronous secondary-index maintenance, applied to every index on
+  /// `table`. NULL keys are never stored; `Validate` rejects over-size keys
+  /// *before* the heap mutates so a failed statement leaves both sides
+  /// untouched.
+  Status ValidateIndexKeys(const TableInfo* table, const Tuple& t) const;
+  Status InsertIndexEntries(const TableInfo* table, const Tuple& t,
+                            RecordId rid);
+  Status DeleteIndexEntries(const TableInfo* table, const Tuple& t,
+                            RecordId rid);
+  /// Rebuilds every secondary index from its table heap. Run after crash
+  /// recovery: the redo-only WAL replays complete *records*, but a crash
+  /// mid-statement can leave an index reflecting only part of a structure
+  /// modification relative to its heap, so recovery re-derives index state
+  /// from the (consistent) heaps.
+  Status RebuildIndexesAfterCrash();
 
   DatabaseOptions options_;
   /// Session-level `SET TIMEOUT` override in ms; 0 = none (use

@@ -97,8 +97,13 @@ Status AggAccum::Accumulate(const AggSpec& spec, const Value& v) {
   if (spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg) {
     JAGUAR_ASSIGN_OR_RETURN(double d, v.CoerceDouble());
     sum_double += d;
-    if (v.type() == TypeId::kInt) sum_int += v.AsInt();
-    else is_double = true;
+    if (v.type() == TypeId::kInt) {
+      if (__builtin_add_overflow(sum_int, v.AsInt(), &sum_int)) {
+        return OutOfRange("SUM/AVG overflows 64-bit integer range");
+      }
+    } else {
+      is_double = true;
+    }
   } else if (spec.fn == AggFn::kMin || spec.fn == AggFn::kMax) {
     if (!any) {
       min_value = v;
@@ -119,7 +124,9 @@ Status AggAccum::Merge(const AggSpec& spec, const AggAccum& other) {
   if (spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg) {
     // Partial sums are combined in morsel order: deterministic, and exact
     // (hence byte-identical to serial) whenever the additions are exact.
-    sum_int += other.sum_int;
+    if (__builtin_add_overflow(sum_int, other.sum_int, &sum_int)) {
+      return OutOfRange("SUM/AVG overflows 64-bit integer range");
+    }
     sum_double += other.sum_double;
     is_double = is_double || other.is_double;
   } else if ((spec.fn == AggFn::kMin || spec.fn == AggFn::kMax) && other.any) {

@@ -1,0 +1,458 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_edit.h"
+#include "wal/crash_point.h"
+
+namespace jaguar {
+
+namespace {
+
+constexpr uint8_t kLeafKind = 1;
+constexpr uint8_t kInternalKind = 2;
+constexpr size_t kNodeHeader = 8;  // kind u8, pad u8, count u16, next u32
+constexpr size_t kNodeCapacity = kPageLsnOffset - kNodeHeader;
+
+obs::Counter* InsertCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("exec.index.inserts");
+  return c;
+}
+
+obs::Counter* DeleteCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("exec.index.deletes");
+  return c;
+}
+
+int CompareRid(RecordId a, RecordId b) {
+  if (a.page_id != b.page_id) return a.page_id < b.page_id ? -1 : 1;
+  if (a.slot != b.slot) return a.slot < b.slot ? -1 : 1;
+  return 0;
+}
+
+/// The smallest possible rid: the composite (key, kMinRid) sorts before
+/// every real entry with that key, which is what scans descend with.
+constexpr RecordId kMinRid{0, 0};
+
+}  // namespace
+
+const std::vector<std::string>& BTree::CrashPointNames() {
+  static const std::vector<std::string> kNames = {
+      "index.before_leaf_write",
+      "index.mid_split",
+      "index.after_split",
+      "index.before_delete_write",
+  };
+  return kNames;
+}
+
+int BTree::CompareComposite(const Value& a_key, RecordId a_rid,
+                            const Value& b_key, RecordId b_rid, Status* st) {
+  Result<int> cmp = a_key.Compare(b_key);
+  if (!cmp.ok()) {
+    if (st->ok()) *st = cmp.status();
+    return 0;
+  }
+  if (*cmp != 0) return *cmp;
+  return CompareRid(a_rid, b_rid);
+}
+
+size_t BTree::EntrySize(const Entry& e, bool leaf) {
+  return e.key.SerializedSize() + 6 + (leaf ? 0 : 4);
+}
+
+size_t BTree::NodeSize(const Node& n) {
+  size_t size = 0;
+  for (const Entry& e : n.entries) size += EntrySize(e, n.leaf);
+  return size;
+}
+
+Result<PageId> BTree::Create(StorageEngine* engine) {
+  JAGUAR_ASSIGN_OR_RETURN(PageId id, engine->AllocatePage());
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page, engine->buffer_pool()->FetchPage(id));
+  WalPageEdit edit(engine->wal(), &page);
+  uint8_t* d = page.data();
+  d[0] = kLeafKind;
+  d[1] = 0;
+  uint16_t count = 0;
+  std::memcpy(d + 2, &count, 2);
+  PageId next = kInvalidPageId;
+  std::memcpy(d + 4, &next, 4);
+  JAGUAR_RETURN_IF_ERROR(edit.Commit());
+  return id;
+}
+
+Result<BTree::Node> BTree::ReadNode(PageId id) {
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                          engine_->buffer_pool()->FetchPage(id));
+  const uint8_t* d = page.data();
+  Node node;
+  if (d[0] == kLeafKind) {
+    node.leaf = true;
+  } else if (d[0] == kInternalKind) {
+    node.leaf = false;
+  } else {
+    return Corruption(StringPrintf("index page %u has bad kind byte %u",
+                                   id, d[0]));
+  }
+  uint16_t count;
+  std::memcpy(&count, d + 2, 2);
+  std::memcpy(&node.next, d + 4, 4);
+  BufferReader r(Slice(d + kNodeHeader, kNodeCapacity));
+  node.entries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    Entry e;
+    JAGUAR_ASSIGN_OR_RETURN(e.key, Value::ReadFrom(&r));
+    JAGUAR_ASSIGN_OR_RETURN(e.rid.page_id, r.ReadU32());
+    JAGUAR_ASSIGN_OR_RETURN(e.rid.slot, r.ReadU16());
+    if (!node.leaf) {
+      JAGUAR_ASSIGN_OR_RETURN(e.child, r.ReadU32());
+    }
+    node.entries.push_back(std::move(e));
+  }
+  return node;
+}
+
+Status BTree::WriteNode(PageId id, const Node& node) {
+  BufferWriter w;
+  for (const Entry& e : node.entries) {
+    e.key.WriteTo(&w);
+    w.PutU32(e.rid.page_id);
+    w.PutU16(e.rid.slot);
+    if (!node.leaf) w.PutU32(e.child);
+  }
+  if (w.size() > kNodeCapacity) {
+    return Internal("index node overflows its page");  // split missed upstream
+  }
+  JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
+                          engine_->buffer_pool()->FetchPage(id));
+  WalPageEdit edit(engine_->wal(), &page);
+  uint8_t* d = page.data();
+  d[0] = node.leaf ? kLeafKind : kInternalKind;
+  d[1] = 0;
+  uint16_t count = static_cast<uint16_t>(node.entries.size());
+  std::memcpy(d + 2, &count, 2);
+  std::memcpy(d + 4, &node.next, 4);
+  if (w.size() > 0) std::memcpy(d + kNodeHeader, w.buffer().data(), w.size());
+  return edit.Commit();
+}
+
+Result<size_t> BTree::ChildIndex(const Node& node, const Value& key,
+                                 RecordId rid) {
+  // Number of separators <= (key, rid); 0 selects the leftmost child.
+  Status st;
+  size_t idx = 0;
+  for (const Entry& e : node.entries) {
+    if (CompareComposite(e.key, e.rid, key, rid, &st) > 0) break;
+    ++idx;
+  }
+  JAGUAR_RETURN_IF_ERROR(st);
+  return idx;
+}
+
+PageId BTree::ChildAt(const Node& node, size_t idx) {
+  return idx == 0 ? node.next : node.entries[idx - 1].child;
+}
+
+Result<PageId> BTree::DescendToLeaf(const Value& key, RecordId rid,
+                                    std::vector<PageId>* path) {
+  PageId pid = root_;
+  // Height is logarithmic; 64 levels means a cycle in the page graph.
+  for (int depth = 0; depth < 64; ++depth) {
+    JAGUAR_ASSIGN_OR_RETURN(Node node, ReadNode(pid));
+    if (node.leaf) return pid;
+    if (path != nullptr) path->push_back(pid);
+    JAGUAR_ASSIGN_OR_RETURN(size_t idx, ChildIndex(node, key, rid));
+    pid = ChildAt(node, idx);
+  }
+  return Corruption("index deeper than 64 levels (page cycle?)");
+}
+
+Status BTree::Insert(const Value& key, RecordId rid) {
+  if (key.is_null()) {
+    return InvalidArgument("NULL keys are not stored in indexes");
+  }
+  if (key.SerializedSize() > kMaxKeyBytes) {
+    return InvalidArgument(StringPrintf(
+        "index key of %zu bytes exceeds the %zu-byte limit",
+        key.SerializedSize(), kMaxKeyBytes));
+  }
+  std::vector<PageId> path;
+  JAGUAR_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, rid, &path));
+  JAGUAR_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_id));
+
+  Status st;
+  size_t pos = 0;
+  for (; pos < leaf.entries.size(); ++pos) {
+    const Entry& e = leaf.entries[pos];
+    int cmp = CompareComposite(e.key, e.rid, key, rid, &st);
+    if (cmp == 0 && st.ok()) {
+      return AlreadyExists("index entry already present");
+    }
+    if (cmp > 0) break;
+  }
+  JAGUAR_RETURN_IF_ERROR(st);
+  Entry entry;
+  entry.key = key;
+  entry.rid = rid;
+  leaf.entries.insert(leaf.entries.begin() + pos, std::move(entry));
+
+  if (NodeSize(leaf) <= kNodeCapacity) {
+    JAGUAR_CRASH_POINT("index.before_leaf_write");
+    JAGUAR_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
+  } else {
+    JAGUAR_RETURN_IF_ERROR(
+        SplitAndInsertUp(leaf_id, std::move(leaf), std::move(path)));
+  }
+  InsertCounter()->Add();
+  return Status::OK();
+}
+
+Status BTree::SplitAndInsertUp(PageId pid, Node node,
+                               std::vector<PageId> path) {
+  while (true) {
+    // Split by bytes so wide string keys and narrow int keys both end up
+    // with balanced halves. Both sides keep at least one entry.
+    const size_t total = NodeSize(node);
+    size_t split = 1, acc = EntrySize(node.entries[0], node.leaf);
+    while (split + 1 < node.entries.size() && acc < total / 2) {
+      acc += EntrySize(node.entries[split], node.leaf);
+      ++split;
+    }
+
+    Node right;
+    right.leaf = node.leaf;
+    Entry sep;
+    if (node.leaf) {
+      // Leaf split: the right node keeps every entry from `split` on and
+      // the separator copies its first entry (entries stay in the leaf).
+      right.entries.assign(std::make_move_iterator(node.entries.begin() + split),
+                           std::make_move_iterator(node.entries.end()));
+      node.entries.resize(split);
+      sep.key = right.entries.front().key;
+      sep.rid = right.entries.front().rid;
+    } else {
+      // Internal split: the median entry moves *up*; its child becomes the
+      // right node's leftmost pointer.
+      sep = std::move(node.entries[split]);
+      right.next = sep.child;
+      right.entries.assign(
+          std::make_move_iterator(node.entries.begin() + split + 1),
+          std::make_move_iterator(node.entries.end()));
+      node.entries.resize(split);
+    }
+
+    const bool at_root = pid == root_ && path.empty();
+    if (at_root) {
+      // Root split with a stable root id: both halves move into fresh
+      // pages and the root is rewritten as an internal node over them.
+      JAGUAR_ASSIGN_OR_RETURN(PageId left_id, engine_->AllocatePage());
+      JAGUAR_ASSIGN_OR_RETURN(PageId right_id, engine_->AllocatePage());
+      if (node.leaf) {
+        right.next = node.next;
+        node.next = right_id;
+      } else {
+        // `node.next` (the old leftmost child) stays with the left half.
+      }
+      JAGUAR_RETURN_IF_ERROR(WriteNode(right_id, right));
+      JAGUAR_CRASH_POINT("index.mid_split");
+      JAGUAR_RETURN_IF_ERROR(WriteNode(left_id, node));
+      Node new_root;
+      new_root.leaf = false;
+      new_root.next = left_id;
+      sep.child = right_id;
+      new_root.entries.push_back(std::move(sep));
+      JAGUAR_RETURN_IF_ERROR(WriteNode(root_, new_root));
+      JAGUAR_CRASH_POINT("index.after_split");
+      return Status::OK();
+    }
+
+    JAGUAR_ASSIGN_OR_RETURN(PageId right_id, engine_->AllocatePage());
+    if (node.leaf) {
+      right.next = node.next;
+      node.next = right_id;
+    }
+    JAGUAR_RETURN_IF_ERROR(WriteNode(right_id, right));
+    JAGUAR_CRASH_POINT("index.mid_split");
+    JAGUAR_RETURN_IF_ERROR(WriteNode(pid, node));
+    sep.child = right_id;
+
+    PageId parent_id = path.back();
+    path.pop_back();
+    JAGUAR_ASSIGN_OR_RETURN(Node parent, ReadNode(parent_id));
+    Status st;
+    size_t pos = 0;
+    for (; pos < parent.entries.size(); ++pos) {
+      const Entry& e = parent.entries[pos];
+      if (CompareComposite(e.key, e.rid, sep.key, sep.rid, &st) > 0) break;
+    }
+    JAGUAR_RETURN_IF_ERROR(st);
+    parent.entries.insert(parent.entries.begin() + pos, std::move(sep));
+    if (NodeSize(parent) <= kNodeCapacity) {
+      JAGUAR_RETURN_IF_ERROR(WriteNode(parent_id, parent));
+      JAGUAR_CRASH_POINT("index.after_split");
+      return Status::OK();
+    }
+    pid = parent_id;
+    node = std::move(parent);
+  }
+}
+
+Status BTree::Delete(const Value& key, RecordId rid) {
+  if (key.is_null()) {
+    return InvalidArgument("NULL keys are not stored in indexes");
+  }
+  JAGUAR_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key, rid, nullptr));
+  JAGUAR_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_id));
+  Status st;
+  for (size_t i = 0; i < leaf.entries.size(); ++i) {
+    const Entry& e = leaf.entries[i];
+    int cmp = CompareComposite(e.key, e.rid, key, rid, &st);
+    JAGUAR_RETURN_IF_ERROR(st);
+    if (cmp == 0) {
+      leaf.entries.erase(leaf.entries.begin() + i);
+      JAGUAR_CRASH_POINT("index.before_delete_write");
+      JAGUAR_RETURN_IF_ERROR(WriteNode(leaf_id, leaf));
+      DeleteCounter()->Add();
+      return Status::OK();
+    }
+    if (cmp > 0) break;
+  }
+  return NotFound("index entry not found");
+}
+
+Result<std::vector<RecordId>> BTree::SearchEqual(const Value& key) {
+  Bound b{key, true};
+  return Scan(b, b);
+}
+
+Result<std::vector<RecordId>> BTree::Scan(const std::optional<Bound>& lower,
+                                          const std::optional<Bound>& upper) {
+  std::vector<RecordId> out;
+  PageId pid;
+  if (lower.has_value()) {
+    if (lower->key.is_null()) return out;  // NULL bounds match nothing
+    JAGUAR_ASSIGN_OR_RETURN(pid, DescendToLeaf(lower->key, kMinRid, nullptr));
+  } else {
+    // Leftmost leaf: descend through every leftmost pointer.
+    pid = root_;
+    for (int depth = 0;; ++depth) {
+      if (depth >= 64) return Corruption("index deeper than 64 levels");
+      JAGUAR_ASSIGN_OR_RETURN(Node node, ReadNode(pid));
+      if (node.leaf) break;
+      pid = node.next;
+    }
+  }
+  if (upper.has_value() && upper->key.is_null()) return out;
+
+  // Walk the leaf chain from the start leaf, skipping entries below the
+  // lower bound and stopping at the first entry above the upper bound.
+  for (int hops = 0; pid != kInvalidPageId; ++hops) {
+    if (hops > 1 << 24) return Corruption("leaf chain cycle");
+    JAGUAR_ASSIGN_OR_RETURN(Node leaf, ReadNode(pid));
+    if (!leaf.leaf) return Corruption("leaf chain reached an internal node");
+    for (const Entry& e : leaf.entries) {
+      if (lower.has_value()) {
+        JAGUAR_ASSIGN_OR_RETURN(int cmp, e.key.Compare(lower->key));
+        if (cmp < 0 || (cmp == 0 && !lower->inclusive)) continue;
+      }
+      if (upper.has_value()) {
+        JAGUAR_ASSIGN_OR_RETURN(int cmp, e.key.Compare(upper->key));
+        if (cmp > 0 || (cmp == 0 && !upper->inclusive)) return out;
+      }
+      out.push_back(e.rid);
+    }
+    pid = leaf.next;
+  }
+  return out;
+}
+
+Status BTree::CollectPages(PageId id, std::vector<PageId>* out) {
+  if (out->size() > (1u << 24)) return Corruption("index page graph cycle");
+  out->push_back(id);
+  JAGUAR_ASSIGN_OR_RETURN(Node node, ReadNode(id));
+  if (node.leaf) return Status::OK();
+  JAGUAR_RETURN_IF_ERROR(CollectPages(node.next, out));
+  for (const Entry& e : node.entries) {
+    JAGUAR_RETURN_IF_ERROR(CollectPages(e.child, out));
+  }
+  return Status::OK();
+}
+
+Status BTree::Clear() {
+  std::vector<PageId> pages;
+  JAGUAR_RETURN_IF_ERROR(CollectPages(root_, &pages));
+  for (PageId id : pages) {
+    if (id == root_) continue;
+    JAGUAR_RETURN_IF_ERROR(engine_->FreePage(id));
+  }
+  Node empty;
+  return WriteNode(root_, empty);
+}
+
+Status BTree::DropAll() {
+  std::vector<PageId> pages;
+  JAGUAR_RETURN_IF_ERROR(CollectPages(root_, &pages));
+  for (PageId id : pages) {
+    JAGUAR_RETURN_IF_ERROR(engine_->FreePage(id));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BTree::CountEntries() {
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<RecordId> all,
+                          Scan(std::nullopt, std::nullopt));
+  return static_cast<uint64_t>(all.size());
+}
+
+Status BTree::CheckInvariants() {
+  // Full key-order scan must be sorted by the composite, and the leaf chain
+  // must enumerate exactly the pages the internal structure reaches.
+  std::vector<std::pair<Value, RecordId>> entries;
+  PageId pid = root_;
+  for (int depth = 0;; ++depth) {
+    if (depth >= 64) return Corruption("index deeper than 64 levels");
+    JAGUAR_ASSIGN_OR_RETURN(Node node, ReadNode(pid));
+    if (node.leaf) break;
+    Status st;
+    for (size_t i = 1; i < node.entries.size(); ++i) {
+      if (CompareComposite(node.entries[i - 1].key, node.entries[i - 1].rid,
+                           node.entries[i].key, node.entries[i].rid,
+                           &st) >= 0 ||
+          !st.ok()) {
+        return Corruption("internal separators out of order");
+      }
+    }
+    pid = node.next;
+  }
+  for (int hops = 0; pid != kInvalidPageId; ++hops) {
+    if (hops > 1 << 24) return Corruption("leaf chain cycle");
+    JAGUAR_ASSIGN_OR_RETURN(Node leaf, ReadNode(pid));
+    if (!leaf.leaf) return Corruption("leaf chain reached an internal node");
+    for (const Entry& e : leaf.entries) entries.emplace_back(e.key, e.rid);
+    pid = leaf.next;
+  }
+  Status st;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (CompareComposite(entries[i - 1].first, entries[i - 1].second,
+                         entries[i].first, entries[i].second, &st) >= 0 ||
+        !st.ok()) {
+      return Corruption("leaf entries out of composite order");
+    }
+  }
+  JAGUAR_ASSIGN_OR_RETURN(std::vector<RecordId> scanned,
+                          Scan(std::nullopt, std::nullopt));
+  if (scanned.size() != entries.size()) {
+    return Corruption("scan and chain walk disagree on entry count");
+  }
+  return Status::OK();
+}
+
+}  // namespace jaguar

@@ -12,6 +12,8 @@
 ///   UPDATE <name> SET <col> = <expr>, ... [WHERE <expr>]
 ///   DELETE FROM <name> [WHERE <expr>]
 ///   DROP TABLE <name>
+///   CREATE INDEX <name> ON <table> (<col>)
+///   DROP INDEX <name>
 ///
 /// Expressions cover the paper's queries: comparisons, boolean logic,
 /// arithmetic, column references (optionally qualified: `S.history`), and
@@ -95,6 +97,8 @@ enum class StatementKind : uint8_t {
   kUpdate,
   kShowMetrics,
   kSetTimeout,
+  kCreateIndex,
+  kDropIndex,
 };
 
 /// One SELECT output item: expression plus optional alias.
@@ -142,6 +146,18 @@ struct UpdateStmt {
   ExprPtr where;  ///< Null updates every row.
 };
 
+/// CREATE INDEX <name> ON <table> (<column>) — a secondary B+-tree index.
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+/// DROP INDEX <name>.
+struct DropIndexStmt {
+  std::string index;
+};
+
 /// SHOW METRICS [LIKE '<prefix>'] — reads the process-wide metrics registry.
 /// LIKE filters by name prefix (the registry's filtering convention, not SQL
 /// `%` patterns).
@@ -165,6 +181,8 @@ struct Statement {
   UpdateStmt update;
   ShowMetricsStmt show_metrics;
   SetTimeoutStmt set_timeout;
+  CreateIndexStmt create_index;
+  DropIndexStmt drop_index;
 };
 
 }  // namespace sql

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -21,14 +22,24 @@ class Parser {
       stmt.kind = StatementKind::kSelect;
       JAGUAR_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
     } else if (PeekKeyword("CREATE")) {
-      stmt.kind = StatementKind::kCreateTable;
-      JAGUAR_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+      if (Peek(1).IsKeyword("INDEX")) {
+        stmt.kind = StatementKind::kCreateIndex;
+        JAGUAR_ASSIGN_OR_RETURN(stmt.create_index, ParseCreateIndex());
+      } else {
+        stmt.kind = StatementKind::kCreateTable;
+        JAGUAR_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+      }
     } else if (PeekKeyword("INSERT")) {
       stmt.kind = StatementKind::kInsert;
       JAGUAR_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
     } else if (PeekKeyword("DROP")) {
-      stmt.kind = StatementKind::kDropTable;
-      JAGUAR_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+      if (Peek(1).IsKeyword("INDEX")) {
+        stmt.kind = StatementKind::kDropIndex;
+        JAGUAR_ASSIGN_OR_RETURN(stmt.drop_index, ParseDropIndex());
+      } else {
+        stmt.kind = StatementKind::kDropTable;
+        JAGUAR_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+      }
     } else if (PeekKeyword("DELETE")) {
       stmt.kind = StatementKind::kDelete;
       JAGUAR_ASSIGN_OR_RETURN(stmt.delete_stmt, ParseDelete());
@@ -94,6 +105,27 @@ class Parser {
       return Error(std::string("expected ") + what);
     }
     return Advance().text;
+  }
+
+  /// Converts an integer token, rejecting values outside int64 instead of
+  /// silently clamping to LLONG_MAX the way a bare strtoll would.
+  Result<int64_t> ParseInt64(const Token& tok) {
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.text.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      return InvalidArgument(
+          StringPrintf("integer literal '%s' out of 64-bit range "
+                       "(near offset %zu)",
+                       tok.text.c_str(), tok.offset));
+    }
+    if (end != tok.text.c_str() + tok.text.size() ||
+        end == tok.text.c_str()) {
+      return InvalidArgument(
+          StringPrintf("malformed integer literal '%s' (near offset %zu)",
+                       tok.text.c_str(), tok.offset));
+    }
+    return static_cast<int64_t>(v);
   }
 
   static bool IsReserved(const std::string& word) {
@@ -165,7 +197,7 @@ class Parser {
       if (Peek().kind != TokenKind::kInteger) {
         return Error("expected integer after LIMIT");
       }
-      stmt.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      JAGUAR_ASSIGN_OR_RETURN(stmt.limit, ParseInt64(Advance()));
     }
     return stmt;
   }
@@ -269,6 +301,28 @@ class Parser {
     return stmt;
   }
 
+  // CREATE INDEX <name> ON <table> (<column>)
+  Result<CreateIndexStmt> ParseCreateIndex() {
+    CreateIndexStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier("index name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectSymbol("("));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier("column name"));
+    JAGUAR_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<DropIndexStmt> ParseDropIndex() {
+    DropIndexStmt stmt;
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    JAGUAR_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    JAGUAR_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier("index name"));
+    return stmt;
+  }
+
   // SHOW METRICS [LIKE '<prefix>']
   Result<ShowMetricsStmt> ParseShowMetrics() {
     ShowMetricsStmt stmt;
@@ -292,7 +346,7 @@ class Parser {
     if (Peek().kind != TokenKind::kInteger) {
       return Error("expected integer milliseconds after SET TIMEOUT");
     }
-    stmt.timeout_ms = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    JAGUAR_ASSIGN_OR_RETURN(stmt.timeout_ms, ParseInt64(Advance()));
     if (stmt.timeout_ms < 0) {
       return Error("SET TIMEOUT requires a non-negative millisecond count");
     }
@@ -389,9 +443,8 @@ class Parser {
     const Token& tok = Peek();
     switch (tok.kind) {
       case TokenKind::kInteger: {
-        Advance();
-        return Expr::Literal(
-            Value::Int(std::strtoll(tok.text.c_str(), nullptr, 10)));
+        JAGUAR_ASSIGN_OR_RETURN(int64_t v, ParseInt64(Advance()));
+        return Expr::Literal(Value::Int(v));
       }
       case TokenKind::kFloat: {
         Advance();

@@ -279,6 +279,47 @@ TEST(SortUnitTest, IncomparableKeysFailCleanly) {
   EXPECT_FALSE(sorter.Finish().ok());
 }
 
+TEST(AggregateUnitTest, SumOverflowIsAnErrorNotWraparound) {
+  AggregatePlan plan = MustPlan("SELECT SUM(v) FROM t");
+  const AggSpec& spec = plan.specs[0];
+
+  // Single-pass accumulation: INT64_MAX alone is fine; one more positive
+  // value overflows and must error instead of wrapping negative.
+  AggAccum accum;
+  ASSERT_TRUE(accum.Accumulate(spec, Value::Int(INT64_MAX)).ok());
+  EXPECT_EQ(accum.Finalize(spec).AsInt(), INT64_MAX);
+  Status overflowed = accum.Accumulate(spec, Value::Int(1));
+  EXPECT_TRUE(overflowed.IsOutOfRange()) << overflowed.ToString();
+
+  // The negative boundary overflows symmetrically.
+  AggAccum negative;
+  ASSERT_TRUE(negative.Accumulate(spec, Value::Int(INT64_MIN)).ok());
+  EXPECT_TRUE(negative.Accumulate(spec, Value::Int(-1)).IsOutOfRange());
+
+  // Partial-merge path (the parallel plan): two individually-fine partials
+  // whose combination overflows must fail in Merge.
+  AggAccum left;
+  AggAccum right;
+  ASSERT_TRUE(left.Accumulate(spec, Value::Int(INT64_MAX)).ok());
+  ASSERT_TRUE(right.Accumulate(spec, Value::Int(1)).ok());
+  EXPECT_TRUE(left.Merge(spec, right).IsOutOfRange());
+
+  // Merging values that cancel stays exact.
+  AggAccum a;
+  AggAccum b;
+  ASSERT_TRUE(a.Accumulate(spec, Value::Int(INT64_MAX)).ok());
+  ASSERT_TRUE(b.Accumulate(spec, Value::Int(-1)).ok());
+  ASSERT_TRUE(a.Merge(spec, b).ok());
+  EXPECT_EQ(a.Finalize(spec).AsInt(), INT64_MAX - 1);
+
+  // AVG shares the int accumulator, so it reports overflow the same way.
+  AggregatePlan avg_plan = MustPlan("SELECT AVG(v) FROM t");
+  AggAccum avg;
+  ASSERT_TRUE(avg.Accumulate(avg_plan.specs[0], Value::Int(INT64_MAX)).ok());
+  EXPECT_TRUE(
+      avg.Accumulate(avg_plan.specs[0], Value::Int(2)).IsOutOfRange());
+}
+
 TEST(SortUnitTest, MergeRunsHonorsExpiredDeadline) {
   // > 1024 merged rows so the merge loop reaches its deadline-poll stride.
   std::vector<std::vector<Sorter::Entry>> runs;

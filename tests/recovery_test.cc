@@ -30,6 +30,7 @@
 
 #include "common/random.h"
 #include "engine/database.h"
+#include "index/btree.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/storage_engine.h"
@@ -242,6 +243,128 @@ TEST_P(CrashMatrixTest, RecoversToACommittedState) {
 INSTANTIATE_TEST_SUITE_P(
     AllCrashPoints, CrashMatrixTest,
     ::testing::ValuesIn(wal::CrashPoints::AllNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '.', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// The index crash matrix: crash inside B+-tree structure modifications.
+//
+// The WAL is redo-only, so a crash mid-split can leave the durable image
+// with a statement's index pages half-written relative to its heap pages.
+// Database::Open detects the crash and rebuilds every index from its heap;
+// these tests pin that contract: after recovery, the index answers every
+// key query byte-identically to a full-scan recheck and passes the tree's
+// own structural invariants.
+// ---------------------------------------------------------------------------
+
+constexpr int kIdxPhaseARows = 45;  // enough ~210-byte keys to split the root
+constexpr int kIdxPhaseBRows = 40;  // sequential keys refill the right leaf
+
+/// Wide, ordered string key: sequential inserts pile into the rightmost
+/// leaf (~38 entries fit), so phase B is guaranteed to split at least once.
+std::string WideVal(int k) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08d", k);
+  return std::string(buf) + std::string(180, 'v');
+}
+
+[[noreturn]] void RunIndexCrashWorkload(const std::string& path,
+                                        const std::string& point) {
+  auto opened = Database::Open(path);
+  if (!opened.ok()) ::_exit(3);
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  // Phase A: indexed baseline, checkpointed.
+  if (!db->Execute("CREATE TABLE t2 (k INT, v STRING)").ok()) ::_exit(4);
+  if (!db->Execute("CREATE INDEX idx_v ON t2 (v)").ok()) ::_exit(5);
+  for (int k = 0; k < kIdxPhaseARows; ++k) {
+    auto r = db->Execute("INSERT INTO t2 VALUES (" + std::to_string(k) +
+                         ", '" + WideVal(k) + "')");
+    if (!r.ok()) ::_exit(6);
+  }
+  if (!db->Flush().ok()) ::_exit(7);
+
+  // Phase B: inserts (leaf writes + splits), then an UPDATE and a DELETE
+  // (index delete paths). The armed point fires somewhere in here.
+  wal::CrashPoints::Arm(point);
+  for (int k = kIdxPhaseARows; k < kIdxPhaseARows + kIdxPhaseBRows; ++k) {
+    auto r = db->Execute("INSERT INTO t2 VALUES (" + std::to_string(k) +
+                         ", '" + WideVal(k) + "')");
+    if (!r.ok()) ::_exit(8);
+  }
+  if (!db->Execute("UPDATE t2 SET v = '" + WideVal(1000) +
+                   "' WHERE k = 10").ok()) {
+    ::_exit(9);
+  }
+  if (!db->Execute("DELETE FROM t2 WHERE k = 11").ok()) ::_exit(10);
+  ::_exit(1);  // the armed point never fired
+}
+
+class IndexCrashMatrixTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IndexCrashMatrixTest, IndexMatchesHeapAfterRecovery) {
+  JAGUAR_REQUIRE_FORK();
+  const std::string point = GetParam();
+  TempDb db("idxmatrix_" + point);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) RunIndexCrashWorkload(db.path(), point);  // never returns
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus))
+      << "child killed by signal " << WTERMSIG(wstatus);
+  ASSERT_EQ(WEXITSTATUS(wstatus), wal::CrashPoints::kExitCode)
+      << "crash point '" << point << "' did not fire (child exit "
+      << WEXITSTATUS(wstatus) << ")";
+
+  auto opened = Database::Open(db.path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> recovered = std::move(opened).value();
+
+  // Oracle: the heap via a full scan (no WHERE, so no index involvement).
+  auto all = recovered->Execute("SELECT k, v FROM t2");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  std::vector<std::pair<std::string, int64_t>> heap_rows;
+  for (const Tuple& t : all->rows) {
+    heap_rows.emplace_back(t.value(1).AsString(), t.value(0).AsInt());
+  }
+  // Committed-state envelope: baseline survived, nothing invented.
+  EXPECT_GE(heap_rows.size(), static_cast<size_t>(kIdxPhaseARows));
+  EXPECT_LE(heap_rows.size(),
+            static_cast<size_t>(kIdxPhaseARows + kIdxPhaseBRows));
+
+  // Every key the heap holds must come back through the index, and a key
+  // the heap lost must not.
+  for (const auto& [v, k] : heap_rows) {
+    auto r = recovered->Execute("SELECT k FROM t2 WHERE v = '" + v + "'");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u) << "key for row " << k;
+    EXPECT_EQ(r->rows[0].value(0).AsInt(), k);
+    EXPECT_EQ(r->metrics_delta.count("exec.index.scans"), 1u)
+        << "query did not run through the index";
+  }
+  auto miss = recovered->Execute("SELECT k FROM t2 WHERE v = '" +
+                                 WideVal(kIdxPhaseARows + kIdxPhaseBRows) +
+                                 "'");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->rows.empty());
+
+  // Structural invariants and exact cardinality, straight from the tree.
+  auto idx = recovered->catalog()->GetIndex("idx_v");
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  BTree tree(recovered->storage(), (*idx)->root);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.CountEntries().value(), heap_rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexCrashPoints, IndexCrashMatrixTest,
+    ::testing::ValuesIn(BTree::CrashPointNames()),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       std::replace(name.begin(), name.end(), '.', '_');

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "engine/database.h"
@@ -401,6 +404,223 @@ TEST_F(SqlFeaturesTest, UpdateWithUdfValues) {
   QueryResult r = MustExecute("SELECT sz FROM blobs2 ORDER BY id");
   EXPECT_EQ(r.rows[0].value(0).AsInt(), 50);
   EXPECT_EQ(r.rows[1].value(0).AsInt(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Secondary B+-tree indexes: DDL, maintenance, and the planner rule.
+// ---------------------------------------------------------------------------
+
+TEST_F(SqlFeaturesTest, CreateAndDropIndex) {
+  QueryResult r = MustExecute("CREATE INDEX idx_cust ON orders (customer)");
+  EXPECT_NE(r.message.find("idx_cust"), std::string::npos);
+
+  // An equality query now runs through the index.
+  r = MustExecute("SELECT id FROM orders WHERE customer = 'alice'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 1u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.lookups"), 2u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.range_scans"), 0u);
+
+  // DDL error cases.
+  EXPECT_TRUE(db_->Execute("CREATE INDEX idx_cust ON orders (id)")
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(db_->Execute("CREATE INDEX i2 ON nope (x)")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db_->Execute("CREATE INDEX i2 ON orders (nope)")
+                  .status()
+                  .IsNotFound());
+  // Only INT and STRING columns are indexable.
+  EXPECT_TRUE(db_->Execute("CREATE INDEX i2 ON orders (total)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->Execute("CREATE INDEX i3 ON __lobs (id)")
+                  .status()
+                  .IsInvalidArgument());
+
+  MustExecute("DROP INDEX idx_cust");
+  EXPECT_TRUE(db_->Execute("DROP INDEX idx_cust").status().IsNotFound());
+  // Back to a sequential scan, same rows.
+  r = MustExecute("SELECT id FROM orders WHERE customer = 'alice'");
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 0u);
+}
+
+TEST_F(SqlFeaturesTest, IndexSurvivesRestartAndDropTableCascades) {
+  MustExecute("CREATE INDEX idx_cust ON orders (customer)");
+  db_.reset();
+  db_ = Database::Open(path_).value();
+  QueryResult r = MustExecute("SELECT id FROM orders WHERE customer = 'bob'");
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 1u);
+  // Dropping the table drops its indexes with it.
+  MustExecute("DROP TABLE orders");
+  EXPECT_TRUE(db_->Execute("DROP INDEX idx_cust").status().IsNotFound());
+}
+
+/// Runs `where` both through the index and as a forced full scan (index
+/// temporarily dropped), asserting identical ordered id lists.
+class IndexAbTest : public SqlFeaturesTest {
+ protected:
+  std::vector<int64_t> IdsVia(const std::string& where, bool want_index) {
+    QueryResult r =
+        MustExecute("SELECT id FROM nums WHERE " + where + " ORDER BY id");
+    EXPECT_EQ(MetricDelta(r, "exec.index.scans"), want_index ? 1u : 0u)
+        << where;
+    std::vector<int64_t> ids;
+    for (const Tuple& t : r.rows) ids.push_back(t.value(0).AsInt());
+    return ids;
+  }
+
+  void ExpectIndexAgreesWithScan(const std::string& where) {
+    std::vector<int64_t> via_index = IdsVia(where, /*want_index=*/true);
+    MustExecute("DROP INDEX idx_k");
+    std::vector<int64_t> via_scan = IdsVia(where, /*want_index=*/false);
+    MustExecute("CREATE INDEX idx_k ON nums (k)");
+    EXPECT_EQ(via_index, via_scan) << where;
+  }
+};
+
+TEST_F(IndexAbTest, IndexAgreesWithScanIncludingNullsAndDuplicates) {
+  MustExecute("CREATE TABLE nums (id INT, k INT)");
+  // Duplicate keys (k = id % 10) and a sprinkling of NULL keys.
+  for (int i = 0; i < 200; ++i) {
+    MustExecute(StringPrintf(
+        "INSERT INTO nums VALUES (%d, %s)", i,
+        i % 17 == 0 ? "NULL" : StringPrintf("%d", i % 10).c_str()));
+  }
+  MustExecute("CREATE INDEX idx_k ON nums (k)");
+
+  ExpectIndexAgreesWithScan("k = 3");
+  ExpectIndexAgreesWithScan("7 = k");  // literal on the left
+  ExpectIndexAgreesWithScan("k < 2");
+  ExpectIndexAgreesWithScan("k <= 2");
+  ExpectIndexAgreesWithScan("k > 7");
+  ExpectIndexAgreesWithScan("k >= 7");
+  ExpectIndexAgreesWithScan("k = 42");           // no hits
+  ExpectIndexAgreesWithScan("k = 3 AND id < 50");  // residual conjunct
+
+  // NULL keys are invisible to both paths (NULL = anything is unknown).
+  QueryResult r = MustExecute("SELECT COUNT(*) FROM nums WHERE k >= 0");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 188);  // 200 - 12 NULLs
+}
+
+TEST_F(IndexAbTest, MaintenanceKeepsIndexConsistent) {
+  MustExecute("CREATE TABLE nums (id INT, k INT)");
+  MustExecute("CREATE INDEX idx_k ON nums (k)");  // empty backfill
+  for (int i = 0; i < 100; ++i) {
+    MustExecute(StringPrintf("INSERT INTO nums VALUES (%d, %d)", i, i % 5));
+  }
+  // UPDATE moves rows between keys (delete old entry + insert new).
+  MustExecute("UPDATE nums SET k = 9 WHERE k = 2");
+  // Also flip some keys to NULL (entry removed, nothing inserted) and some
+  // NULLs back to values.
+  MustExecute("UPDATE nums SET k = NULL WHERE id < 10");
+  MustExecute("UPDATE nums SET k = 7 WHERE id = 3");
+  // DELETE removes entries.
+  MustExecute("DELETE FROM nums WHERE k = 1");
+
+  ExpectIndexAgreesWithScan("k = 9");
+  ExpectIndexAgreesWithScan("k = 2");
+  ExpectIndexAgreesWithScan("k = 7");
+  ExpectIndexAgreesWithScan("k = 1");
+  ExpectIndexAgreesWithScan("k >= 0");
+}
+
+TEST_F(SqlFeaturesTest, PlannerPicksIndexOnlyWhenSound) {
+  MustExecute("CREATE TABLE nums (id INT, k INT, label STRING)");
+  for (int i = 0; i < 50; ++i) {
+    MustExecute(StringPrintf("INSERT INTO nums VALUES (%d, %d, 'r%d')", i,
+                             i % 10, i));
+  }
+  MustExecute("CREATE INDEX idx_k ON nums (k)");
+
+  // Type-mismatched literal (DOUBLE vs INT column): planner must decline.
+  QueryResult r = MustExecute("SELECT id FROM nums WHERE k = 3.0");
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 0u);
+  // Non-conjunct position (OR): decline.
+  r = MustExecute("SELECT id FROM nums WHERE k = 3 OR id = 1");
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 0u);
+  // NULL literal: decline.
+  r = MustExecute("SELECT id FROM nums WHERE k = NULL");
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 0u);
+  // Unindexed column: decline.
+  r = MustExecute("SELECT id FROM nums WHERE id = 3");
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 0u);
+  // Range conjunct anywhere in the AND chain: picked, marked as a range.
+  r = MustExecute("SELECT id FROM nums WHERE id < 100 AND k >= 8");
+  EXPECT_EQ(MetricDelta(r, "exec.index.scans"), 1u);
+  EXPECT_EQ(MetricDelta(r, "exec.index.range_scans"), 1u);
+  ASSERT_EQ(r.rows.size(), 10u);
+}
+
+TEST_F(SqlFeaturesTest, IndexScanSkipsUdfPredicateForNonSurvivors) {
+  // The paper-motivated win: an expensive UDF predicate written FIRST in the
+  // WHERE clause runs per-tuple under a full scan, but only on index
+  // survivors once the indexable conjunct is extracted.
+  UdfInfo g;
+  g.name = "g";
+  g.language = UdfLanguage::kNative;
+  g.return_type = TypeId::kInt;
+  g.arg_types = {TypeId::kBytes, TypeId::kInt, TypeId::kInt, TypeId::kInt};
+  g.impl_name = "generic_udf";
+  ASSERT_TRUE(db_->RegisterUdf(g).ok());
+
+  const int rows = 400;
+  MustExecute("CREATE TABLE rel (id INT, b BYTEARRAY)");
+  for (int i = 0; i < rows; ++i) {
+    MustExecute(
+        StringPrintf("INSERT INTO rel VALUES (%d, randbytes(16, %d))", i, i));
+  }
+
+  const std::string sql =
+      "SELECT id FROM rel WHERE g(b, 10, 1, 0) >= 0 AND id < 4";
+  QueryResult full = MustExecute(sql);  // no index yet: full scan
+  ASSERT_EQ(full.rows.size(), 4u);
+  EXPECT_EQ(MetricDelta(full, "udf.cpp.invocations"),
+            static_cast<uint64_t>(rows));
+
+  MustExecute("CREATE INDEX idx_id ON rel (id)");
+  QueryResult indexed = MustExecute(sql);
+  ASSERT_EQ(indexed.rows.size(), 4u);
+  EXPECT_EQ(MetricDelta(indexed, "exec.index.scans"), 1u);
+  EXPECT_EQ(MetricDelta(indexed, "exec.index.lookups"), 4u);
+  // 1% selectivity -> the UDF runs on exactly the 4 survivors.
+  EXPECT_EQ(MetricDelta(indexed, "udf.cpp.invocations"), 4u);
+}
+
+TEST_F(SqlFeaturesTest, OversizeIndexKeyRejectedBeforeHeapMutation) {
+  MustExecute("CREATE TABLE wide (id INT, s STRING)");
+  MustExecute("CREATE INDEX idx_s ON wide (s)");
+  MustExecute("INSERT INTO wide VALUES (1, 'ok')");
+  // A key past kMaxKeyBytes fails the whole INSERT, leaving no heap row.
+  std::string big(2000, 'x');
+  EXPECT_TRUE(db_->Execute("INSERT INTO wide VALUES (2, '" + big + "')")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(MustExecute("SELECT COUNT(*) FROM wide").rows[0].value(0).AsInt(),
+            1);
+}
+
+TEST_F(SqlFeaturesTest, SumOverflowSurfacesAsError) {
+  MustExecute("CREATE TABLE big (v INT)");
+  MustExecute(StringPrintf("INSERT INTO big VALUES (%lld), (%lld)",
+                           static_cast<long long>(INT64_MAX),
+                           static_cast<long long>(2)));
+  Result<QueryResult> r = db_->Execute("SELECT SUM(v) FROM big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange()) << r.status().ToString();
+  // AVG shares the accumulator.
+  EXPECT_TRUE(
+      db_->Execute("SELECT AVG(v) FROM big").status().IsOutOfRange());
+  // The symmetric negative boundary.
+  MustExecute("CREATE TABLE small (v INT)");
+  MustExecute(StringPrintf("INSERT INTO small VALUES (%lld), (%lld)",
+                           static_cast<long long>(INT64_MIN + 1),
+                           static_cast<long long>(-2)));
+  EXPECT_TRUE(
+      db_->Execute("SELECT SUM(v) FROM small").status().IsOutOfRange());
 }
 
 TEST_F(SqlFeaturesTest, ParserAcceptsNewSyntax) {

@@ -194,6 +194,57 @@ TEST(ParserTest, EmptyArgFunctionCall) {
   EXPECT_TRUE(e->args.empty());
 }
 
+TEST(ParserTest, CreateIndex) {
+  auto stmt = Parse("CREATE INDEX idx_sym ON stocks (symbol)").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateIndex);
+  EXPECT_EQ(stmt.create_index.index, "idx_sym");
+  EXPECT_EQ(stmt.create_index.table, "stocks");
+  EXPECT_EQ(stmt.create_index.column, "symbol");
+
+  EXPECT_TRUE(Parse("create index i on t (c);").ok());  // case + semicolon
+  EXPECT_TRUE(Parse("CREATE INDEX ON t (c)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE INDEX i t (c)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE INDEX i ON t ()").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Parse("CREATE INDEX i ON t (a, b)").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE INDEX i ON t (a").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, DropIndex) {
+  auto stmt = Parse("DROP INDEX idx_sym").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kDropIndex);
+  EXPECT_EQ(stmt.drop_index.index, "idx_sym");
+  EXPECT_TRUE(Parse("DROP INDEX").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("DROP INDEX i j").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, IntegerLiteralsOutsideInt64Fail) {
+  // In-range boundaries still parse.
+  auto ok = ParseExpression("9223372036854775807").value();
+  EXPECT_EQ(ok->literal.AsInt(), INT64_MAX);
+
+  // One past INT64_MAX: previously strtoll silently clamped via errno=ERANGE
+  // being ignored; each of the three literal sites must now report an error.
+  EXPECT_TRUE(ParseExpression("9223372036854775808").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseExpression("99999999999999999999999999")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE k = 9223372036854775808")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t LIMIT 9223372036854775808")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Parse("SET TIMEOUT 9223372036854775808")
+                  .status()
+                  .IsInvalidArgument());
+  // The error message names the offending literal.
+  auto status = Parse("SELECT * FROM t LIMIT 18446744073709551616").status();
+  EXPECT_NE(status.message().find("out of 64-bit range"), std::string::npos)
+      << status.ToString();
+}
+
 }  // namespace
 }  // namespace sql
 }  // namespace jaguar
