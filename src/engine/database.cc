@@ -125,9 +125,15 @@ Result<std::unique_ptr<Database>> Database::Open(
   wal_options.enabled = options.wal_enabled;
   wal_options.fsync_on_commit = options.wal_fsync;
   wal_options.checkpoint_bytes = options.wal_checkpoint_bytes;
+  BufferPoolConfig pool_config;
+  pool_config.shards = options.buffer_pool_shards;
+  pool_config.workers_hint = std::max<size_t>(1, options.num_workers);
+  pool_config.readahead_pages = options.readahead_pages;
+  pool_config.bg_writer = options.bg_writer;
   JAGUAR_ASSIGN_OR_RETURN(
       db->storage_,
-      StorageEngine::Open(path, options.buffer_pool_pages, wal_options));
+      StorageEngine::Open(path, options.buffer_pool_pages, wal_options,
+                          pool_config));
   JAGUAR_ASSIGN_OR_RETURN(db->catalog_, Catalog::Open(db->storage_.get()));
 
   // One JagVM per server, created at startup (Section 4.2: "a single JVM is

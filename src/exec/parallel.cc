@@ -151,7 +151,15 @@ Status ScanMorselBatches(
     if (survivors.empty()) return Status::OK();
     return on_batch(&survivors);
   };
+  BufferPool* pool = heap->engine()->buffer_pool();
+  const size_t readahead = pool->readahead_depth();
   for (size_t p = page_begin; p < page_end; ++p) {
+    if (readahead > 0) {
+      // The page list is precomputed, so hint the next K pages of this
+      // morsel directly instead of walking chain links.
+      const size_t hint_end = std::min(page_end, p + 1 + readahead);
+      if (p + 1 < hint_end) pool->Prefetch(&pages[p + 1], hint_end - p - 1);
+    }
     TableHeap::Iterator it = heap->ScanPage(pages[p]);
     while (true) {
       JAGUAR_ASSIGN_OR_RETURN(auto rec, it.Next());

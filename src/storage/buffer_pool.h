@@ -2,23 +2,63 @@
 #define JAGUAR_STORAGE_BUFFER_POOL_H_
 
 /// \file buffer_pool.h
-/// A fixed-capacity page cache with LRU replacement and pin counting.
+/// A sharded, I/O-decoupled page cache with clock-sweep (second-chance)
+/// replacement, sequential-scan readahead and an optional background writer.
 ///
 /// Callers obtain pages through RAII `PageGuard`s: a guard pins its frame for
 /// its lifetime, so forgetting to unpin is impossible by construction. Dirty
-/// pages are written back on eviction and on `FlushAll`.
+/// pages are written back on eviction, by the background writer, and on
+/// `FlushAll`.
 ///
-/// Thread safety: every public entry point (and the guard's Unpin/MarkDirty)
-/// takes one internal mutex, so parallel scan workers can fetch pages
-/// concurrently. Page *data* is read outside the lock — safe because a pin
-/// keeps the frame resident, and parallel execution only runs read-only
-/// plans.
+/// Layout: pages are partitioned across `N` shards by
+/// `page_id & (N - 1)` (N is a power of two, by default
+/// `next_pow2(min(16, workers_hint * 2))`). Each shard owns its own latch,
+/// page table, in-flight I/O table and clock ring. Frames themselves float:
+/// a frame belongs to whichever shard maps the page it currently holds, and
+/// empty frames sit on one global free list, so capacity is shared and a
+/// skewed page distribution cannot strand frames in an idle shard. A shard
+/// whose clock has no victim steals one from a neighbor — never holding two
+/// shard latches at once.
+///
+/// I/O happens **off the shard latch**:
+///  * A miss registers the page in the shard's in-flight table, drops the
+///    latch, reads from disk, then relocks to publish the frame. Concurrent
+///    fetchers of the same missing page wait on the shard's condvar instead
+///    of issuing duplicate reads (`storage.bufferpool.io_waits`).
+///  * Evicting a dirty victim likewise registers the victim page id, drops
+///    the latch, and only then runs the WAL-rule fsync (`EnsureDurable`) and
+///    the page write. Fetchers of the in-flight victim wait for the write,
+///    then re-read from disk. If the write-back fails the victim is
+///    re-linked into its shard (page table + clock) so the dirty image is
+///    never stranded in an unreachable frame.
+///
+/// Replacement is clock-sweep with a second-chance `ref` bit. Pages loaded
+/// by the readahead worker enter the clock *cold* (`ref = 0`) and unpinned,
+/// so one large scan streams through a small fraction of the pool instead of
+/// wiping the working set; the first real fetch of a prefetched page counts
+/// as `storage.bufferpool.readahead.hits` and promotes it to warm.
+///
+/// The optional background writer (`BufferPoolConfig::bg_writer`) trickles
+/// dirty unpinned frames to disk ahead of eviction so foreground fetches
+/// rarely pay a write+fsync. It obeys the WAL rule (log durable up to the
+/// page's LSN before the image reaches the data file) exactly like the
+/// eviction path, and `FlushAll` excludes concurrent writer rounds and
+/// drains in-flight write-backs before returning, which keeps checkpoint log
+/// truncation safe.
+///
+/// Thread safety: every public entry point is safe for concurrent use. Page
+/// *data* is read outside any latch — safe because a pin keeps the frame
+/// resident, and parallel execution only runs read-only plans.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -29,6 +69,26 @@
 namespace jaguar {
 
 class BufferPool;
+
+/// Construction-time knobs, threaded down from `DatabaseOptions`.
+struct BufferPoolConfig {
+  /// Shard count (rounded up to a power of two, clamped to the capacity).
+  /// 0 = auto: `next_pow2(min(16, workers_hint * 2))`.
+  size_t shards = 0;
+  /// Expected number of concurrent fetching threads; drives the auto shard
+  /// count.
+  size_t workers_hint = 1;
+  /// Pages the readahead worker keeps in flight ahead of a sequential scan.
+  /// 0 disables readahead (no worker thread is started).
+  size_t readahead_pages = 8;
+  /// Start a background writer thread that trickles dirty unpinned frames
+  /// to disk ahead of eviction.
+  bool bg_writer = false;
+  /// Background writer round interval.
+  int bg_writer_interval_ms = 20;
+  /// Max frames the background writer flushes per shard per round.
+  size_t bg_writer_batch = 8;
+};
 
 /// Pins one page frame for the guard's lifetime. Movable, not copyable.
 class PageGuard {
@@ -77,67 +137,191 @@ class BufferPool {
   /// \param disk backing store (must outlive the pool).
   /// \param capacity number of frames.
   /// \param wal when non-null, the pool enforces the WAL rule: before a
-  ///        dirty page is written back (eviction or FlushAll), the log is
-  ///        made durable up to that page's footer LSN. Must outlive the pool.
+  ///        dirty page is written back (eviction, background writer or
+  ///        FlushAll), the log is made durable up to that page's footer LSN.
+  ///        Must outlive the pool.
   BufferPool(DiskManager* disk, size_t capacity,
-             wal::LogManager* wal = nullptr);
+             wal::LogManager* wal = nullptr,
+             const BufferPoolConfig& config = BufferPoolConfig());
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from disk on miss.
+  /// Pins page `id`, reading it from disk on miss. Concurrent fetches of the
+  /// same missing page coalesce into one disk read.
   Result<PageGuard> FetchPage(PageId id);
 
   /// Allocates a fresh page on disk and pins it (contents zeroed).
   Result<PageGuard> NewPage();
 
-  /// Writes back all dirty pages (pinned ones included) and syncs.
+  /// Hints that `ids[0..count)` will be fetched soon (sequential-scan
+  /// readahead). Best-effort: already-cached pages, a full queue or a
+  /// disabled readahead worker silently drop the hint. Prefetched pages
+  /// enter the clock unpinned at cold priority.
+  void Prefetch(const PageId* ids, size_t count);
+  void Prefetch(PageId id) { Prefetch(&id, 1); }
+
+  /// Writes back all dirty pages (pinned ones included), drains in-flight
+  /// write-backs, and syncs. On return every prior mutation is in the data
+  /// file, which is what makes WAL truncation after a checkpoint safe.
   Status FlushAll();
 
-  /// Drops page `id` from the cache without writing it back. The page must be
-  /// unpinned. Used when a page is freed.
+  /// Drops page `id` from the cache without writing it back. The page must
+  /// be unpinned. Used when a page is freed.
   Status Discard(PageId id);
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const;
-  uint64_t misses() const;
+  size_t num_shards() const { return shards_count_; }
+  /// Readahead depth (0 = disabled); scan code sizes its hints with this.
+  size_t readahead_depth() const { return config_.readahead_pages; }
+
+  // Relaxed-atomic statistics: reading them never touches a shard latch.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Occupied frames reclaimed to satisfy a fetch/new-page request.
-  uint64_t evictions() const;
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Fetches that waited for an in-flight read or write-back of their page.
+  uint64_t io_waits() const {
+    return io_waits_.load(std::memory_order_relaxed);
+  }
+  /// Shard-latch acquisitions that found the latch already held.
+  uint64_t shard_conflicts() const {
+    return shard_conflicts_.load(std::memory_order_relaxed);
+  }
+  uint64_t readahead_issued() const {
+    return readahead_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t readahead_hits() const {
+    return readahead_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t bgwriter_flushes() const {
+    return bgwriter_flushes_.load(std::memory_order_relaxed);
+  }
   /// Number of currently pinned frames (for leak tests).
   size_t pinned_frames() const;
 
  private:
   friend class PageGuard;
 
-  struct Frame {
-    PageId id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
-    std::unique_ptr<uint8_t[]> data;
-    std::list<size_t>::iterator lru_pos;  // valid only when pin_count == 0
-    bool in_lru = false;
+  enum class FrameState : uint8_t {
+    kIdle,
+    /// Background write-back in flight: the frame stays in its page table
+    /// but fetch hits wait until the disk write completes, so the image the
+    /// writer captures is never concurrently mutated.
+    kWriting,
   };
 
-  void Unpin(size_t frame, bool dirty);
-  void MarkFrameDirty(size_t frame);
-  /// Requires `mutex_` held.
-  Result<size_t> GetVictimFrame();
-  /// WAL rule + write-back of one dirty frame. Requires `mutex_` held (safe:
-  /// the log manager has its own lock and never calls back into the pool).
+  struct Frame {
+    PageId id = kInvalidPageId;
+    /// Atomic only so `pinned_frames()` can read it latch-free; all
+    /// transitions happen under the owning shard's latch.
+    std::atomic<int> pin_count{0};
+    bool dirty = false;
+    bool ref = false;         ///< clock second-chance bit
+    bool prefetched = false;  ///< set by readahead, cleared on first fetch
+    FrameState state = FrameState::kIdle;
+    /// Monotonic validity stamp for clock entries: pinning or transferring
+    /// a frame bumps it, lazily invalidating stale ring entries. Atomic
+    /// (relaxed) because a stale entry in shard B's ring is compared under
+    /// B's latch while the frame — since migrated to shard A — bumps under
+    /// A's latch. The bump that invalidated a B entry always happened under
+    /// B's latch, so a valid match implies this shard still owns the frame.
+    std::atomic<uint64_t> clock_epoch{0};
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  struct ClockEntry {
+    size_t frame;
+    uint64_t epoch;
+  };
+
+  struct Shard {
+    std::mutex latch;
+    /// Wakes waiters on the in-flight I/O table and FlushAll's write drain.
+    std::condition_variable cv;
+    std::unordered_map<PageId, size_t> table;  // page id -> frame index
+    /// Pages with a disk read or write-back in flight; fetchers wait on cv.
+    std::unordered_set<PageId> io;
+    /// Clock ring of (frame, epoch) candidates; entries whose epoch no
+    /// longer matches the frame are skipped lazily.
+    std::deque<ClockEntry> clock;
+    /// Eviction write-backs in flight for pages already removed from
+    /// `table`; FlushAll drains these before declaring the shard clean.
+    size_t inflight_writes = 0;
+  };
+
+  Shard& ShardOf(PageId id) { return shards_[id & shard_mask_]; }
+  const Shard& ShardOf(PageId id) const { return shards_[id & shard_mask_]; }
+
+  /// Locks a shard, counting contended acquisitions.
+  std::unique_lock<std::mutex> LockShard(Shard& s);
+
+  void Unpin(size_t frame, PageId id, bool dirty);
+  void MarkFrameDirty(size_t frame, PageId id);
+
+  /// Pushes a fresh clock entry for `frame` (bumps the epoch). Requires the
+  /// owning shard's latch.
+  void ClockPush(Shard& s, size_t frame);
+
+  /// Returns an empty frame: global free list first, then clock-sweep
+  /// eviction starting at `home` and stealing from neighbors. Must be called
+  /// WITHOUT any shard latch held. ResourceExhausted when every frame is
+  /// pinned; any other error is a failed dirty write-back.
+  Result<size_t> AcquireFrame(Shard* home);
+  /// One clock sweep over `s`; kNotFound when the shard has no victim.
+  Result<size_t> EvictFromShard(Shard& s);
+  void ReturnFreeFrame(size_t frame);
+
+  /// WAL rule + disk write of one frame's image. The caller must hold the
+  /// image exclusively (victim out of the table, kWriting, or FlushAll
+  /// under latch).
   Status WriteBackFrame(Frame& frame);
 
-  mutable std::mutex mutex_;
+  /// Loads one prefetch request (worker thread).
+  void ReadaheadOne(PageId id);
+  void ReadaheadLoop();
+  void BgWriterLoop();
+  /// One background-writer round over all shards; returns frames flushed.
+  size_t BgWriterRound();
+
   DiskManager* disk_;
   wal::LogManager* wal_;
   size_t capacity_;
-  std::vector<Frame> frames_;
+  BufferPoolConfig config_;
+  size_t shards_count_ = 1;
+  size_t shard_mask_ = 0;
+
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::mutex free_mutex_;
   std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front == least recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+
+  /// Serializes background-writer rounds against FlushAll: a round runs
+  /// entirely inside this lock, so FlushAll never observes a half-finished
+  /// kWriting frame and checkpoints cannot truncate the log under an
+  /// in-flight background write.
+  std::mutex bg_mutex_;
+
+  // Readahead queue + worker.
+  std::mutex ra_mutex_;
+  std::condition_variable ra_cv_;
+  std::deque<PageId> ra_queue_;
+  bool stop_threads_ = false;
+  std::thread ra_thread_;
+  std::thread bg_thread_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> io_waits_{0};
+  std::atomic<uint64_t> shard_conflicts_{0};
+  std::atomic<uint64_t> readahead_issued_{0};
+  std::atomic<uint64_t> readahead_hits_{0};
+  std::atomic<uint64_t> bgwriter_flushes_{0};
 };
 
 }  // namespace jaguar

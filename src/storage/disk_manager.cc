@@ -31,7 +31,8 @@ Status DiskManager::Open(const std::string& path) {
     return Corruption(StringPrintf("file size %lld is not page aligned",
                                    static_cast<long long>(size)));
   }
-  num_pages_ = static_cast<uint32_t>(size / kPageSize);
+  num_pages_.store(static_cast<uint32_t>(size / kPageSize),
+                   std::memory_order_release);
   return Status::OK();
 }
 
@@ -45,7 +46,7 @@ Status DiskManager::Close() {
 
 Status DiskManager::ReadPage(PageId id, uint8_t* out) {
   if (!is_open()) return Internal("disk manager not open");
-  if (id >= num_pages_) {
+  if (id >= num_pages()) {
     return InvalidArgument(StringPrintf("read of unallocated page %u", id));
   }
   ssize_t n = ::pread(fd_, out, kPageSize,
@@ -54,13 +55,13 @@ Status DiskManager::ReadPage(PageId id, uint8_t* out) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return IoError(StringPrintf("short read of page %u (%zd bytes)", id, n));
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   if (!is_open()) return Internal("disk manager not open");
-  if (id >= num_pages_) {
+  if (id >= num_pages()) {
     return InvalidArgument(StringPrintf("write of unallocated page %u", id));
   }
   JAGUAR_CRASH_POINT("storage.before_page_write");
@@ -77,25 +78,31 @@ Status DiskManager::WritePage(PageId id, const uint8_t* data) {
   ssize_t n = ::pwrite(fd_, data, kPageSize,
                        static_cast<off_t>(id) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
-  ++writes_;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePageLocked() {
+  std::vector<uint8_t> zero(kPageSize, 0);
+  PageId id = num_pages_.load(std::memory_order_relaxed);
+  ssize_t n = ::pwrite(fd_, zero.data(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
+  num_pages_.store(id + 1, std::memory_order_release);
+  return id;
 }
 
 Result<PageId> DiskManager::AllocatePage() {
   if (!is_open()) return Internal("disk manager not open");
-  std::vector<uint8_t> zero(kPageSize, 0);
-  PageId id = num_pages_;
-  ssize_t n = ::pwrite(fd_, zero.data(), kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) return IoError(Errno("pwrite"));
-  ++num_pages_;
-  return id;
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  return AllocatePageLocked();
 }
 
 Status DiskManager::EnsureSize(uint32_t num_pages) {
   if (!is_open()) return Internal("disk manager not open");
-  while (num_pages_ < num_pages) {
-    JAGUAR_RETURN_IF_ERROR(AllocatePage().status());
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  while (num_pages_.load(std::memory_order_relaxed) < num_pages) {
+    JAGUAR_RETURN_IF_ERROR(AllocatePageLocked().status());
   }
   return Status::OK();
 }

@@ -5,8 +5,15 @@
 /// Raw page-granularity file I/O. One database == one file; pages are
 /// addressed by index. Allocation policy (free lists) lives a layer up in
 /// `StorageEngine`; the disk manager only extends the file and moves bytes.
+///
+/// Thread safety: reads and writes of distinct (or even the same) pages may
+/// run concurrently — they are single pread/pwrite calls. Allocation
+/// (`AllocatePage`/`EnsureSize`) is serialized internally so the buffer
+/// pool's background threads can extend the file safely.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -33,7 +40,9 @@ class DiskManager : public wal::PageDevice {
   bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  uint32_t num_pages() const override { return num_pages_; }
+  uint32_t num_pages() const override {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
   /// Reads page `id` into `out` (which must hold kPageSize bytes).
   Status ReadPage(PageId id, uint8_t* out) override;
@@ -52,15 +61,19 @@ class DiskManager : public wal::PageDevice {
   Status Sync() override;
 
   /// Cumulative I/O counters (used by tests and the calibration bench).
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
 
  private:
+  /// Extends the file by one zeroed page; caller holds `alloc_mutex_`.
+  Result<PageId> AllocatePageLocked();
+
   int fd_ = -1;
   std::string path_;
-  uint32_t num_pages_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  std::mutex alloc_mutex_;
+  std::atomic<uint32_t> num_pages_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace jaguar

@@ -25,7 +25,7 @@ void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
 
 Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     const std::string& path, size_t pool_pages,
-    const wal::WalOptions& wal_options) {
+    const wal::WalOptions& wal_options, const BufferPoolConfig& pool_config) {
   auto engine = std::unique_ptr<StorageEngine>(new StorageEngine());
   JAGUAR_RETURN_IF_ERROR(engine->disk_.Open(path));
 
@@ -45,8 +45,8 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     }
   }
 
-  engine->pool_ = std::make_unique<BufferPool>(&engine->disk_, pool_pages,
-                                               engine->wal_.get());
+  engine->pool_ = std::make_unique<BufferPool>(
+      &engine->disk_, pool_pages, engine->wal_.get(), pool_config);
   if (engine->disk_.num_pages() == 0) {
     JAGUAR_RETURN_IF_ERROR(engine->InitHeader());
   } else {

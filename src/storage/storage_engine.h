@@ -35,9 +35,11 @@ class StorageEngine {
   /// beside it at `path` + ".wal". Replays the log if the previous process
   /// crashed, then checkpoints so the engine starts from a clean log.
   /// \param pool_pages buffer pool capacity in pages.
+  /// \param pool_config sharding / readahead / background-writer knobs.
   static Result<std::unique_ptr<StorageEngine>> Open(
       const std::string& path, size_t pool_pages = 256,
-      const wal::WalOptions& wal_options = wal::WalOptions());
+      const wal::WalOptions& wal_options = wal::WalOptions(),
+      const BufferPoolConfig& pool_config = BufferPoolConfig());
 
   /// Checkpoints, flushes everything and closes the files.
   Status Close();

@@ -262,6 +262,12 @@ TableHeap::Iterator::Next() {
     JAGUAR_ASSIGN_OR_RETURN(PageGuard page,
                             heap_->engine_->buffer_pool()->FetchPage(page_));
     SlottedPage sp(page.data());
+    if (slot_ == 0 && !single_page_) {
+      // Entering a fresh chain page: hint the pool about the next one so a
+      // sequential scan overlaps its reads with record processing. Morsel
+      // scans hint from their precomputed page list instead (parallel.cc).
+      heap_->engine_->buffer_pool()->Prefetch(sp.next_page_id());
+    }
     while (slot_ < sp.num_slots()) {
       uint16_t s = slot_++;
       Result<Slice> payload = sp.Get(s);

@@ -32,6 +32,7 @@ class TableHeap {
   static Result<PageId> Create(StorageEngine* engine);
 
   PageId first_page() const { return first_page_; }
+  StorageEngine* engine() const { return engine_; }
 
   /// Appends a record; returns its id.
   Result<RecordId> Insert(Slice record);

@@ -72,6 +72,14 @@ class ParallelTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    // Every query path — serial and morsel-parallel — must balance its page
+    // pins; a nonzero count here means some operator leaked a PageGuard.
+    if (serial_db_) {
+      EXPECT_EQ(serial_db_->storage()->buffer_pool()->pinned_frames(), 0u);
+    }
+    if (parallel_db_) {
+      EXPECT_EQ(parallel_db_->storage()->buffer_pool()->pinned_frames(), 0u);
+    }
     serial_db_.reset();
     parallel_db_.reset();
     std::remove(serial_path_.c_str());

@@ -250,6 +250,83 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Eviction / background-writer crash matrix: the same storage.* crash points,
+// but fired from the buffer pool's *off-latch* write-back paths instead of a
+// checkpoint's FlushAll. A four-page pool forces dirty evictions on nearly
+// every phase-B insert, and the background writer races them, so the process
+// dies inside WritePage called from an eviction or a background flush — after
+// the WAL-rule fsync, before (or halfway through) the page image landing.
+// Recovery must still produce a committed state: the fsync-before-write
+// ordering is what makes that true off-latch.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void RunEvictionCrashWorkload(const std::string& path,
+                                           const std::string& point) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = 4;  // evictions on nearly every statement
+  options.bg_writer = true;
+  auto opened = Database::Open(path, options);
+  if (!opened.ok()) ::_exit(3);
+  std::unique_ptr<Database> db = std::move(opened).value();
+
+  if (!db->Execute("CREATE TABLE t (k INT, v STRING)").ok()) ::_exit(4);
+  for (int k = 0; k < kPhaseARows; ++k) {
+    if (!InsertRow(db.get(), k)) ::_exit(5);
+  }
+  if (!db->Flush().ok()) ::_exit(6);
+
+  // Phase B: the overflow-sized rows (RowValue makes every third ~9 KB)
+  // churn far more pages than the pool holds, so the armed point fires from
+  // a mid-statement eviction or a background write-back, never a Flush.
+  wal::CrashPoints::Arm(point);
+  for (int k = kPhaseARows; k < kPhaseARows + kPhaseBRows; ++k) {
+    if (!InsertRow(db.get(), k)) ::_exit(7);
+  }
+  ::_exit(1);  // the armed point never fired
+}
+
+class EvictionCrashMatrixTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(EvictionCrashMatrixTest, WalRuleHoldsForOffLatchWriteBack) {
+  JAGUAR_REQUIRE_FORK();
+  const std::string point = GetParam();
+  TempDb db("evict_" + point);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) RunEvictionCrashWorkload(db.path(), point);  // never returns
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus))
+      << "child killed by signal " << WTERMSIG(wstatus);
+  ASSERT_EQ(WEXITSTATUS(wstatus), wal::CrashPoints::kExitCode)
+      << "crash point '" << point << "' did not fire (child exit "
+      << WEXITSTATUS(wstatus) << ")";
+
+  auto opened = Database::Open(db.path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> recovered = std::move(opened).value();
+  RecoveredState state = VerifyRecovered(recovered.get());
+  // The committed-state envelope (contiguous prefix, byte-identical rows)
+  // was asserted inside VerifyRecovered. The crash happened after the
+  // WAL-rule fsync but before the page image was (fully) durable, so redo
+  // must have repaired at least that page.
+  EXPECT_GE(state.rows, kPhaseARows);
+  EXPECT_GE(recovered->storage()->recovery_stats().pages_replayed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffLatchWriteBackPoints, EvictionCrashMatrixTest,
+    ::testing::Values("storage.before_page_write", "storage.mid_page_write"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '.', '_');
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
 // The index crash matrix: crash inside B+-tree structure modifications.
 //
 // The WAL is redo-only, so a crash mid-split can leave the durable image
