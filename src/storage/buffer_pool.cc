@@ -88,6 +88,12 @@ BufferPool::~BufferPool() {
   }
 }
 
+void BufferPool::CountIoWait() {
+  io_waits_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* waits = PoolCounter("io_waits");
+  waits->Add();
+}
+
 std::unique_lock<std::mutex> BufferPool::LockShard(Shard& s) {
   std::unique_lock<std::mutex> lk(s.latch, std::try_to_lock);
   if (!lk.owns_lock()) {
@@ -104,6 +110,21 @@ void BufferPool::ClockPush(Shard& s, size_t frame) {
   const uint64_t epoch =
       f.clock_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   s.clock.push_back(ClockEntry{frame, epoch});
+  // Every push bumps the epoch, so at most one entry per resident frame is
+  // live; the rest are stale tombstones the sweep skips lazily. Eviction is
+  // the only other place that pops them, and a working set that fits in the
+  // pool never evicts — each pin/unpin cycle would leak one entry forever.
+  // Compact here once stale entries outnumber live ones; the ring shrinks to
+  // <= table.size(), so the O(n) sweep amortizes to O(1) per push.
+  if (s.clock.size() > 16 && s.clock.size() > 2 * s.table.size()) {
+    s.clock.erase(std::remove_if(s.clock.begin(), s.clock.end(),
+                                 [this](const ClockEntry& e) {
+                                   return frames_[e.frame].clock_epoch.load(
+                                              std::memory_order_relaxed) !=
+                                          e.epoch;
+                                 }),
+                  s.clock.end());
+  }
 }
 
 Status BufferPool::WriteBackFrame(Frame& frame) {
@@ -113,9 +134,10 @@ Status BufferPool::WriteBackFrame(Frame& frame) {
     // latch held; LogManager::EnsureDurable is internally synchronized.
     JAGUAR_RETURN_IF_ERROR(wal_->EnsureDurable(PageLsn(frame.data.get())));
   }
-  JAGUAR_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
-  frame.dirty = false;
-  return Status::OK();
+  // The dirty bit is the caller's to clear, under the shard latch: clearing
+  // it here (off-latch) could clobber a concurrent MarkDirty from a pin
+  // holder and silently drop that mutation from every future flush.
+  return disk_->WritePage(frame.id, frame.data.get());
 }
 
 void BufferPool::ReturnFreeFrame(size_t frame) {
@@ -149,11 +171,11 @@ Result<size_t> BufferPool::EvictFromShard(Shard& s) {
     f.clock_epoch.fetch_add(1, std::memory_order_relaxed);
     const PageId victim = f.id;
     s.table.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter* evictions = PoolCounter("evictions");
-    evictions->Add();
     if (!f.dirty) {
       f.id = kInvalidPageId;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions->Add();
       return e.frame;
     }
     s.io.insert(victim);
@@ -172,7 +194,12 @@ Result<size_t> BufferPool::EvictFromShard(Shard& s) {
       s.cv.notify_all();
       return ws;
     }
+    f.dirty = false;
     f.id = kInvalidPageId;
+    // Count only now: a failed write-back above re-links the victim and
+    // reclaims nothing, so it must not inflate the eviction counter.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions->Add();
     s.cv.notify_all();
     return e.frame;
   }
@@ -209,19 +236,21 @@ Result<size_t> BufferPool::AcquireFrame(Shard* home) {
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
   Shard& s = ShardOf(id);
   auto lk = LockShard(s);
+  // One fetch counts as at most one io_wait no matter how many condvar
+  // wakeups it takes (notify_all storms would otherwise overcount).
+  bool waited = false;
   for (;;) {
     auto it = s.table.find(id);
     if (it != s.table.end()) {
       Frame& f = frames_[it->second];
       if (f.state == FrameState::kWriting) {
-        // Background write-back in flight; pinning now would let the image
-        // mutate under the disk write. Wait for it to finish.
-        io_waits_.fetch_add(1, std::memory_order_relaxed);
-        static obs::Counter* waits = PoolCounter("io_waits");
-        waits->Add();
+        // Write-back in flight; pinning now would let the image mutate
+        // under the disk write. Wait for it to finish.
+        waited = true;
         s.cv.wait(lk);
         continue;
       }
+      if (waited) CountIoWait();
       hits_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* hits = PoolCounter("hits");
       hits->Add();
@@ -241,14 +270,13 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
     if (s.io.count(id) != 0) {
       // Someone else is already reading this page (or writing the evicted
       // image back). Wait for the single I/O instead of duplicating it.
-      io_waits_.fetch_add(1, std::memory_order_relaxed);
-      static obs::Counter* waits = PoolCounter("io_waits");
-      waits->Add();
+      waited = true;
       s.cv.wait(lk);
       continue;
     }
     break;  // genuine miss and we own the read
   }
+  if (waited) CountIoWait();
   misses_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* misses = PoolCounter("misses");
   misses->Add();
@@ -328,22 +356,68 @@ Status BufferPool::FlushAll() {
   // means every eviction write-back that started before this flush has
   // landed. Together that makes the post-flush data file complete, which is
   // what lets checkpoints truncate the log safely.
+  //
+  // Like the background writer, the WAL fsync + page write run OFF the shard
+  // latch: the scan marks dirty frames kWriting (pinned ones too — FlushAll
+  // writes them, it just keeps fetch hits out while the image is under the
+  // disk write), then the latch is dropped for the actual I/O so fetches,
+  // unpins and guard releases on the shard are not stalled behind a
+  // page-by-page fsync scan.
   std::lock_guard<std::mutex> bg(bg_mutex_);
-  for (size_t i = 0; i < shards_count_; ++i) {
+  Status result = Status::OK();
+  std::vector<size_t> batch;
+  for (size_t i = 0; i < shards_count_ && result.ok(); ++i) {
     Shard& s = shards_[i];
-    auto lk = LockShard(s);
-    while (s.inflight_writes > 0) s.cv.wait(lk);
-    for (const auto& [id, fidx] : s.table) {
-      Frame& f = frames_[fidx];
-      if (f.dirty) {
-        JAGUAR_RETURN_IF_ERROR(WriteBackFrame(f));
+    batch.clear();
+    {
+      auto lk = LockShard(s);
+      while (s.inflight_writes > 0) s.cv.wait(lk);
+      for (const auto& [id, fidx] : s.table) {
+        Frame& f = frames_[fidx];
+        if (f.dirty) {
+          f.state = FrameState::kWriting;
+          // Clear dirty at mark time, under the latch: a pin holder's
+          // MarkDirty during our off-latch write then re-dirties the frame,
+          // so a mutation the write may have missed is flushed next time
+          // instead of being lost to an off-latch dirty=false.
+          f.dirty = false;
+          f.clock_epoch.fetch_add(1, std::memory_order_relaxed);
+          s.io.insert(id);
+          batch.push_back(fidx);
+        }
       }
     }
+    for (size_t fidx : batch) {
+      Frame& f = frames_[fidx];
+      // After the first failure stop issuing writes, but keep clearing the
+      // kWriting marks so waiting fetchers are not stuck forever.
+      const bool wrote = result.ok();
+      Status ws = wrote ? WriteBackFrame(f) : Status::OK();
+      auto lk = LockShard(s);
+      if (!wrote || !ws.ok()) f.dirty = true;  // image did not reach disk
+      f.state = FrameState::kIdle;
+      s.io.erase(f.id);
+      ClockPush(s, fidx);
+      s.cv.notify_all();
+      if (!ws.ok()) result = ws;
+    }
   }
+  JAGUAR_RETURN_IF_ERROR(result);
   return disk_->Sync();
 }
 
 Status BufferPool::Discard(PageId id) {
+  if (config_.readahead_pages > 0) {
+    // Purge queued readahead hints for this page and drain an in-flight
+    // prefetch of it: a stale hint processed after we return would reload
+    // the old on-disk image of a page whose newer dirty copy this discard
+    // deliberately dropped. Done before taking the shard latch — the worker
+    // needs that latch to finish the prefetch we may be waiting out.
+    std::unique_lock<std::mutex> rlk(ra_mutex_);
+    ra_queue_.erase(std::remove(ra_queue_.begin(), ra_queue_.end(), id),
+                    ra_queue_.end());
+    ra_cv_.wait(rlk, [this, id] { return ra_active_ != id; });
+  }
   Shard& s = ShardOf(id);
   auto lk = LockShard(s);
   for (;;) {
@@ -433,8 +507,16 @@ void BufferPool::ReadaheadLoop() {
       if (stop_threads_) return;  // pending hints are only hints; drop them
       id = ra_queue_.front();
       ra_queue_.pop_front();
+      // Claimed under ra_mutex_ so Discard can always see a hint for its
+      // page: either still queued (purged there) or active (drained here).
+      ra_active_ = id;
     }
     ReadaheadOne(id);
+    {
+      std::lock_guard<std::mutex> lk(ra_mutex_);
+      ra_active_ = kInvalidPageId;
+    }
+    ra_cv_.notify_all();
   }
 }
 
@@ -483,6 +565,9 @@ size_t BufferPool::BgWriterRound() {
       f.state = FrameState::kIdle;
       s.io.erase(f.id);
       if (ws.ok()) {
+        // Safe to clear here: the frame was unpinned when marked kWriting
+        // and fetch hits wait on kWriting, so no holder could MarkDirty.
+        f.dirty = false;
         ++flushed;
         bgwriter_flushes_.fetch_add(1, std::memory_order_relaxed);
         static obs::Counter* flushes = PoolCounter("bgwriter.flushes");
@@ -498,6 +583,16 @@ size_t BufferPool::BgWriterRound() {
     }
   }
   return flushed;
+}
+
+size_t BufferPool::clock_entries() const {
+  size_t n = 0;
+  for (size_t i = 0; i < shards_count_; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lk(s.latch);
+    n += s.clock.size();
+  }
+  return n;
 }
 
 size_t BufferPool::pinned_frames() const {

@@ -165,6 +165,11 @@ class BufferPool {
   /// Writes back all dirty pages (pinned ones included), drains in-flight
   /// write-backs, and syncs. On return every prior mutation is in the data
   /// file, which is what makes WAL truncation after a checkpoint safe.
+  /// The writes run off the shard latches (frames are marked kWriting like
+  /// the background writer's), so concurrent fetches of other pages are not
+  /// stalled behind the flush scan. Pinned pages must not be concurrently
+  /// mutated while a flush is in flight — checkpoints run from the write
+  /// path's thread, which guarantees that today.
   Status FlushAll();
 
   /// Drops page `id` from the cache without writing it back. The page must
@@ -202,6 +207,10 @@ class BufferPool {
   }
   /// Number of currently pinned frames (for leak tests).
   size_t pinned_frames() const;
+  /// Total clock-ring entries across shards, live and stale (for tests:
+  /// the ring must stay O(resident frames) even on hit-only workloads that
+  /// never trigger eviction).
+  size_t clock_entries() const;
 
  private:
   friend class PageGuard;
@@ -246,7 +255,9 @@ class BufferPool {
     /// Pages with a disk read or write-back in flight; fetchers wait on cv.
     std::unordered_set<PageId> io;
     /// Clock ring of (frame, epoch) candidates; entries whose epoch no
-    /// longer matches the frame are skipped lazily.
+    /// longer matches the frame are skipped lazily by the sweep and
+    /// compacted by ClockPush once they outnumber live entries, so the ring
+    /// stays O(resident frames) even when no eviction ever runs.
     std::deque<ClockEntry> clock;
     /// Eviction write-backs in flight for pages already removed from
     /// `table`; FlushAll drains these before declaring the shard clean.
@@ -258,6 +269,9 @@ class BufferPool {
 
   /// Locks a shard, counting contended acquisitions.
   std::unique_lock<std::mutex> LockShard(Shard& s);
+
+  /// Bumps io_waits_; FetchPage calls it once per fetch that waited.
+  void CountIoWait();
 
   void Unpin(size_t frame, PageId id, bool dirty);
   void MarkFrameDirty(size_t frame, PageId id);
@@ -275,9 +289,10 @@ class BufferPool {
   Result<size_t> EvictFromShard(Shard& s);
   void ReturnFreeFrame(size_t frame);
 
-  /// WAL rule + disk write of one frame's image. The caller must hold the
-  /// image exclusively (victim out of the table, kWriting, or FlushAll
-  /// under latch).
+  /// WAL rule + disk write of one frame's image; runs off the shard latch.
+  /// The caller must hold the image exclusively (victim out of the table or
+  /// frame marked kWriting) and clears the dirty bit itself, under the
+  /// latch, once the write succeeds.
   Status WriteBackFrame(Frame& frame);
 
   /// Loads one prefetch request (worker thread).
@@ -310,6 +325,9 @@ class BufferPool {
   std::mutex ra_mutex_;
   std::condition_variable ra_cv_;
   std::deque<PageId> ra_queue_;
+  /// Hint the worker is currently loading; Discard drains it so a prefetch
+  /// popped from the queue just before the discard cannot resurrect the page.
+  PageId ra_active_ = kInvalidPageId;
   bool stop_threads_ = false;
   std::thread ra_thread_;
   std::thread bg_thread_;

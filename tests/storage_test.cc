@@ -401,6 +401,139 @@ TEST(BufferPoolTest, PrefetchLoadsPagesColdInBackground) {
   EXPECT_EQ(pool.readahead_hits(), 1u);
 }
 
+TEST(BufferPoolTest, HitOnlyWorkloadKeepsClockRingBounded) {
+  TempDb db("pool_ringbound");
+  DiskManager dm;
+  ASSERT_TRUE(dm.Open(db.path()).ok());
+  BufferPool pool(&dm, 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) {
+    PageGuard p = pool.NewPage().value();
+    ids.push_back(p.id());
+  }
+  // A working set that fits in the pool never evicts, so nothing but
+  // ClockPush's own compaction reclaims the stale ring entry each pin/unpin
+  // cycle leaves behind. Before the compaction this grew by one entry per
+  // fetch, without bound, for the life of the process.
+  for (int i = 0; i < 20000; ++i) {
+    PageGuard p = pool.FetchPage(ids[i % ids.size()]).value();
+  }
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_LE(pool.clock_entries(),
+            2 * pool.capacity() + 17 * pool.num_shards());
+}
+
+TEST(BufferPoolTest, DiscardPurgesQueuedReadahead) {
+  TempDb db("pool_discard_ra");
+  SlowCountingDisk dm;
+  ASSERT_TRUE(dm.Open(db.path()).ok());
+  PageId busy = dm.AllocatePage().value();
+  PageId target = dm.AllocatePage().value();
+  std::vector<uint8_t> buf(kPageSize, 0x11);
+  ASSERT_TRUE(dm.WritePage(busy, buf.data()).ok());
+  ASSERT_TRUE(dm.WritePage(target, buf.data()).ok());
+
+  BufferPoolConfig config;
+  config.readahead_pages = 4;
+  BufferPool pool(&dm, 4, nullptr, config);
+  // The slow read of `busy` keeps the worker occupied, so the hint for
+  // `target` is still queued when Discard runs. Discard must purge it (or
+  // drain it, if the worker got there first): a prefetch completing after
+  // the discard would resurrect the freed page from its stale disk image.
+  pool.Prefetch(busy);
+  pool.Prefetch(target);
+  ASSERT_TRUE(pool.Discard(target).ok());
+  for (int i = 0; i < 1000 && pool.readahead_issued() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(pool.readahead_issued(), 1u);
+  // Give a resurrected prefetch (the bug) time to land before checking.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const uint64_t misses_before = pool.misses();
+  PageGuard p = pool.FetchPage(target).value();
+  EXPECT_EQ(pool.misses(), misses_before + 1);  // target was not resident
+}
+
+// DiskManager whose page writes park until released, to observe what the
+// pool keeps available while a write-back is in flight.
+class GatedWriteDisk : public DiskManager {
+ public:
+  Status WritePage(PageId id, const uint8_t* data) override {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (gated_) {
+        started_ = true;
+        cv_.notify_all();
+        cv_.wait(lk, [this] { return !gated_; });
+      }
+    }
+    return DiskManager::WritePage(id, data);
+  }
+  void Gate() {
+    std::lock_guard<std::mutex> lk(m_);
+    gated_ = true;
+    started_ = false;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      gated_ = false;
+    }
+    cv_.notify_all();
+  }
+  void AwaitWriteStarted() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [this] { return started_; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool gated_ = false;
+  bool started_ = false;
+};
+
+TEST(BufferPoolTest, FlushAllDoesNotBlockFetchesDuringWriteBack) {
+  TempDb db("pool_flush_offlatch");
+  GatedWriteDisk dm;
+  ASSERT_TRUE(dm.Open(db.path()).ok());
+  BufferPoolConfig config;
+  config.shards = 1;  // both pages behind the one shard latch
+  config.readahead_pages = 0;
+  BufferPool pool(&dm, 4, nullptr, config);
+  PageId dirty_id, clean_id;
+  {
+    PageGuard a = pool.NewPage().value();
+    dirty_id = a.id();
+    PageGuard b = pool.NewPage().value();
+    clean_id = b.id();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());  // both resident and clean
+  {
+    PageGuard a = pool.FetchPage(dirty_id).value();
+    a.data()[0] = 7;
+    a.MarkDirty();
+  }
+  dm.Gate();
+  std::thread flusher([&] { EXPECT_TRUE(pool.FlushAll().ok()); });
+  dm.AwaitWriteStarted();
+  // FlushAll is parked inside the dirty page's write. The shard latch must
+  // be free: a hit on the clean resident page completes immediately (the
+  // old pool held the latch across the whole per-page fsync+write scan and
+  // would hang here until the write finished).
+  {
+    Result<PageGuard> p = pool.FetchPage(clean_id);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->id(), clean_id);
+  }
+  dm.Release();
+  flusher.join();
+  // The flushed mutation landed despite the gate.
+  std::vector<uint8_t> check(kPageSize);
+  ASSERT_TRUE(dm.ReadPage(dirty_id, check.data()).ok());
+  EXPECT_EQ(check[0], 7);
+}
+
 // Multi-threaded fetch/evict/discard stress with the readahead worker and
 // background writer running; meant for the TSan CI job. Each thread owns
 // the pages whose id is congruent to its index (only owners mutate or
